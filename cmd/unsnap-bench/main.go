@@ -1,0 +1,198 @@
+// Command unsnap-bench regenerates the tables and figures of the UnSNAP
+// paper, plus the ablations indexed in DESIGN.md. Every experiment has a
+// bench-scale default that completes on a laptop; -paper switches to the
+// paper's full problem sizes (hours of runtime on a small machine).
+//
+// Usage:
+//
+//	unsnap-bench -experiment table1
+//	unsnap-bench -experiment fig3 -threads 1,2,4
+//	unsnap-bench -experiment all
+//
+// Experiments: table1, table2, fig3, fig4, tradeoffs, jacobi, atomic,
+// preassembled, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"unsnap"
+	"unsnap/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "unsnap-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func parseThreads(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad thread list %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("unsnap-bench", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all", "table1|table2|fig3|fig4|tradeoffs|jacobi|atomic|preassembled|all")
+	threadsFlag := fs.String("threads", "1,2", "comma-separated worker counts for scaling experiments")
+	paper := fs.Bool("paper", false, "use the paper's full problem sizes (slow)")
+	nx := fs.Int("nx", 0, "override elements per dimension")
+	nang := fs.Int("nang", 0, "override angles per octant")
+	ng := fs.Int("ng", 0, "override energy groups")
+	inners := fs.Int("inners", 5, "inner iterations (timing runs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	threads, err := parseThreads(*threadsFlag)
+	if err != nil {
+		return err
+	}
+
+	override := func(p *unsnap.Problem) {
+		if *nx > 0 {
+			p.NX, p.NY, p.NZ = *nx, *nx, *nx
+		}
+		if *nang > 0 {
+			p.AnglesPerOctant = *nang
+		}
+		if *ng > 0 {
+			p.Groups = *ng
+		}
+	}
+
+	want := func(name string) bool { return *experiment == name || *experiment == "all" }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		fmt.Println("== Table I: local matrix size and footprint per element order ==")
+		rows, err := harness.TableI(5, true)
+		if err != nil {
+			return err
+		}
+		harness.FprintTableI(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("fig3") {
+		ran = true
+		cfg := harness.DefaultFig3()
+		if *paper {
+			cfg.Problem = unsnap.PaperFig3Problem(1)
+		}
+		override(&cfg.Problem)
+		cfg.Threads = threads
+		cfg.Inners = *inners
+		fmt.Printf("== Figure 3: thread scaling, linear elements (%d^3 elements, %d ang/oct, %d groups) ==\n",
+			cfg.Problem.NX, cfg.Problem.AnglesPerOctant, cfg.Problem.Groups)
+		rows, err := harness.RunFig(cfg)
+		if err != nil {
+			return err
+		}
+		harness.FprintFig(os.Stdout, cfg, rows)
+		fmt.Println()
+	}
+	if want("fig4") {
+		ran = true
+		cfg := harness.DefaultFig4()
+		if *paper {
+			cfg.Problem = unsnap.PaperFig3Problem(3)
+		}
+		override(&cfg.Problem)
+		cfg.Threads = threads
+		cfg.Inners = *inners
+		fmt.Printf("== Figure 4: thread scaling, cubic elements (%d^3 elements, %d ang/oct, %d groups) ==\n",
+			cfg.Problem.NX, cfg.Problem.AnglesPerOctant, cfg.Problem.Groups)
+		rows, err := harness.RunFig(cfg)
+		if err != nil {
+			return err
+		}
+		harness.FprintFig(os.Stdout, cfg, rows)
+		fmt.Println()
+	}
+	if want("table2") {
+		ran = true
+		cfg := harness.DefaultTable2()
+		if *paper {
+			cfg.Problem = unsnap.PaperTable2Problem(1)
+			cfg.Orders = []int{1, 2, 3, 4}
+		}
+		override(&cfg.Problem)
+		cfg.Inners = *inners
+		fmt.Printf("== Table II: GE vs DGESV assemble/solve time (%d^3 elements, %d ang/oct, %d groups) ==\n",
+			cfg.Problem.NX, cfg.Problem.AnglesPerOctant, cfg.Problem.Groups)
+		rows, err := harness.RunTable2(cfg)
+		if err != nil {
+			return err
+		}
+		harness.FprintTable2(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("tradeoffs") {
+		ran = true
+		cfg := harness.DefaultTradeoffs()
+		override(&cfg.Problem)
+		fmt.Println("== Section II-C: finite difference vs finite element trade-offs ==")
+		rows, err := harness.RunTradeoffs(cfg)
+		if err != nil {
+			return err
+		}
+		harness.FprintTradeoffs(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("jacobi") {
+		ran = true
+		cfg := harness.DefaultJacobi()
+		override(&cfg.Problem)
+		fmt.Println("== Section III-A1: block Jacobi convergence vs rank count ==")
+		rows, err := harness.RunJacobi(cfg)
+		if err != nil {
+			return err
+		}
+		harness.FprintJacobi(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("atomic") {
+		ran = true
+		p := unsnap.DefaultProblem()
+		override(&p)
+		fmt.Println("== Section IV-A3: angle threading with serialised flux update ==")
+		rows, err := harness.RunAtomic(p, threads, *inners)
+		if err != nil {
+			return err
+		}
+		harness.FprintAtomic(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("preassembled") {
+		ran = true
+		p := unsnap.DefaultProblem()
+		p.NX, p.NY, p.NZ = 4, 4, 4
+		p.AnglesPerOctant = 2
+		p.Groups = 2
+		override(&p)
+		fmt.Println("== Section IV-B1: pre-assembled and pre-factorised matrices ==")
+		rows, err := harness.RunPreassembled(p, []int{1, 2}, *inners)
+		if err != nil {
+			return err
+		}
+		harness.FprintPreassembled(os.Stdout, rows)
+		fmt.Println()
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return nil
+}

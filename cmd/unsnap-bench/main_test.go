@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestParseThreads(t *testing.T) {
+	got, err := parseThreads("1,2, 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseThreadsInvalid(t *testing.T) {
+	for _, bad := range []string{"", "a", "1,-2", "0", "1,,2"} {
+		if _, err := parseThreads(bad); err == nil {
+			t.Fatalf("%q should fail", bad)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "nope"}); err == nil {
+		t.Fatal("expected unknown-experiment error")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-threads", "x"}); err == nil {
+		t.Fatal("expected thread parse error")
+	}
+}

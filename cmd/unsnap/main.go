@@ -1,0 +1,205 @@
+// Command unsnap runs one UnSNAP transport problem, configured by flags or
+// by a SNAP-style input deck, and prints a SNAP-like run report: the
+// problem echo, the iteration monitor, the particle balance and the flux
+// spectrum.
+//
+// Usage:
+//
+//	unsnap -deck input.deck
+//	unsnap -nx 8 -ny 8 -nz 8 -nang 4 -ng 4 -order 1 -scheme "angle/ELEMENT/GROUP"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"unsnap"
+	"unsnap/internal/snapinput"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "unsnap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("unsnap", flag.ContinueOnError)
+	deckPath := fs.String("deck", "", "path to a SNAP-style input deck (flags below override it)")
+	nx := fs.Int("nx", 0, "elements in x")
+	ny := fs.Int("ny", 0, "elements in y")
+	nz := fs.Int("nz", 0, "elements in z")
+	nang := fs.Int("nang", 0, "angles per octant")
+	ng := fs.Int("ng", 0, "energy groups")
+	order := fs.Int("order", 0, "finite element order")
+	twist := fs.Float64("twist", -1, "mesh twist in radians")
+	epsi := fs.Float64("epsi", 0, "convergence tolerance")
+	iitm := fs.Int("iitm", 0, "max inner iterations per outer")
+	oitm := fs.Int("oitm", 0, "max outer iterations")
+	npey := fs.Int("npey", 0, "rank grid Y (block Jacobi)")
+	npez := fs.Int("npez", 0, "rank grid Z (block Jacobi)")
+	threads := fs.Int("threads", 0, "worker threads per rank")
+	scheme := fs.String("scheme", "", "concurrency scheme name")
+	solver := fs.String("solver", "", "local solver: GE or DGESV")
+	force := fs.Bool("force-iterations", false, "run exactly iitm x oitm sweeps (timing mode)")
+	fdRun := fs.Bool("fd", false, "run the finite-difference SNAP baseline instead")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	deck := snapinput.Default()
+	if *deckPath != "" {
+		f, err := os.Open(*deckPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		deck, err = snapinput.Parse(f)
+		if err != nil {
+			return err
+		}
+	}
+	// Flag overrides.
+	overrideInt := func(dst *int, v int) {
+		if v > 0 {
+			*dst = v
+		}
+	}
+	overrideInt(&deck.NX, *nx)
+	// -nx alone means a cube; explicit -ny/-nz refine it.
+	if *nx > 0 && *ny == 0 {
+		deck.NY = *nx
+	}
+	if *nx > 0 && *nz == 0 {
+		deck.NZ = *nx
+	}
+	overrideInt(&deck.NY, *ny)
+	overrideInt(&deck.NZ, *nz)
+	overrideInt(&deck.NAng, *nang)
+	overrideInt(&deck.NG, *ng)
+	overrideInt(&deck.Order, *order)
+	overrideInt(&deck.IITM, *iitm)
+	overrideInt(&deck.OITM, *oitm)
+	overrideInt(&deck.NPEY, *npey)
+	overrideInt(&deck.NPEZ, *npez)
+	overrideInt(&deck.Threads, *threads)
+	if *twist >= 0 {
+		deck.Twist = *twist
+	}
+	if *epsi > 0 {
+		deck.Epsi = *epsi
+	}
+	if *scheme != "" {
+		deck.Scheme = *scheme
+	}
+	if *solver != "" {
+		deck.Solver = *solver
+	}
+	if err := deck.Validate(); err != nil {
+		return err
+	}
+
+	prob := unsnap.Problem{
+		NX: deck.NX, NY: deck.NY, NZ: deck.NZ,
+		LX: deck.LX, LY: deck.LY, LZ: deck.LZ,
+		Twist: deck.Twist, MatOpt: deck.MatOpt, SrcOpt: deck.SrcOpt,
+		Order: deck.Order, AnglesPerOctant: deck.NAng, Groups: deck.NG,
+		PGCPolar: deck.PGCPolar, PGCAzi: deck.PGCAzi,
+		ScatOrder: deck.ScatOrder,
+	}
+	schemeVal, err := unsnap.ParseScheme(deck.Scheme)
+	if err != nil {
+		return err
+	}
+	solverVal := unsnap.GE
+	if deck.Solver == "DGESV" {
+		solverVal = unsnap.DGESV
+	}
+	opts := unsnap.Options{
+		Scheme: schemeVal, Threads: deck.Threads, Solver: solverVal,
+		Epsi: deck.Epsi, MaxInners: deck.IITM, MaxOuters: deck.OITM,
+		ForceIterations: *force, Instrument: true,
+		Reflect: [3]bool{deck.ReflX, deck.ReflY, deck.ReflZ},
+	}
+
+	fmt.Println("UnSNAP — discontinuous Galerkin Sn transport on unstructured meshes")
+	fmt.Printf("  grid %dx%dx%d  extents %gx%gx%g  twist %g rad\n",
+		prob.NX, prob.NY, prob.NZ, prob.LX, prob.LY, prob.LZ, prob.Twist)
+	fmt.Printf("  order %d (%d nodes/element)  %d angles/octant (%d total)  %d groups\n",
+		prob.Order, (prob.Order+1)*(prob.Order+1)*(prob.Order+1),
+		prob.AnglesPerOctant, 8*prob.AnglesPerOctant, prob.Groups)
+	fmt.Printf("  scheme %s  solver %s  epsi %.1e  iitm %d  oitm %d\n",
+		schemeVal, solverVal, deck.Epsi, deck.IITM, deck.OITM)
+
+	switch {
+	case *fdRun:
+		return runFD(prob, opts, deck.Fixup)
+	case deck.NPEY*deck.NPEZ > 1:
+		return runDistributed(prob, opts, deck.NPEY, deck.NPEZ)
+	default:
+		return runSingle(prob, opts)
+	}
+}
+
+func printResult(res *unsnap.Result, groups int, flux func(int) float64) {
+	fmt.Println("iteration monitor:")
+	for i, df := range res.DFHistory {
+		fmt.Printf("  inner %3d  df %.6e\n", i+1, df)
+	}
+	fmt.Printf("outers %d  inners %d  converged %v  final df %.3e\n",
+		res.Outers, res.Inners, res.Converged, res.FinalDF)
+	fmt.Printf("balance: source %.6f  absorption %.6f  leakage %.6f  residual %.3e\n",
+		res.Balance.Source, res.Balance.Absorption, res.Balance.Leakage, res.Balance.Residual)
+	fmt.Println("flux spectrum (volume-integrated scalar flux per group):")
+	for g := 0; g < groups; g++ {
+		fmt.Printf("  group %3d  %.8f\n", g, flux(g))
+	}
+	fmt.Printf("timing: setup %.3fs  sweep %.3fs  assembly %.3fs  solve %.3fs\n",
+		res.SetupSeconds, res.SweepSeconds, res.AssembleSeconds, res.SolveSeconds)
+}
+
+func runSingle(prob unsnap.Problem, opts unsnap.Options) error {
+	s, err := unsnap.NewSolver(prob, opts)
+	if err != nil {
+		return err
+	}
+	distinct, buckets, maxB, avgB := s.ScheduleStats()
+	fmt.Printf("schedule: %d distinct topologies, %d buckets, max bucket %d, mean %.1f\n",
+		distinct, buckets, maxB, avgB)
+	res, err := s.Run()
+	if err != nil {
+		return err
+	}
+	printResult(res, prob.Groups, s.FluxIntegral)
+	return nil
+}
+
+func runDistributed(prob unsnap.Problem, opts unsnap.Options, py, pz int) error {
+	d, err := unsnap.NewDistributed(prob, opts, py, pz)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("block Jacobi: %d ranks (%dx%d KBA grid)\n", d.NumRanks(), py, pz)
+	res, err := d.Run()
+	if err != nil {
+		return err
+	}
+	printResult(res, prob.Groups, d.FluxIntegral)
+	return nil
+}
+
+func runFD(prob unsnap.Problem, opts unsnap.Options, fixup bool) error {
+	s, err := unsnap.NewFD(prob, opts, fixup)
+	if err != nil {
+		return err
+	}
+	fmt.Println("finite-difference (diamond difference) SNAP baseline")
+	res, err := s.Run()
+	if err != nil {
+		return err
+	}
+	printResult(res, prob.Groups, s.FluxIntegral)
+	return nil
+}

@@ -1,0 +1,64 @@
+// Reactor: a multigroup scattering-dominated problem run both as a single
+// domain and under the block Jacobi domain decomposition, comparing the
+// flux spectrum, convergence behaviour and the cost per iteration. It
+// demonstrates the paper's global scheduling trade: block Jacobi lets all
+// ranks sweep concurrently at the price of extra iterations.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"unsnap"
+)
+
+func main() {
+	prob := unsnap.Problem{
+		NX: 8, NY: 8, NZ: 8,
+		LX: 2, LY: 2, LZ: 2,
+		Twist:  0.001,
+		MatOpt: unsnap.MatCentre,
+		SrcOpt: unsnap.SrcEverywhere,
+		Order:  1, AnglesPerOctant: 3, Groups: 8,
+	}
+	opts := unsnap.Options{
+		Scheme: unsnap.AEG,
+		Epsi:   1e-6, MaxInners: 100, MaxOuters: 20,
+	}
+
+	single, err := unsnap.NewSolver(prob, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sres, err := single.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single domain : %3d inners, converged=%v, sweep %.3fs\n",
+		sres.Inners, sres.Converged, sres.SweepSeconds)
+
+	dist, err := unsnap.NewDistributed(prob, opts, 2, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dres, err := dist.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("block Jacobi  : %3d inners over %d ranks, converged=%v, sweep %.3fs\n",
+		dres.Inners, dist.NumRanks(), dres.Converged, dres.SweepSeconds)
+	fmt.Printf("iteration cost of decomposition: %+d inners\n", dres.Inners-sres.Inners)
+
+	fmt.Println("\ngroup spectrum (volume-integrated flux; the down-scatter cascade")
+	fmt.Println("feeds lower groups, absorption grows with group index):")
+	fmt.Println("group   single-domain   block-Jacobi    rel diff")
+	for g := 0; g < prob.Groups; g++ {
+		a := single.FluxIntegral(g)
+		b := dist.FluxIntegral(g)
+		fmt.Printf("  %2d    %.8f      %.8f    %.2e\n", g, a, b, math.Abs(a-b)/a)
+	}
+
+	fmt.Printf("\nglobal balance (block Jacobi): source %.4f = absorption %.4f + leakage %.4f (residual %.2e)\n",
+		dres.Balance.Source, dres.Balance.Absorption, dres.Balance.Leakage, dres.Balance.Residual)
+}

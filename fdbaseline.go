@@ -1,0 +1,75 @@
+package unsnap
+
+import (
+	"unsnap/internal/fd"
+	"unsnap/internal/quadrature"
+	"unsnap/internal/xs"
+)
+
+// FD is the SNAP finite-difference baseline: diamond difference on the
+// structured grid (Problem.Order and Twist are ignored — the baseline is
+// cell-centred on the regular mesh, which is the comparison the paper's
+// section II-C draws).
+type FD struct {
+	inner *fd.Solver
+	prob  Problem
+}
+
+// NewFD builds the diamond-difference baseline for the problem. fixup
+// enables SNAP's negative-flux fixup.
+func NewFD(p Problem, o Options, fixup bool) (*FD, error) {
+	q, err := quadrature.NewSNAP(p.AnglesPerOctant)
+	if err != nil {
+		return nil, err
+	}
+	lib, err := xs.NewLibrary(p.Groups)
+	if err != nil {
+		return nil, err
+	}
+	s, err := fd.New(fd.Config{
+		NX: p.NX, NY: p.NY, NZ: p.NZ,
+		LX: p.LX, LY: p.LY, LZ: p.LZ,
+		Quad: q, Lib: lib, MatOpt: p.MatOpt, SrcOpt: p.SrcOpt,
+		Epsi: o.Epsi, MaxInners: o.MaxInners, MaxOuters: o.MaxOuters,
+		ForceIterations: o.ForceIterations, Fixup: fixup,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FD{inner: s, prob: p}, nil
+}
+
+// Run executes the baseline iteration.
+func (s *FD) Run() (*Result, error) {
+	r, err := s.inner.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Outers: r.Outers, Inners: r.Inners,
+		Converged: r.Converged, FinalDF: r.FinalDF,
+		DFHistory: append([]float64(nil), r.DFHistory...),
+		Balance: Balance{
+			Source:     r.Balance.Source,
+			Absorption: r.Balance.Absorption,
+			Leakage:    r.Balance.Leakage,
+			Residual:   r.Balance.Residual,
+		},
+	}, nil
+}
+
+// FluxIntegral returns the volume-integrated group-g scalar flux.
+func (s *FD) FluxIntegral(g int) float64 { return s.inner.FluxIntegral(g) }
+
+// Phi returns the cell-centred group-g scalar flux of cell c.
+func (s *FD) Phi(c, g int) float64 { return s.inner.Phi(c, g) }
+
+// NumCells returns the cell count.
+func (s *FD) NumCells() int { return s.inner.NumCells() }
+
+// MemoryRatioFEMOverFD returns the section II-C storage ratio between the
+// finite element method at the given order and the finite difference
+// baseline on the same grid (8 for linear elements).
+func MemoryRatioFEMOverFD(order int) int {
+	return fd.MemoryPerCellFEM(order) / fd.MemoryPerCellFD()
+}

@@ -1,0 +1,298 @@
+// Package comm implements the paper's global scheduling layer: a parallel
+// block Jacobi coupling between spatial subdomains with a halo exchange
+// every inner iteration. The paper runs this over MPI with a 2D KBA-style
+// decomposition; here the ranks are goroutines inside one process, driven
+// in BSP super-steps (sweep | barrier | halo exchange | barrier), which
+// preserves the property the paper studies — every rank starts sweeping
+// its own subdomain immediately using lagged incoming fluxes, trading
+// iteration count for concurrency.
+package comm
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"unsnap/internal/core"
+	"unsnap/internal/fem"
+	"unsnap/internal/mesh"
+	"unsnap/internal/quadrature"
+	"unsnap/internal/xs"
+)
+
+// Config describes a partitioned run. The solver settings mirror
+// core.Config and apply to every rank.
+type Config struct {
+	Mesh   *mesh.Mesh
+	PY, PZ int // rank grid (KBA-style: Y and Z split, X kept whole)
+
+	Order int
+	Quad  *quadrature.Set
+	Lib   *xs.Library
+
+	Scheme         core.Scheme
+	ThreadsPerRank int
+	Solver         core.SolverKind
+
+	Epsi            float64
+	MaxInners       int
+	MaxOuters       int
+	ForceIterations bool
+	Instrument      bool
+}
+
+// halo is the incoming angular flux storage of one remote face:
+// data[(a*nG+g)*nF + k] holds the value for our face node k.
+type halo struct {
+	ref  mesh.RemoteRef
+	perm []int // our face-node k -> peer face-node index (into peer order)
+	data []float64
+}
+
+// Driver owns the per-rank solvers and their halo buffers.
+type Driver struct {
+	cfg     Config
+	part    *mesh.Partition
+	re      *fem.RefElement
+	solvers []*core.Solver
+	halos   []map[mesh.FaceKey]*halo
+	scratch [][]float64 // per-rank gather buffer (peer face ordering)
+
+	nG, nA, nF int
+}
+
+// New partitions the mesh and builds one core solver per rank, wiring the
+// halo buffers into each solver's boundary-flux callback.
+func New(cfg Config) (*Driver, error) {
+	if cfg.Mesh == nil {
+		return nil, fmt.Errorf("comm: config needs a mesh")
+	}
+	if cfg.Epsi <= 0 {
+		cfg.Epsi = 1e-4
+	}
+	part, err := cfg.Mesh.PartitionKBA(cfg.PY, cfg.PZ)
+	if err != nil {
+		return nil, err
+	}
+	re, err := fem.NewRefElement(cfg.Order)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Quad == nil || cfg.Lib == nil {
+		return nil, fmt.Errorf("comm: config needs quadrature and cross sections")
+	}
+	d := &Driver{
+		cfg:  cfg,
+		part: part,
+		re:   re,
+		nG:   cfg.Lib.NumGroups,
+		nA:   cfg.Quad.NumAngles(),
+		nF:   re.NF,
+	}
+	nRanks := len(part.Subs)
+	d.solvers = make([]*core.Solver, nRanks)
+	d.halos = make([]map[mesh.FaceKey]*halo, nRanks)
+	d.scratch = make([][]float64, nRanks)
+
+	// Halo buffers and cross-partition face matching.
+	for r, sub := range part.Subs {
+		d.halos[r] = make(map[mesh.FaceKey]*halo, len(sub.Remote))
+		d.scratch[r] = make([]float64, d.nF)
+		for key, ref := range sub.Remote {
+			ga := sub.Mesh.Elems[key.Elem].Geometry()
+			gb := part.Subs[ref.Rank].Mesh.Elems[ref.Elem].Geometry()
+			perm, err := mesh.MatchFacePair(re, ga, key.Face, gb, ref.Face)
+			if err != nil {
+				return nil, fmt.Errorf("comm: matching rank %d face %v to rank %d: %w",
+					r, key, ref.Rank, err)
+			}
+			d.halos[r][key] = &halo{
+				ref:  ref,
+				perm: perm,
+				data: make([]float64, d.nA*d.nG*d.nF),
+			}
+		}
+	}
+
+	for r, sub := range part.Subs {
+		hs := d.halos[r]
+		boundary := func(a, e, f, g int, buf []float64) []float64 {
+			h, ok := hs[mesh.FaceKey{Elem: e, Face: f}]
+			if !ok {
+				return nil // true domain boundary: vacuum
+			}
+			off := (a*d.nG + g) * d.nF
+			return h.data[off : off+d.nF]
+		}
+		s, err := core.New(core.Config{
+			Mesh: sub.Mesh, Order: cfg.Order, Quad: cfg.Quad, Lib: cfg.Lib,
+			Scheme: cfg.Scheme, Threads: cfg.ThreadsPerRank, Solver: cfg.Solver,
+			Epsi: cfg.Epsi, MaxInners: cfg.MaxInners, MaxOuters: cfg.MaxOuters,
+			ForceIterations: cfg.ForceIterations, Instrument: cfg.Instrument,
+			Boundary: boundary,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("comm: building rank %d: %w", r, err)
+		}
+		d.solvers[r] = s
+	}
+	return d, nil
+}
+
+// NumRanks returns the rank count.
+func (d *Driver) NumRanks() int { return len(d.solvers) }
+
+// Rank returns the solver of rank r (for inspection in tests and tools).
+func (d *Driver) Rank(r int) *core.Solver { return d.solvers[r] }
+
+// forEachRank runs fn(rank) concurrently for every rank and returns the
+// first error.
+func (d *Driver) forEachRank(fn func(r int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(d.solvers))
+	for r := range d.solvers {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(r)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exchange refreshes every halo buffer from the owning peer's current
+// angular flux. It runs between sweeps (BSP), so the peers' flux arrays
+// are stable.
+func (d *Driver) exchange() {
+	_ = d.forEachRank(func(r int) error {
+		buf := d.scratch[r]
+		for _, h := range d.halos[r] {
+			peer := d.solvers[h.ref.Rank]
+			for a := 0; a < d.nA; a++ {
+				for g := 0; g < d.nG; g++ {
+					peer.PsiFaceValues(a, h.ref.Elem, g, h.ref.Face, buf)
+					off := (a*d.nG + g) * d.nF
+					for k := 0; k < d.nF; k++ {
+						h.data[off+k] = buf[h.perm[k]]
+					}
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// Result reports a partitioned run.
+type Result struct {
+	Outers    int
+	Inners    int
+	Converged bool
+	FinalDF   float64
+	DFHistory []float64
+	SweepTime time.Duration
+	Balance   core.Balance
+}
+
+// Run executes the block Jacobi iteration to convergence (or to the
+// configured iteration limits).
+func (d *Driver) Run() (*Result, error) {
+	res := &Result{}
+	maxOuters := d.cfg.MaxOuters
+	if maxOuters <= 0 {
+		maxOuters = 1
+	}
+	maxInners := d.cfg.MaxInners
+	if maxInners <= 0 {
+		maxInners = 5
+	}
+	prev := make([][]float64, len(d.solvers))
+
+	for outer := 0; outer < maxOuters; outer++ {
+		for r, s := range d.solvers {
+			prev[r] = s.PhiSnapshot(prev[r])
+		}
+		if err := d.forEachRank(func(r int) error {
+			d.solvers[r].ComputeOuterSource()
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		res.Outers++
+		for inner := 0; inner < maxInners; inner++ {
+			t0 := time.Now()
+			if err := d.forEachRank(func(r int) error {
+				d.solvers[r].PrepareInner()
+				return d.solvers[r].SweepAllAngles()
+			}); err != nil {
+				return nil, err
+			}
+			res.SweepTime += time.Since(t0)
+			d.exchange()
+			df := 0.0
+			for _, s := range d.solvers {
+				if v := s.MaxRelChange(); v > df {
+					df = v
+				}
+			}
+			res.DFHistory = append(res.DFHistory, df)
+			res.FinalDF = df
+			res.Inners++
+			if !d.cfg.ForceIterations && df < d.cfg.Epsi {
+				break
+			}
+		}
+		if !d.cfg.ForceIterations {
+			outerDF := 0.0
+			for r, s := range d.solvers {
+				if v := s.MaxRelDiff(prev[r]); v > outerDF {
+					outerDF = v
+				}
+			}
+			if outerDF <= 10*d.cfg.Epsi {
+				res.Converged = true
+				break
+			}
+		}
+	}
+	res.Balance = d.GlobalBalance()
+	return res, nil
+}
+
+// GlobalBalance sums the per-rank balance terms, counting leakage only
+// through true domain boundaries (cross-rank faces are internal transfers
+// that cancel at convergence).
+func (d *Driver) GlobalBalance() core.Balance {
+	var b core.Balance
+	for r, s := range d.solvers {
+		remote := d.halos[r]
+		rb := s.ComputeBalanceExcluding(func(e, f int) bool {
+			_, isRemote := remote[mesh.FaceKey{Elem: e, Face: f}]
+			return isRemote
+		})
+		b.Source += rb.Source
+		b.Absorption += rb.Absorption
+		b.Leakage += rb.Leakage
+	}
+	denom := b.Source
+	if denom < 1 {
+		denom = 1
+	}
+	b.Residual = math.Abs(b.Source-b.Absorption-b.Leakage) / denom
+	return b
+}
+
+// FluxIntegral sums the group-g flux integral over all ranks.
+func (d *Driver) FluxIntegral(g int) float64 {
+	total := 0.0
+	for _, s := range d.solvers {
+		total += s.FluxIntegral(g)
+	}
+	return total
+}

@@ -1,0 +1,246 @@
+// Package core implements the UnSNAP solver: the discontinuous Galerkin
+// discrete-ordinates transport sweep on unstructured hexahedral meshes,
+// with SNAP's iteration structure (Jacobi outers over the group-to-group
+// scattering source, source-iteration inners within each group) layered on
+// top. The per-ordinate wavefront schedules come from internal/sweep, the
+// per-element basis-pair integrals from internal/fem, and the small dense
+// solves from internal/la.
+//
+// The package exposes the paper's experimental knobs directly: the six
+// on-node concurrency schemes of Figures 3/4 (which loops are threaded and
+// the matching array layouts), the choice of local solver (hand-written
+// Gaussian elimination vs. the blocked-LU dgesv stand-in) of Table II, and
+// the pre-assembled-matrix mode discussed as future work in section IV-B1.
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"unsnap/internal/mesh"
+	"unsnap/internal/quadrature"
+	"unsnap/internal/xs"
+)
+
+// Layout selects the ordering of the element and group extents in the
+// angular flux, scalar flux and source arrays. Node index is always
+// fastest; the paper pairs each loop order with the matching layout.
+type Layout int
+
+const (
+	// LayoutEG stores [angle][element][group][node]: adjacent elements are
+	// numGroups*numNodes apart (the "4 kB stride" layout for linear
+	// elements with 64 groups).
+	LayoutEG Layout = iota
+	// LayoutGE stores [angle][group][element][node]: adjacent elements are
+	// numNodes apart (the "64 byte stride" layout for linear elements).
+	LayoutGE
+)
+
+// Scheme names a concurrency scheme from the paper's Figures 3 and 4. The
+// mnemonic reads the loop nest from outer to inner with capital letters
+// marking the threaded loops (the bold face in the paper's legend).
+type Scheme int
+
+const (
+	// SchemeAEg: angle / element / group, threading the elements of each
+	// schedule bucket; groups run sequentially inside each element.
+	SchemeAEg Scheme = iota
+	// SchemeAEG: angle / element / group with the element and group loops
+	// collapsed and threaded together (OpenMP collapse(2) semantics:
+	// lexicographic with group fastest).
+	SchemeAEG
+	// SchemeAeG: angle / element / group, threading only the group loop.
+	SchemeAeG
+	// SchemeAGe: angle / group / element, threading the group loop.
+	SchemeAGe
+	// SchemeAGE: angle / group / element with the two loops collapsed and
+	// threaded (element fastest).
+	SchemeAGE
+	// SchemeAgE: angle / group / element, threading the element loop.
+	SchemeAgE
+	// SchemeAngles: the ablation from section IV-A3 — angles within an
+	// octant are threaded and the scalar-flux reduction is serialised per
+	// element, which the paper found does not scale.
+	SchemeAngles
+
+	numSchemes
+)
+
+// Schemes lists every scheme in declaration order.
+func Schemes() []Scheme {
+	out := make([]Scheme, numSchemes)
+	for i := range out {
+		out[i] = Scheme(i)
+	}
+	return out
+}
+
+// String returns the paper-style name with threaded loops capitalised.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeAEg:
+		return "angle/ELEMENT/group"
+	case SchemeAEG:
+		return "angle/ELEMENT/GROUP"
+	case SchemeAeG:
+		return "angle/element/GROUP"
+	case SchemeAGe:
+		return "angle/GROUP/element"
+	case SchemeAGE:
+		return "angle/GROUP/ELEMENT"
+	case SchemeAgE:
+		return "angle/group/ELEMENT"
+	case SchemeAngles:
+		return "ANGLE/element/group"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme resolves a scheme name (as produced by String, case-exact).
+func ParseScheme(name string) (Scheme, error) {
+	for _, s := range Schemes() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown scheme %q", name)
+}
+
+// Layout returns the array layout that matches the scheme's loop order.
+func (s Scheme) Layout() Layout {
+	switch s {
+	case SchemeAGe, SchemeAGE, SchemeAgE:
+		return LayoutGE
+	default:
+		return LayoutEG
+	}
+}
+
+// SolverKind selects the local dense solver (Table II).
+type SolverKind int
+
+const (
+	// SolverGE is the hand-written Gaussian elimination.
+	SolverGE SolverKind = iota
+	// SolverDGESV is the LAPACK-style blocked LU standing in for MKL.
+	SolverDGESV
+)
+
+// String names the solver kind.
+func (k SolverKind) String() string {
+	switch k {
+	case SolverGE:
+		return "GE"
+	case SolverDGESV:
+		return "DGESV"
+	default:
+		return fmt.Sprintf("SolverKind(%d)", int(k))
+	}
+}
+
+// BoundaryFlux supplies incoming nodal angular flux on a subdomain
+// boundary face, enabling the block Jacobi coupling between ranks. It is
+// called for inflow boundary faces with a scratch buffer of face-node
+// length, ordered like fem.RefElement.FaceNodes[face]; returning nil means
+// vacuum (the physical boundary condition).
+type BoundaryFlux func(angle, elem, face, group int, buf []float64) []float64
+
+// Config assembles a solver.
+type Config struct {
+	Mesh  *mesh.Mesh
+	Order int             // finite element order (>= 1)
+	Quad  *quadrature.Set // angular quadrature
+	Lib   *xs.Library     // multigroup cross sections
+
+	Scheme  Scheme
+	Threads int        // worker pool size; <= 0 means GOMAXPROCS
+	Solver  SolverKind // local solver choice
+
+	Epsi      float64 // pointwise relative convergence tolerance
+	MaxInners int     // inner (within-group source) iterations per outer
+	MaxOuters int     // outer (group-to-group Jacobi) iterations
+	// ForceIterations disables the convergence exits so runs execute
+	// exactly MaxOuters x MaxInners sweeps, as the paper does for timing.
+	ForceIterations bool
+
+	// AllowCycles uses the lagging schedule builder instead of failing on
+	// cyclic dependencies (the paper's future-work extension).
+	AllowCycles bool
+
+	// PreAssembled pre-assembles and pre-factorises every local matrix at
+	// setup (section IV-B1's proposed optimisation); sweeps then only
+	// build right-hand sides and run the factored triangular solves.
+	PreAssembled bool
+
+	// Instrument enables the per-phase assembly/solve timers needed by
+	// Table II (small overhead per local solve, as the paper notes).
+	Instrument bool
+
+	// Boundary supplies halo data on subdomain boundaries (block Jacobi);
+	// nil means vacuum everywhere.
+	Boundary BoundaryFlux
+
+	// Time enables SNAP's time-dependent mode (backward-Euler stepping);
+	// nil solves the steady equation.
+	Time *TimeConfig
+
+	// ScatOrder selects the scattering anisotropy order: 0 (isotropic,
+	// SNAP's and the paper's default) or 1 (linearly anisotropic P1,
+	// requiring Lib.ScatterP1). With order 1 the sweep also accumulates
+	// the current J = sum_a w_a Omega_a psi_a and the angular source
+	// gains the term 3 Omega . (sigma_s1 J).
+	ScatOrder int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	if c.Epsi <= 0 {
+		c.Epsi = 1e-4
+	}
+	if c.MaxInners <= 0 {
+		c.MaxInners = 5
+	}
+	if c.MaxOuters <= 0 {
+		c.MaxOuters = 1
+	}
+	return c
+}
+
+// validate rejects inconsistent configurations.
+func (c Config) validate() error {
+	if c.Mesh == nil || c.Mesh.NumElems() == 0 {
+		return fmt.Errorf("core: config needs a non-empty mesh")
+	}
+	if c.Quad == nil || c.Quad.NumAngles() == 0 {
+		return fmt.Errorf("core: config needs an angular quadrature")
+	}
+	if c.Lib == nil || c.Lib.NumGroups < 1 {
+		return fmt.Errorf("core: config needs a cross-section library")
+	}
+	if c.Scheme < 0 || c.Scheme >= numSchemes {
+		return fmt.Errorf("core: unknown scheme %d", c.Scheme)
+	}
+	if c.Solver != SolverGE && c.Solver != SolverDGESV {
+		return fmt.Errorf("core: unknown solver kind %d", c.Solver)
+	}
+	for _, e := range c.Mesh.Elems {
+		if e.Material < 0 || e.Material >= xs.NumMaterials {
+			return fmt.Errorf("core: element references unknown material %d", e.Material)
+		}
+	}
+	switch c.ScatOrder {
+	case 0:
+	case 1:
+		if c.Lib.ScatterP1 == nil {
+			return fmt.Errorf("core: ScatOrder 1 requires a library with P1 scattering data")
+		}
+	default:
+		return fmt.Errorf("core: scattering order %d not supported (0 or 1)", c.ScatOrder)
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"time"
+)
+
+// Result summarises a Run.
+type Result struct {
+	Outers    int  // outer iterations performed
+	Inners    int  // total inner iterations performed
+	Converged bool // outer convergence reached before MaxOuters
+	FinalDF   float64
+	DFHistory []float64 // pointwise max relative change after each inner
+
+	SetupTime    time.Duration
+	SweepTime    time.Duration // total wall time in SweepAllAngles
+	AssembleTime time.Duration // per-solve assembly time (Instrument only)
+	SolveTime    time.Duration // per-solve dense-solve time (Instrument only)
+
+	Balance Balance
+}
+
+// ComputeOuterSource rebuilds the per-group source from the fixed source
+// and the group-to-group scattering of the previous outer's scalar flux
+// (Jacobi over groups, as in SNAP). With P1 scattering it also rebuilds
+// the first-moment source from the lagged current.
+func (s *Solver) ComputeOuterSource() {
+	lib := s.cfg.Lib
+	p1 := s.cfg.ScatOrder >= 1
+	parallelFor(s.cfg.Threads, s.nE, func(_, e int) {
+		mat := s.cfg.Mesh.Elems[e].Material
+		q := s.cfg.Mesh.Elems[e].Source
+		for g := 0; g < s.nG; g++ {
+			base := s.phiIdx(e, g)
+			dst := s.qOuter[base : base+s.nN]
+			for i := range dst {
+				dst[i] = q
+			}
+			if p1 {
+				for d := 0; d < 3; d++ {
+					dst1 := s.qOuter1[d][base : base+s.nN]
+					for i := range dst1 {
+						dst1[i] = 0
+					}
+				}
+			}
+			for gp := 0; gp < s.nG; gp++ {
+				if gp == g {
+					continue
+				}
+				srcBase := s.phiIdx(e, gp)
+				if sc := lib.Scatter[mat][gp][g]; sc != 0 {
+					src := s.phi[srcBase : srcBase+s.nN]
+					for i := range dst {
+						dst[i] += sc * src[i]
+					}
+				}
+				if p1 {
+					if sc1 := lib.ScatterP1[mat][gp][g]; sc1 != 0 {
+						for d := 0; d < 3; d++ {
+							dst1 := s.qOuter1[d][base : base+s.nN]
+							src1 := s.cur[d][srcBase : srcBase+s.nN]
+							for i := range dst1 {
+								dst1[i] += sc1 * src1[i]
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// PrepareInner forms the total source for the next inner iteration
+// (qOuter plus within-group scattering of the current flux), snapshots the
+// flux for the convergence test, and zeroes the accumulators (including
+// the P1 current when anisotropic scattering is on).
+func (s *Solver) PrepareInner() {
+	lib := s.cfg.Lib
+	p1 := s.cfg.ScatOrder >= 1
+	parallelFor(s.cfg.Threads, s.nE, func(_, e int) {
+		mat := s.cfg.Mesh.Elems[e].Material
+		for g := 0; g < s.nG; g++ {
+			base := s.phiIdx(e, g)
+			sc := lib.Scatter[mat][g][g]
+			for i := 0; i < s.nN; i++ {
+				s.qTot[base+i] = s.qOuter[base+i] + sc*s.phi[base+i]
+				s.phiOld[base+i] = s.phi[base+i]
+				s.phi[base+i] = 0
+			}
+			if p1 {
+				sc1 := lib.ScatterP1[mat][g][g]
+				for d := 0; d < 3; d++ {
+					for i := 0; i < s.nN; i++ {
+						s.qTot1[d][base+i] = s.qOuter1[d][base+i] + sc1*s.cur[d][base+i]
+						s.cur[d][base+i] = 0
+					}
+				}
+			}
+		}
+	})
+}
+
+// convergenceFloor guards the relative-change denominator, mirroring
+// SNAP's tolr.
+const convergenceFloor = 1e-12
+
+// MaxRelChange returns the pointwise maximum relative change of the scalar
+// flux against the PrepareInner snapshot (SNAP's df convergence monitor).
+func (s *Solver) MaxRelChange() float64 {
+	df := 0.0
+	for i, v := range s.phi {
+		old := s.phiOld[i]
+		var d float64
+		if math.Abs(old) > convergenceFloor {
+			d = math.Abs((v - old) / old)
+		} else {
+			d = math.Abs(v - old)
+		}
+		if d > df {
+			df = d
+		}
+	}
+	return df
+}
+
+// Run executes the full iteration: MaxOuters outer iterations of
+// MaxInners inner sweeps each, with convergence exits unless
+// ForceIterations is set. It returns the iteration record together with
+// the particle balance of the final flux.
+func (s *Solver) Run() (*Result, error) {
+	res := &Result{SetupTime: s.setupTime}
+	s.asmNS, s.solveNS = 0, 0
+	outerPrev := make([]float64, len(s.phi))
+
+	for outer := 0; outer < s.cfg.MaxOuters; outer++ {
+		copy(outerPrev, s.phi)
+		s.ComputeOuterSource()
+		res.Outers++
+		for inner := 0; inner < s.cfg.MaxInners; inner++ {
+			s.PrepareInner()
+			t0 := time.Now()
+			if err := s.SweepAllAngles(); err != nil {
+				return nil, err
+			}
+			res.SweepTime += time.Since(t0)
+			df := s.MaxRelChange()
+			res.DFHistory = append(res.DFHistory, df)
+			res.FinalDF = df
+			res.Inners++
+			if !s.cfg.ForceIterations && df < s.cfg.Epsi {
+				break
+			}
+		}
+		if !s.cfg.ForceIterations && s.outerConverged(outerPrev) {
+			res.Converged = true
+			break
+		}
+	}
+	res.AssembleTime = time.Duration(s.asmNS)
+	res.SolveTime = time.Duration(s.solveNS)
+	res.Balance = s.ComputeBalanceExcluding(s.balanceSkip)
+	return res, nil
+}
+
+// outerConverged measures the flux change across the whole outer
+// iteration against the outer tolerance (SNAP uses a looser outer
+// criterion; we follow with 10x epsi).
+func (s *Solver) outerConverged(prev []float64) bool {
+	return s.MaxRelDiff(prev) <= 10*s.cfg.Epsi
+}
+
+// PhiSnapshot copies the scalar flux into dst (allocating when dst is too
+// small) and returns the snapshot. The layout matches MaxRelDiff.
+func (s *Solver) PhiSnapshot(dst []float64) []float64 {
+	if len(dst) < len(s.phi) {
+		dst = make([]float64, len(s.phi))
+	}
+	copy(dst, s.phi)
+	return dst[:len(s.phi)]
+}
+
+// MaxRelDiff returns the pointwise maximum relative difference between the
+// current scalar flux and a PhiSnapshot. The block Jacobi driver uses it
+// for its cross-rank outer convergence test.
+func (s *Solver) MaxRelDiff(prev []float64) float64 {
+	df := 0.0
+	for i, v := range s.phi {
+		old := prev[i]
+		var d float64
+		if math.Abs(old) > convergenceFloor {
+			d = math.Abs((v - old) / old)
+		} else {
+			d = math.Abs(v - old)
+		}
+		if d > df {
+			df = d
+		}
+	}
+	return df
+}

@@ -1,0 +1,430 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"unsnap/internal/fem"
+	"unsnap/internal/la"
+	"unsnap/internal/mesh"
+	"unsnap/internal/sweep"
+)
+
+// topo is the per-ordinate sweep topology: the inflow classification of
+// every element face and the bucketed schedule it induces. Ordinates whose
+// classifications coincide (all angles of an octant, on mildly twisted
+// meshes) share one topo.
+type topo struct {
+	inflow []uint64 // bitset over elem*6+face
+	sched  *sweep.Schedule
+}
+
+func (t *topo) isInflow(e, f int) bool {
+	bit := uint(e*fem.NumFaces + f)
+	return t.inflow[bit/64]&(1<<(bit%64)) != 0
+}
+
+func (t *topo) setInflow(e, f int) {
+	bit := uint(e*fem.NumFaces + f)
+	t.inflow[bit/64] |= 1 << (bit % 64)
+}
+
+// Solver is a configured UnSNAP transport solver over one spatial domain
+// (the whole mesh, or one rank's subdomain under the block Jacobi driver).
+type Solver struct {
+	cfg  Config
+	re   *fem.RefElement
+	conn *mesh.Connectivity
+	em   []*fem.ElementMatrices
+
+	nE, nG, nN, nA int // elements, groups, nodes/element, angles
+
+	topos []*topo // per angle (deduplicated pointers)
+
+	psi    []float64 // angular flux, layout per scheme
+	phi    []float64 // scalar flux
+	phiOld []float64
+	qOuter []float64 // fixed + group-to-group source (per outer)
+	qTot   []float64 // qOuter + within-group source (per inner)
+
+	// Time-dependent state: previous-step angular flux and the effective
+	// total cross section sigma_t + 1/(v_g dt); for steady runs sigtEff
+	// aliases the library totals and psiPrev is nil.
+	psiPrev []float64
+	sigtEff [][]float64
+
+	// P1 scattering state (ScatOrder 1): the current J per dimension and
+	// its source arrays, all in the scalar-flux layout; nil when
+	// isotropic.
+	cur     [3][]float64
+	qOuter1 [3][]float64
+	qTot1   [3][]float64
+
+	workers []*workerState
+
+	// striped locks for the atomic-angles ablation scheme
+	phiLocks [64]sync.Mutex
+
+	// pre-assembled factored matrices (PreAssembled mode):
+	// preA[(a*nE+e)*nG+g] and prePiv likewise.
+	preA   []la.Matrix
+	prePiv [][]int
+
+	// instrumentation totals (nanoseconds)
+	asmNS, solveNS int64
+
+	// balanceSkip filters boundary faces out of Run's leakage accounting
+	// (reflective faces are not leakage surfaces); nil counts everything.
+	balanceSkip func(elem, face int) bool
+
+	setupTime time.Duration
+}
+
+// New builds a solver: matches the mesh faces, integrates every element's
+// basis-pair matrices in parallel, classifies and schedules every
+// ordinate, and allocates the state arrays in the scheme's layout.
+func New(cfg Config) (*Solver, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	re, err := fem.NewRefElement(cfg.Order)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := cfg.Mesh.Match(re)
+	if err != nil {
+		return nil, err
+	}
+	s := &Solver{
+		cfg:  cfg,
+		re:   re,
+		conn: conn,
+		nE:   cfg.Mesh.NumElems(),
+		nG:   cfg.Lib.NumGroups,
+		nN:   re.N,
+		nA:   cfg.Quad.NumAngles(),
+	}
+
+	// Element matrices, computed in parallel: the twisted general path is
+	// the expensive part of setup.
+	s.em = make([]*fem.ElementMatrices, s.nE)
+	var emErr error
+	var emMu sync.Mutex
+	parallelFor(cfg.Threads, s.nE, func(_, e int) {
+		em, err := re.ComputeMatrices(cfg.Mesh.Elems[e].Geometry())
+		if err != nil {
+			emMu.Lock()
+			if emErr == nil {
+				emErr = fmt.Errorf("core: element %d: %w", e, err)
+			}
+			emMu.Unlock()
+			return
+		}
+		s.em[e] = em
+	})
+	if emErr != nil {
+		return nil, emErr
+	}
+
+	if err := s.buildTopologies(); err != nil {
+		return nil, err
+	}
+
+	size := s.nE * s.nG * s.nN
+	s.psi = make([]float64, s.nA*size)
+	s.phi = make([]float64, size)
+	s.phiOld = make([]float64, size)
+	s.qOuter = make([]float64, size)
+	s.qTot = make([]float64, size)
+
+	// Effective total cross section: the steady value, or the steady
+	// value plus the time-absorption term vdelt for BDF1 stepping.
+	if cfg.Time != nil {
+		if err := cfg.Time.validate(s.nG); err != nil {
+			return nil, err
+		}
+		s.psiPrev = make([]float64, s.nA*size)
+		s.sigtEff = make([][]float64, len(cfg.Lib.Total))
+		for m := range cfg.Lib.Total {
+			s.sigtEff[m] = make([]float64, s.nG)
+			for g := 0; g < s.nG; g++ {
+				s.sigtEff[m][g] = cfg.Lib.Total[m][g] + s.vdelt(g)
+			}
+		}
+	} else {
+		s.sigtEff = cfg.Lib.Total
+	}
+
+	if cfg.ScatOrder >= 1 {
+		for d := 0; d < 3; d++ {
+			s.cur[d] = make([]float64, size)
+			s.qOuter1[d] = make([]float64, size)
+			s.qTot1[d] = make([]float64, size)
+		}
+	}
+
+	s.workers = make([]*workerState, cfg.Threads)
+	for w := range s.workers {
+		s.workers[w] = newWorkerState(s.nN, re.NF)
+	}
+
+	if cfg.PreAssembled {
+		if err := s.preAssemble(); err != nil {
+			return nil, err
+		}
+	}
+	s.setupTime = time.Since(start)
+	return s, nil
+}
+
+// buildTopologies classifies every face for every ordinate and builds (or
+// reuses) the bucketed sweep schedule for each distinct classification.
+func (s *Solver) buildTopologies() error {
+	m := s.cfg.Mesh
+	words := (s.nE*fem.NumFaces + 63) / 64
+	cache := make(map[uint64][]*topo) // FNV hash -> candidates
+	s.topos = make([]*topo, s.nA)
+
+	for a := 0; a < s.nA; a++ {
+		om := s.cfg.Quad.Angles[a].Omega
+		t := &topo{inflow: make([]uint64, words)}
+		up := make([][]int, s.nE)
+		for e := 0; e < s.nE; e++ {
+			for f := 0; f < fem.NumFaces; f++ {
+				fc := m.Elems[e].Faces[f]
+				nrm := s.em[e].Normal[f]
+				on := om[0]*nrm[0] + om[1]*nrm[1] + om[2]*nrm[2]
+				if fc.Neighbor < 0 {
+					if on < 0 {
+						t.setInflow(e, f)
+					}
+					continue
+				}
+				// Classify each interior face once, from the lower element
+				// index side, so both sides always agree even when the
+				// direction is nearly tangent to a twisted face.
+				if fc.Neighbor > e {
+					if on < 0 {
+						t.setInflow(e, f)
+						up[e] = append(up[e], fc.Neighbor)
+					} else {
+						t.setInflow(fc.Neighbor, fc.NeighborFace)
+						up[fc.Neighbor] = append(up[fc.Neighbor], e)
+					}
+				}
+			}
+		}
+		// Fix the dependency direction seen from the higher-index side: the
+		// loop above already added both directions' sets; dependencies for
+		// the higher side were recorded when visiting the lower side.
+		// Deduplicate by hashing the classification bitmap.
+		h := fnv.New64a()
+		for _, wrd := range t.inflow {
+			var b [8]byte
+			for i := 0; i < 8; i++ {
+				b[i] = byte(wrd >> (8 * i))
+			}
+			h.Write(b[:])
+		}
+		key := h.Sum64()
+		var found *topo
+		for _, cand := range cache[key] {
+			if equalWords(cand.inflow, t.inflow) {
+				found = cand
+				break
+			}
+		}
+		if found != nil {
+			s.topos[a] = found
+			continue
+		}
+		in := sweep.Input{NumElems: s.nE, Upwind: up}
+		var sched *sweep.Schedule
+		var err error
+		if s.cfg.AllowCycles {
+			sched, err = sweep.BuildWithLagging(in)
+		} else {
+			sched, err = sweep.Build(in)
+		}
+		if err != nil {
+			return fmt.Errorf("core: scheduling angle %d (omega %v): %w", a, om, err)
+		}
+		t.sched = sched
+		cache[key] = append(cache[key], t)
+		s.topos[a] = t
+	}
+	return nil
+}
+
+func equalWords(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// preAssemble builds and factorises every (angle, element, group) matrix.
+func (s *Solver) preAssemble() error {
+	total := s.nA * s.nE * s.nG
+	// Guard against absurd memory demands: the paper notes this costs a
+	// factor of numNodes over the (already large) angular flux array.
+	if bytes := total * s.nN * s.nN * 8; bytes > 16<<30 {
+		return fmt.Errorf("core: pre-assembled matrices would need %d GiB; refuse above 16 GiB", bytes>>30)
+	}
+	s.preA = make([]la.Matrix, total)
+	s.prePiv = make([][]int, total)
+	var mu sync.Mutex
+	var firstErr error
+	parallelFor(s.cfg.Threads, total, func(_, idx int) {
+		g := idx % s.nG
+		e := (idx / s.nG) % s.nE
+		a := idx / (s.nG * s.nE)
+		m := la.NewMatrix(s.nN)
+		s.assembleMatrix(a, e, g, m.Data)
+		piv := make([]int, s.nN)
+		if err := la.FactorBlocked(m, piv, la.DefaultBlockSize); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: pre-factorising angle %d elem %d group %d: %w", a, e, g, err)
+			}
+			mu.Unlock()
+			return
+		}
+		s.preA[idx] = *m
+		s.prePiv[idx] = piv
+	})
+	return firstErr
+}
+
+// ---- layout index helpers ----
+
+// phiIdx returns the offset of node 0 of (elem, group) in the scalar-flux
+// sized arrays (phi, phiOld, qOuter, qTot).
+func (s *Solver) phiIdx(e, g int) int {
+	if s.cfg.Scheme.Layout() == LayoutGE {
+		return (g*s.nE + e) * s.nN
+	}
+	return (e*s.nG + g) * s.nN
+}
+
+// psiIdx returns the offset of node 0 of (angle, elem, group) in psi.
+func (s *Solver) psiIdx(a, e, g int) int {
+	if s.cfg.Scheme.Layout() == LayoutGE {
+		return ((a*s.nG+g)*s.nE + e) * s.nN
+	}
+	return ((a*s.nE+e)*s.nG + g) * s.nN
+}
+
+// ---- public accessors ----
+
+// NumElems returns the element count.
+func (s *Solver) NumElems() int { return s.nE }
+
+// NumGroups returns the energy group count.
+func (s *Solver) NumGroups() int { return s.nG }
+
+// NumNodes returns the nodes per element.
+func (s *Solver) NumNodes() int { return s.nN }
+
+// NumAngles returns the ordinate count.
+func (s *Solver) NumAngles() int { return s.nA }
+
+// SetupTime reports the time spent in New (matching, integration,
+// scheduling, allocation, optional pre-assembly).
+func (s *Solver) SetupTime() time.Duration { return s.setupTime }
+
+// Phi returns the scalar flux at (elem, group, node).
+func (s *Solver) Phi(e, g, node int) float64 {
+	return s.phi[s.phiIdx(e, g)+node]
+}
+
+// Psi returns the angular flux at (angle, elem, group, node).
+func (s *Solver) Psi(a, e, g, node int) float64 {
+	return s.psi[s.psiIdx(a, e, g)+node]
+}
+
+// Current returns component d of the P1 current J at (elem, group, node).
+// It is only meaningful with Config.ScatOrder >= 1 (zero otherwise).
+func (s *Solver) Current(d, e, g, node int) float64 {
+	if s.cur[d] == nil {
+		return 0
+	}
+	return s.cur[d][s.phiIdx(e, g)+node]
+}
+
+// PsiFaceValues gathers the nodal angular flux of (angle, elem, group) on
+// face f, ordered like fem.RefElement.FaceNodes[f], into out.
+func (s *Solver) PsiFaceValues(a, e, g, f int, out []float64) {
+	base := s.psiIdx(a, e, g)
+	for k, node := range s.re.FaceNodes[f] {
+		out[k] = s.psi[base+node]
+	}
+}
+
+// FluxIntegral returns the volume integral of the group-g scalar flux.
+func (s *Solver) FluxIntegral(g int) float64 {
+	total := 0.0
+	for e := 0; e < s.nE; e++ {
+		em := s.em[e]
+		base := s.phiIdx(e, g)
+		for i := 0; i < s.nN; i++ {
+			// Int u_i dV is the i-th row sum of the mass matrix.
+			rs := 0.0
+			row := em.Mass[i*s.nN : (i+1)*s.nN]
+			for _, v := range row {
+				rs += v
+			}
+			total += s.phi[base+i] * rs
+		}
+	}
+	return total
+}
+
+// ScheduleStats summarises the sweep schedules: the number of distinct
+// topologies, and bucket counts/sizes of the first ordinate's schedule.
+func (s *Solver) ScheduleStats() (distinct int, buckets int, maxBucket int, avgBucket float64) {
+	seen := make(map[*topo]bool)
+	for _, t := range s.topos {
+		seen[t] = true
+	}
+	t0 := s.topos[0]
+	return len(seen), len(t0.sched.Buckets), t0.sched.MaxBucket(), t0.sched.AvgBucket()
+}
+
+// Lagged reports how many dependency edges were lagged (cycle breaking)
+// across all distinct topologies.
+func (s *Solver) Lagged() int {
+	seen := make(map[*topo]bool)
+	n := 0
+	for _, t := range s.topos {
+		if !seen[t] {
+			seen[t] = true
+			n += len(t.sched.Lagged)
+		}
+	}
+	return n
+}
+
+// RefElement exposes the solver's reference element (for diagnostics and
+// error analysis in examples).
+func (s *Solver) RefElement() *fem.RefElement { return s.re }
+
+// PhaseTimes reports the accumulated per-solve assembly and dense-solve
+// times (only meaningful with Config.Instrument). Callers driving the
+// iteration manually (benchmarks, the Table II harness) read these instead
+// of Result.
+func (s *Solver) PhaseTimes() (assemble, solve time.Duration) {
+	return time.Duration(s.asmNS), time.Duration(s.solveNS)
+}
+
+// ResetPhaseTimes clears the phase-time accumulators.
+func (s *Solver) ResetPhaseTimes() { s.asmNS, s.solveNS = 0, 0 }

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"unsnap/internal/fem"
+	"unsnap/internal/la"
+)
+
+// workerState is the per-worker scratch of the sweep loops: one dense
+// workspace plus face gather buffers and local nanosecond accumulators
+// (flushed into the solver's totals after each sweep to avoid contention).
+type workerState struct {
+	ws      *la.Workspace
+	up      []float64 // upwind nodal values in our face ordering
+	qt      []float64 // per-angle effective source (time-dependent runs)
+	asmNS   int64
+	solveNS int64
+}
+
+func newWorkerState(n, nf int) *workerState {
+	return &workerState{
+		ws: la.NewWorkspace(n),
+		up: make([]float64, nf),
+		qt: make([]float64, n),
+	}
+}
+
+// assembleMatrix builds the local matrix of (angle, elem, group) into dst
+// (length nN*nN): sigma_t M - sum_d Omega_d G^d plus the outflow face
+// terms. It is shared by the sweep and the pre-assembly pass.
+func (s *Solver) assembleMatrix(a, e, g int, dst []float64) {
+	em := s.em[e]
+	om := s.cfg.Quad.Angles[a].Omega
+	sigt := s.sigtEff[s.cfg.Mesh.Elems[e].Material][g]
+	mass := em.Mass
+	gx, gy, gz := em.Grad[0], em.Grad[1], em.Grad[2]
+	for idx := range dst {
+		dst[idx] = sigt*mass[idx] - om[0]*gx[idx] - om[1]*gy[idx] - om[2]*gz[idx]
+	}
+	n := s.nN
+	nf := s.re.NF
+	t := s.topos[a]
+	for f := 0; f < fem.NumFaces; f++ {
+		if t.isInflow(e, f) {
+			continue
+		}
+		fn := s.re.FaceNodes[f]
+		fx, fy, fz := em.Face[f][0], em.Face[f][1], em.Face[f][2]
+		for k, gi := range fn {
+			row := dst[gi*n : (gi+1)*n]
+			fr := k * nf
+			for l, gj := range fn {
+				row[gj] += om[0]*fx[fr+l] + om[1]*fy[fr+l] + om[2]*fz[fr+l]
+			}
+		}
+	}
+}
+
+// assembleRHS builds b = M q_tot minus the upwind inflow terms for
+// (angle, elem, group) into st.ws.B, gathering neighbour (or halo) values
+// through st.up.
+func (s *Solver) assembleRHS(st *workerState, a, e, g int) {
+	em := s.em[e]
+	om := s.cfg.Quad.Angles[a].Omega
+	n := s.nN
+	nf := s.re.NF
+	b := st.ws.B
+	mass := em.Mass
+	base := s.phiIdx(e, g)
+	qt := s.qTot[base : base+n]
+	if s.cfg.ScatOrder >= 1 {
+		// P1: the angular source gains 3 Omega . q1 from the current.
+		q1x := s.qTot1[0][base : base+n]
+		q1y := s.qTot1[1][base : base+n]
+		q1z := s.qTot1[2][base : base+n]
+		for i := 0; i < n; i++ {
+			st.qt[i] = qt[i] + 3*(om[0]*q1x[i]+om[1]*q1y[i]+om[2]*q1z[i])
+		}
+		qt = st.qt
+	}
+	if s.psiPrev != nil {
+		// BDF1: the previous step's angular flux enters the source with
+		// the time-absorption coefficient (SNAP's vdelt * psi_prev).
+		vd := s.vdelt(g)
+		prev := s.psiPrev[s.psiIdx(a, e, g) : s.psiIdx(a, e, g)+n]
+		if &qt[0] != &st.qt[0] {
+			copy(st.qt, qt)
+			qt = st.qt
+		}
+		for i := 0; i < n; i++ {
+			st.qt[i] += vd * prev[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := mass[i*n : (i+1)*n]
+		acc := 0.0
+		for j, v := range row {
+			acc += v * qt[j]
+		}
+		b[i] = acc
+	}
+	t := s.topos[a]
+	for f := 0; f < fem.NumFaces; f++ {
+		if !t.isInflow(e, f) {
+			continue
+		}
+		fc := s.cfg.Mesh.Elems[e].Faces[f]
+		var up []float64
+		if fc.Neighbor >= 0 {
+			// Gather the neighbour's coincident nodal values via the
+			// conforming-face permutation, reordered into our face-node
+			// ordering.
+			perm := s.conn.Perm[e][f]
+			nbNodes := s.re.FaceNodes[fc.NeighborFace]
+			base := s.psiIdx(a, fc.Neighbor, g)
+			up = st.up
+			for l := 0; l < nf; l++ {
+				up[l] = s.psi[base+nbNodes[perm[l]]]
+			}
+		} else if s.cfg.Boundary != nil {
+			up = s.cfg.Boundary(a, e, f, g, st.up)
+		}
+		if up == nil {
+			continue // vacuum
+		}
+		fn := s.re.FaceNodes[f]
+		fx, fy, fz := em.Face[f][0], em.Face[f][1], em.Face[f][2]
+		for k, gi := range fn {
+			fr := k * nf
+			acc := 0.0
+			for l := 0; l < nf; l++ {
+				acc += (om[0]*fx[fr+l] + om[1]*fy[fr+l] + om[2]*fz[fr+l]) * up[l]
+			}
+			// Inflow faces have Omega . n < 0, so subtracting the surface
+			// term adds the upwind in-flow to the right-hand side.
+			b[gi] -= acc
+		}
+	}
+}
+
+// solveOne assembles and solves one (angle, elem, group) system, stores
+// the angular flux and accumulates the scalar flux. lockPhi serialises the
+// scalar-flux update (used only by the angle-threading ablation).
+func (s *Solver) solveOne(st *workerState, a, e, g int, lockPhi bool) error {
+	instr := s.cfg.Instrument
+	var t0 time.Time
+	if instr {
+		t0 = time.Now()
+	}
+
+	pre := s.preA != nil
+	if !pre {
+		s.assembleMatrix(a, e, g, st.ws.A.Data)
+	}
+	s.assembleRHS(st, a, e, g)
+
+	var t1 time.Time
+	if instr {
+		t1 = time.Now()
+		st.asmNS += t1.Sub(t0).Nanoseconds()
+	}
+
+	x := st.ws.X
+	switch {
+	case pre:
+		idx := (a*s.nE+e)*s.nG + g
+		la.SolveFactored(&s.preA[idx], s.prePiv[idx], st.ws.B)
+		copy(x, st.ws.B)
+	case s.cfg.Solver == SolverGE:
+		if err := la.SolveGE(st.ws.A, st.ws.B, x); err != nil {
+			return fmt.Errorf("core: angle %d elem %d group %d: %w", a, e, g, err)
+		}
+	default:
+		if err := la.SolveDGESV(st.ws.A, st.ws.B, st.ws.Piv); err != nil {
+			return fmt.Errorf("core: angle %d elem %d group %d: %w", a, e, g, err)
+		}
+		copy(x, st.ws.B)
+	}
+	if instr {
+		st.solveNS += time.Since(t1).Nanoseconds()
+	}
+
+	// Store the angular flux (needed by downwind neighbours and the next
+	// iteration) and fold the quadrature weight into the scalar flux and,
+	// for P1 scattering, the current.
+	copy(s.psi[s.psiIdx(a, e, g):s.psiIdx(a, e, g)+s.nN], x)
+	w := s.cfg.Quad.Angles[a].Weight
+	om := s.cfg.Quad.Angles[a].Omega
+	fluxBase := s.phiIdx(e, g)
+	phi := s.phi[fluxBase : fluxBase+s.nN]
+	accumulate := func() {
+		for i, v := range x {
+			phi[i] += w * v
+		}
+		if s.cfg.ScatOrder >= 1 {
+			for d := 0; d < 3; d++ {
+				wd := w * om[d]
+				cd := s.cur[d][fluxBase : fluxBase+s.nN]
+				for i, v := range x {
+					cd[i] += wd * v
+				}
+			}
+		}
+	}
+	if lockPhi {
+		lk := &s.phiLocks[e&63]
+		lk.Lock()
+		accumulate()
+		lk.Unlock()
+	} else {
+		accumulate()
+	}
+	return nil
+}
+
+// SweepAllAngles performs one full transport sweep: all octants in turn,
+// all ordinates, following each ordinate's bucketed schedule with the
+// configured concurrency scheme. The scalar flux accumulates the weighted
+// angular fluxes as it goes; callers zero it first via PrepareInner.
+func (s *Solver) SweepAllAngles() error {
+	var errMu sync.Mutex
+	var firstErr error
+	record := func(err error) {
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+		}
+	}
+	if s.cfg.Scheme == SchemeAngles {
+		s.sweepAnglesThreaded(record)
+	} else {
+		for o := 0; o < 8; o++ {
+			for m := 0; m < s.cfg.Quad.PerOctant; m++ {
+				a := s.cfg.Quad.AngleIndex(o, m)
+				s.sweepAngle(a, record)
+			}
+		}
+	}
+	for _, st := range s.workers {
+		s.asmNS += st.asmNS
+		s.solveNS += st.solveNS
+		st.asmNS, st.solveNS = 0, 0
+	}
+	return firstErr
+}
+
+// sweepAngle processes one ordinate bucket by bucket under the scheme's
+// threading choice.
+func (s *Solver) sweepAngle(a int, record func(error)) {
+	t := s.topos[a]
+	nw := s.cfg.Threads
+	for _, bucket := range t.sched.Buckets {
+		nb := len(bucket)
+		switch s.cfg.Scheme {
+		case SchemeAEg, SchemeAgE:
+			// Thread the elements of the bucket; groups sequential inside.
+			parallelFor(nw, nb, func(w, bi int) {
+				st := s.workers[w]
+				e := bucket[bi]
+				for g := 0; g < s.nG; g++ {
+					record(s.solveOne(st, a, e, g, false))
+				}
+			})
+		case SchemeAEG:
+			// Collapse (element, group), group fastest (the inner loop),
+			// matching OpenMP collapse(2) lexicographic ordering.
+			parallelFor(nw, nb*s.nG, func(w, idx int) {
+				st := s.workers[w]
+				e := bucket[idx/s.nG]
+				g := idx % s.nG
+				record(s.solveOne(st, a, e, g, false))
+			})
+		case SchemeAGE:
+			// Collapse (group, element), element fastest.
+			parallelFor(nw, s.nG*nb, func(w, idx int) {
+				st := s.workers[w]
+				g := idx / nb
+				e := bucket[idx%nb]
+				record(s.solveOne(st, a, e, g, false))
+			})
+		case SchemeAeG, SchemeAGe:
+			// Thread the groups; each worker walks the whole bucket.
+			parallelFor(nw, s.nG, func(w, g int) {
+				st := s.workers[w]
+				for _, e := range bucket {
+					record(s.solveOne(st, a, e, g, false))
+				}
+			})
+		default:
+			record(fmt.Errorf("core: scheme %v has no bucket executor", s.cfg.Scheme))
+			return
+		}
+	}
+}
+
+// sweepAnglesThreaded is the section IV-A3 ablation: within each octant
+// the ordinates run concurrently (each walking its own schedule
+// sequentially) and the shared scalar-flux update is serialised.
+func (s *Solver) sweepAnglesThreaded(record func(error)) {
+	for o := 0; o < 8; o++ {
+		per := s.cfg.Quad.PerOctant
+		parallelFor(s.cfg.Threads, per, func(w, m int) {
+			st := s.workers[w]
+			a := s.cfg.Quad.AngleIndex(o, m)
+			t := s.topos[a]
+			for _, bucket := range t.sched.Buckets {
+				for _, e := range bucket {
+					for g := 0; g < s.nG; g++ {
+						record(s.solveOne(st, a, e, g, true))
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,403 @@
+// Package fd implements the SNAP baseline that UnSNAP extends: the
+// diamond-difference finite-difference discrete-ordinates sweep on the
+// structured Cartesian grid. It shares the angular quadrature, artificial
+// cross sections and iteration structure with the DG solver so the two can
+// be compared on matched problems — the trade-off discussion in section
+// II-C of the paper (one unknown per cell per angle per group, a handful
+// of flops per cell versus the FEM's small dense solves).
+package fd
+
+import (
+	"fmt"
+	"math"
+
+	"unsnap/internal/quadrature"
+	"unsnap/internal/xs"
+)
+
+// Config describes a structured SNAP problem.
+type Config struct {
+	NX, NY, NZ int
+	LX, LY, LZ float64
+	Quad       *quadrature.Set
+	Lib        *xs.Library
+	MatOpt     int
+	SrcOpt     int
+
+	Epsi            float64
+	MaxInners       int
+	MaxOuters       int
+	ForceIterations bool
+
+	// Fixup enables SNAP's negative-flux fixup: negative outgoing edge
+	// fluxes are set to zero and the cell is re-balanced.
+	Fixup bool
+
+	// BoundaryPsi is the (constant, isotropic) incident angular flux on
+	// every domain boundary; 0 is the vacuum condition. Non-zero values
+	// support the exact constant-solution consistency tests.
+	BoundaryPsi float64
+}
+
+// Solver is the diamond-difference solver state.
+type Solver struct {
+	cfg        Config
+	nc         int // cells
+	nG         int
+	dx, dy, dz float64
+	mat        []int
+	src        []float64
+	phi        []float64 // [g*nc + c]
+	phiOld     []float64
+	qOuter     []float64
+	qTot       []float64
+	leak       float64 // accumulated boundary leakage of the last sweep
+	fixups     int64   // count of fixup applications
+}
+
+// New validates cfg and builds the solver.
+func New(cfg Config) (*Solver, error) {
+	if cfg.NX < 1 || cfg.NY < 1 || cfg.NZ < 1 {
+		return nil, fmt.Errorf("fd: grid must be at least 1x1x1, got %dx%dx%d", cfg.NX, cfg.NY, cfg.NZ)
+	}
+	if cfg.LX <= 0 || cfg.LY <= 0 || cfg.LZ <= 0 {
+		return nil, fmt.Errorf("fd: extents must be positive")
+	}
+	if cfg.Quad == nil || cfg.Lib == nil {
+		return nil, fmt.Errorf("fd: quadrature and library are required")
+	}
+	if err := xs.ValidateOptions(cfg.MatOpt, cfg.SrcOpt); err != nil {
+		return nil, err
+	}
+	if cfg.Epsi <= 0 {
+		cfg.Epsi = 1e-4
+	}
+	if cfg.MaxInners <= 0 {
+		cfg.MaxInners = 5
+	}
+	if cfg.MaxOuters <= 0 {
+		cfg.MaxOuters = 1
+	}
+	s := &Solver{
+		cfg: cfg,
+		nc:  cfg.NX * cfg.NY * cfg.NZ,
+		nG:  cfg.Lib.NumGroups,
+		dx:  cfg.LX / float64(cfg.NX),
+		dy:  cfg.LY / float64(cfg.NY),
+		dz:  cfg.LZ / float64(cfg.NZ),
+	}
+	s.mat = make([]int, s.nc)
+	s.src = make([]float64, s.nc)
+	for iz := 0; iz < cfg.NZ; iz++ {
+		for iy := 0; iy < cfg.NY; iy++ {
+			for ix := 0; ix < cfg.NX; ix++ {
+				c := s.cell(ix, iy, iz)
+				fx := (float64(ix) + 0.5) / float64(cfg.NX)
+				fy := (float64(iy) + 0.5) / float64(cfg.NY)
+				fz := (float64(iz) + 0.5) / float64(cfg.NZ)
+				s.mat[c] = xs.MaterialAt(cfg.MatOpt, fx, fy, fz)
+				s.src[c] = xs.SourceAt(cfg.SrcOpt, fx, fy, fz)
+			}
+		}
+	}
+	size := s.nG * s.nc
+	s.phi = make([]float64, size)
+	s.phiOld = make([]float64, size)
+	s.qOuter = make([]float64, size)
+	s.qTot = make([]float64, size)
+	return s, nil
+}
+
+func (s *Solver) cell(ix, iy, iz int) int {
+	return ix + s.cfg.NX*(iy+s.cfg.NY*iz)
+}
+
+// Phi returns the group-g scalar flux of cell c.
+func (s *Solver) Phi(c, g int) float64 { return s.phi[g*s.nc+c] }
+
+// NumCells returns the cell count.
+func (s *Solver) NumCells() int { return s.nc }
+
+// Fixups returns how many negative-flux fixups were applied so far.
+func (s *Solver) Fixups() int64 { return s.fixups }
+
+// FluxIntegral returns the volume integral of the group-g scalar flux.
+func (s *Solver) FluxIntegral(g int) float64 {
+	v := s.dx * s.dy * s.dz
+	total := 0.0
+	for c := 0; c < s.nc; c++ {
+		total += s.phi[g*s.nc+c] * v
+	}
+	return total
+}
+
+// Result mirrors core.Result for the baseline.
+type Result struct {
+	Outers    int
+	Inners    int
+	Converged bool
+	FinalDF   float64
+	DFHistory []float64
+	Balance   Balance
+}
+
+// Balance is the global particle balance (see core.Balance).
+type Balance struct {
+	Source     float64
+	Absorption float64
+	Leakage    float64
+	Residual   float64
+}
+
+// computeOuterSource rebuilds the group sources from the lagged flux.
+func (s *Solver) computeOuterSource() {
+	lib := s.cfg.Lib
+	for g := 0; g < s.nG; g++ {
+		for c := 0; c < s.nc; c++ {
+			q := s.src[c]
+			m := s.mat[c]
+			for gp := 0; gp < s.nG; gp++ {
+				if gp == g {
+					continue
+				}
+				q += lib.Scatter[m][gp][g] * s.phi[gp*s.nc+c]
+			}
+			s.qOuter[g*s.nc+c] = q
+		}
+	}
+}
+
+// prepareInner forms the inner-iteration total source and snapshots phi.
+func (s *Solver) prepareInner() {
+	lib := s.cfg.Lib
+	for g := 0; g < s.nG; g++ {
+		for c := 0; c < s.nc; c++ {
+			m := s.mat[c]
+			s.qTot[g*s.nc+c] = s.qOuter[g*s.nc+c] + lib.Scatter[m][g][g]*s.phi[g*s.nc+c]
+			s.phiOld[g*s.nc+c] = s.phi[g*s.nc+c]
+			s.phi[g*s.nc+c] = 0
+		}
+	}
+}
+
+// sweep performs one full diamond-difference transport sweep, accumulating
+// the scalar flux and the boundary leakage.
+func (s *Solver) sweep() {
+	s.leak = 0
+	nx, ny, nz := s.cfg.NX, s.cfg.NY, s.cfg.NZ
+	edgeY := make([]float64, nx)
+	edgeZ := make([]float64, nx*ny)
+	for _, ang := range s.cfg.Quad.Angles {
+		om := ang.Omega
+		w := ang.Weight
+		// Per-axis sweep direction and coefficient 2|Omega|/h.
+		cx := 2 * math.Abs(om[0]) / s.dx
+		cy := 2 * math.Abs(om[1]) / s.dy
+		cz := 2 * math.Abs(om[2]) / s.dz
+		x0, xStep := sweepOrder(om[0], nx)
+		y0, yStep := sweepOrder(om[1], ny)
+		z0, zStep := sweepOrder(om[2], nz)
+		for g := 0; g < s.nG; g++ {
+			qg := s.qTot[g*s.nc : (g+1)*s.nc]
+			pg := s.phi[g*s.nc : (g+1)*s.nc]
+			bpsi := s.cfg.BoundaryPsi
+			for i := range edgeZ {
+				edgeZ[i] = bpsi
+			}
+			for kz, iz := 0, z0; kz < nz; kz, iz = kz+1, iz+zStep {
+				for i := range edgeY {
+					edgeY[i] = bpsi
+				}
+				for ky, iy := 0, y0; ky < ny; ky, iy = ky+1, iy+yStep {
+					psiX := bpsi
+					for kx, ix := 0, x0; kx < nx; kx, ix = kx+1, ix+xStep {
+						c := s.cell(ix, iy, iz)
+						inY := edgeY[ix]
+						inZ := edgeZ[ix+nx*iy]
+						sigt := s.cfg.Lib.Total[s.mat[c]][g]
+						denom := sigt + cx + cy + cz
+						psi := (qg[c] + cx*psiX + cy*inY + cz*inZ) / denom
+						outX := 2*psi - psiX
+						outY := 2*psi - inY
+						outZ := 2*psi - inZ
+						if s.cfg.Fixup {
+							psi, outX, outY, outZ = s.fixup(qg[c], sigt, cx, cy, cz, psiX, inY, inZ, psi, outX, outY, outZ)
+						}
+						pg[c] += w * psi
+						psiX = outX
+						edgeY[ix] = outY
+						edgeZ[ix+nx*iy] = outZ
+						// Leakage through exit faces.
+						if kx == nx-1 {
+							s.leak += w * math.Abs(om[0]) * outX * s.dy * s.dz
+						}
+						if ky == ny-1 {
+							s.leak += w * math.Abs(om[1]) * outY * s.dx * s.dz
+						}
+						if kz == nz-1 {
+							s.leak += w * math.Abs(om[2]) * outZ * s.dx * s.dy
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// fixup applies SNAP's set-to-zero negative flux fixup: any negative
+// outgoing edge flux is clamped to zero and the cell balance re-solved
+// with that edge's diamond relation replaced, iterating until all edges
+// are non-negative.
+func (s *Solver) fixup(q, sigt, cx, cy, cz, inX, inY, inZ, psi, outX, outY, outZ float64) (float64, float64, float64, float64) {
+	fixX, fixY, fixZ := false, false, false
+	for iter := 0; iter < 4; iter++ {
+		if outX >= 0 && outY >= 0 && outZ >= 0 {
+			break
+		}
+		s.fixups++
+		if outX < 0 {
+			fixX, outX = true, 0
+		}
+		if outY < 0 {
+			fixY, outY = true, 0
+		}
+		if outZ < 0 {
+			fixZ, outZ = true, 0
+		}
+		// Re-balance: sigt*psi*V + sum_d |Om_d| A_d (out_d - in_d) = q*V
+		// with fixed edges having out_d = 0 and free edges the diamond
+		// relation out_d = 2 psi - in_d.
+		num := q
+		den := sigt
+		if fixX {
+			num += cx * inX / 2
+		} else {
+			num += cx * inX
+			den += cx
+		}
+		if fixY {
+			num += cy * inY / 2
+		} else {
+			num += cy * inY
+			den += cy
+		}
+		if fixZ {
+			num += cz * inZ / 2
+		} else {
+			num += cz * inZ
+			den += cz
+		}
+		psi = num / den
+		if !fixX {
+			outX = 2*psi - inX
+		}
+		if !fixY {
+			outY = 2*psi - inY
+		}
+		if !fixZ {
+			outZ = 2*psi - inZ
+		}
+	}
+	return psi, outX, outY, outZ
+}
+
+func sweepOrder(omega float64, n int) (start, step int) {
+	if omega >= 0 {
+		return 0, 1
+	}
+	return n - 1, -1
+}
+
+// maxRelChange mirrors core's convergence monitor.
+func (s *Solver) maxRelChange() float64 {
+	const floor = 1e-12
+	df := 0.0
+	for i, v := range s.phi {
+		old := s.phiOld[i]
+		var d float64
+		if math.Abs(old) > floor {
+			d = math.Abs((v - old) / old)
+		} else {
+			d = math.Abs(v - old)
+		}
+		if d > df {
+			df = d
+		}
+	}
+	return df
+}
+
+// Run executes the SNAP iteration structure.
+func (s *Solver) Run() (*Result, error) {
+	res := &Result{}
+	outerPrev := make([]float64, len(s.phi))
+	for outer := 0; outer < s.cfg.MaxOuters; outer++ {
+		copy(outerPrev, s.phi)
+		s.computeOuterSource()
+		res.Outers++
+		for inner := 0; inner < s.cfg.MaxInners; inner++ {
+			s.prepareInner()
+			s.sweep()
+			df := s.maxRelChange()
+			res.DFHistory = append(res.DFHistory, df)
+			res.FinalDF = df
+			res.Inners++
+			if !s.cfg.ForceIterations && df < s.cfg.Epsi {
+				break
+			}
+		}
+		if !s.cfg.ForceIterations && s.outerConverged(outerPrev) {
+			res.Converged = true
+			break
+		}
+	}
+	res.Balance = s.computeBalance()
+	return res, nil
+}
+
+func (s *Solver) outerConverged(prev []float64) bool {
+	const floor = 1e-12
+	tol := 10 * s.cfg.Epsi
+	for i, v := range s.phi {
+		old := prev[i]
+		var d float64
+		if math.Abs(old) > floor {
+			d = math.Abs((v - old) / old)
+		} else {
+			d = math.Abs(v - old)
+		}
+		if d > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// computeBalance integrates source, absorption and the last sweep's
+// leakage. The fixed source emits in every group (SNAP convention).
+func (s *Solver) computeBalance() Balance {
+	var b Balance
+	v := s.dx * s.dy * s.dz
+	for c := 0; c < s.nc; c++ {
+		b.Source += s.src[c] * v * float64(s.nG)
+		for g := 0; g < s.nG; g++ {
+			b.Absorption += s.cfg.Lib.Absorb[s.mat[c]][g] * s.phi[g*s.nc+c] * v
+		}
+	}
+	b.Leakage = s.leak
+	denom := b.Source
+	if denom < 1 {
+		denom = 1
+	}
+	b.Residual = math.Abs(b.Source-b.Absorption-b.Leakage) / denom
+	return b
+}
+
+// MemoryPerCellFEM and MemoryPerCellFD quantify the section II-C storage
+// trade-off: the FEM stores one value per node per cell while the FD
+// method stores a single cell-centred value, an 8x overhead for linear
+// elements on the same grid.
+func MemoryPerCellFEM(order int) int { n := order + 1; return n * n * n }
+
+// MemoryPerCellFD is the finite-difference storage per cell (one value).
+func MemoryPerCellFD() int { return 1 }

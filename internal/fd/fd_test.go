@@ -1,0 +1,208 @@
+package fd
+
+import (
+	"math"
+	"testing"
+
+	"unsnap/internal/quadrature"
+	"unsnap/internal/xs"
+)
+
+func testSolver(t *testing.T, n, groups, nang int, fixup bool) *Solver {
+	t.Helper()
+	q, err := quadrature.NewSNAP(nang)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := xs.NewLibrary(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{NX: n, NY: n, NZ: n, LX: 1, LY: 1, LZ: 1,
+		Quad: q, Lib: lib, MatOpt: xs.MatOptCentre, SrcOpt: xs.SrcOptEverywhere,
+		Fixup: fixup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewInvalid(t *testing.T) {
+	q, _ := quadrature.NewSNAP(1)
+	lib, _ := xs.NewLibrary(1)
+	bad := []Config{
+		{NX: 0, NY: 1, NZ: 1, LX: 1, LY: 1, LZ: 1, Quad: q, Lib: lib},
+		{NX: 1, NY: 1, NZ: 1, LX: -1, LY: 1, LZ: 1, Quad: q, Lib: lib},
+		{NX: 1, NY: 1, NZ: 1, LX: 1, LY: 1, LZ: 1, Quad: nil, Lib: lib},
+		{NX: 1, NY: 1, NZ: 1, LX: 1, LY: 1, LZ: 1, Quad: q, Lib: nil},
+		{NX: 1, NY: 1, NZ: 1, LX: 1, LY: 1, LZ: 1, Quad: q, Lib: lib, MatOpt: 7},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+// TestConstantSolutionConsistency: with q = sigma_t * c, no scattering and
+// incident flux c, diamond difference reproduces psi = c exactly.
+func TestConstantSolutionConsistency(t *testing.T) {
+	const c = 0.9
+	q, _ := quadrature.NewSNAP(2)
+	sigt := 1.7
+	lib := &xs.Library{
+		NumGroups: 1,
+		Total:     [][]float64{{sigt}, {sigt}},
+		Absorb:    [][]float64{{sigt}, {sigt}},
+		ScatTotal: [][]float64{{0}, {0}},
+		Scatter:   [][][]float64{{{0}}, {{0}}},
+	}
+	s, err := New(Config{NX: 3, NY: 3, NZ: 3, LX: 1, LY: 1, LZ: 1,
+		Quad: q, Lib: lib, BoundaryPsi: c,
+		MaxInners: 1, MaxOuters: 1, ForceIterations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Override the unit source with sigma_t * c.
+	for i := range s.src {
+		s.src[i] = sigt * c
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for cidx := 0; cidx < s.NumCells(); cidx++ {
+		if got := s.Phi(cidx, 0); math.Abs(got-c) > 1e-12 {
+			t.Fatalf("cell %d: phi = %v, want %v", cidx, got, c)
+		}
+	}
+}
+
+func TestZeroSourceZeroFlux(t *testing.T) {
+	s := testSolver(t, 3, 1, 2, false)
+	for i := range s.src {
+		s.src[i] = 0
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < s.NumCells(); c++ {
+		if s.Phi(c, 0) != 0 {
+			t.Fatal("no source must give zero flux")
+		}
+	}
+}
+
+func TestConvergedBalance(t *testing.T) {
+	q, _ := quadrature.NewSNAP(2)
+	lib, _ := xs.NewLibrary(2)
+	s, err := New(Config{NX: 4, NY: 4, NZ: 4, LX: 1, LY: 1, LZ: 1,
+		Quad: q, Lib: lib, MatOpt: xs.MatOptCentre, SrcOpt: xs.SrcOptEverywhere,
+		Epsi: 1e-10, MaxInners: 300, MaxOuters: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("expected convergence, df=%v", res.FinalDF)
+	}
+	if res.Balance.Residual > 1e-7 {
+		t.Fatalf("balance residual %v: %+v", res.Balance.Residual, res.Balance)
+	}
+}
+
+func TestMirrorSymmetry(t *testing.T) {
+	s := testSolver(t, 3, 1, 2, false)
+	s.cfg.MaxInners = 4
+	s.cfg.ForceIterations = true
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	n := 3
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				a := s.Phi(s.cell(x, y, z), 0)
+				b := s.Phi(s.cell(y, x, z), 0)
+				if math.Abs(a-b) > 1e-12*(1+math.Abs(a)) {
+					t.Fatalf("x/y mirror broken at (%d,%d,%d): %v vs %v", x, y, z, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestFluxPositive(t *testing.T) {
+	s := testSolver(t, 4, 1, 3, false)
+	s.cfg.Epsi = 1e-8
+	s.cfg.MaxInners = 100
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < s.NumCells(); c++ {
+		if s.Phi(c, 0) <= 0 {
+			t.Fatalf("cell %d flux %v not positive", c, s.Phi(c, 0))
+		}
+	}
+}
+
+func TestFixupEliminatesNegativeEdgeEffects(t *testing.T) {
+	// A thick absorber with a hot centre source produces negative diamond
+	// fluxes; the fixup must keep the cell flux non-negative everywhere.
+	q, _ := quadrature.NewSNAP(2)
+	sigt := 50.0
+	lib := &xs.Library{
+		NumGroups: 1,
+		Total:     [][]float64{{sigt}, {sigt}},
+		Absorb:    [][]float64{{sigt}, {sigt}},
+		ScatTotal: [][]float64{{0}, {0}},
+		Scatter:   [][][]float64{{{0}}, {{0}}},
+	}
+	s, err := New(Config{NX: 6, NY: 6, NZ: 6, LX: 1, LY: 1, LZ: 1,
+		Quad: q, Lib: lib, SrcOpt: xs.SrcOptCentre, Fixup: true,
+		MaxInners: 1, MaxOuters: 1, ForceIterations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Fixups() == 0 {
+		t.Fatal("expected the thick problem to trigger fixups")
+	}
+	for c := 0; c < s.NumCells(); c++ {
+		if s.Phi(c, 0) < 0 {
+			t.Fatalf("cell %d flux %v negative despite fixup", c, s.Phi(c, 0))
+		}
+	}
+}
+
+func TestMemoryTradeoff(t *testing.T) {
+	// Section II-C: linear FEM stores 8x the FD method on the same grid.
+	if MemoryPerCellFEM(1) != 8*MemoryPerCellFD() {
+		t.Fatalf("linear FEM/FD memory ratio = %d, want 8",
+			MemoryPerCellFEM(1)/MemoryPerCellFD())
+	}
+	if MemoryPerCellFEM(3) != 64 {
+		t.Fatalf("cubic FEM memory per cell = %d, want 64", MemoryPerCellFEM(3))
+	}
+}
+
+func TestFluxIntegralMatchesMean(t *testing.T) {
+	s := testSolver(t, 2, 1, 1, false)
+	s.cfg.MaxInners = 2
+	s.cfg.ForceIterations = true
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for c := 0; c < s.NumCells(); c++ {
+		sum += s.Phi(c, 0)
+	}
+	want := sum / 8 // 8 cells in unit volume: integral = mean
+	if math.Abs(s.FluxIntegral(0)-want) > 1e-13 {
+		t.Fatalf("flux integral %v, want %v", s.FluxIntegral(0), want)
+	}
+}

@@ -1,0 +1,82 @@
+// Package fem implements the arbitrarily high-order Lagrange hexahedral
+// finite elements used by UnSNAP's discontinuous Galerkin discretisation:
+// 1D nodal Lagrange bases, the tensor-product reference element with its
+// quadrature and basis tables, the trilinear (sub-parametric) geometry
+// mapping for possibly twisted hexahedra, and the per-element precomputed
+// basis-pair integrals (mass, gradient and directional face matrices) from
+// which the sweep assembles each local system.
+package fem
+
+import "fmt"
+
+// MaxOrder bounds the supported element order. Equispaced Lagrange nodes
+// are well behaved far beyond the paper's order 5; 10 is a generous cap
+// that keeps node/quadrature table sizes sane.
+const MaxOrder = 10
+
+// Basis1D is a nodal Lagrange basis of order P on [0, 1] with equispaced
+// nodes (node i at i/P; order 0 would be a single node, but DG transport
+// needs at least linear elements so P >= 1).
+type Basis1D struct {
+	P     int
+	Nodes []float64
+	// barycentric weights for stable evaluation
+	weights []float64
+}
+
+// NewBasis1D constructs the order-p 1D Lagrange basis.
+func NewBasis1D(p int) (*Basis1D, error) {
+	if p < 1 || p > MaxOrder {
+		return nil, fmt.Errorf("fem: element order must be in [1, %d], got %d", MaxOrder, p)
+	}
+	n := p + 1
+	b := &Basis1D{P: p, Nodes: make([]float64, n), weights: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		b.Nodes[i] = float64(i) / float64(p)
+	}
+	for i := 0; i < n; i++ {
+		w := 1.0
+		for j := 0; j < n; j++ {
+			if j != i {
+				w *= b.Nodes[i] - b.Nodes[j]
+			}
+		}
+		b.weights[i] = 1 / w
+	}
+	return b, nil
+}
+
+// Eval returns l_i(x), the i-th Lagrange polynomial at x.
+func (b *Basis1D) Eval(i int, x float64) float64 {
+	// Direct product form; orders are small so this is exact enough and
+	// branch-free at the nodes apart from the identity shortcut.
+	if x == b.Nodes[i] {
+		return 1
+	}
+	v := b.weights[i]
+	for j := range b.Nodes {
+		if j != i {
+			v *= x - b.Nodes[j]
+		}
+	}
+	return v
+}
+
+// Deriv returns l_i'(x) via the sum-of-products rule.
+func (b *Basis1D) Deriv(i int, x float64) float64 {
+	n := len(b.Nodes)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		if k == i {
+			continue
+		}
+		term := b.weights[i]
+		for j := 0; j < n; j++ {
+			if j != i && j != k {
+				term *= x - b.Nodes[j]
+			}
+		}
+		sum += term
+	}
+	return sum
+}

@@ -1,0 +1,111 @@
+package fem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBasis1DInvalid(t *testing.T) {
+	if _, err := NewBasis1D(0); err == nil {
+		t.Fatal("expected error for order 0")
+	}
+	if _, err := NewBasis1D(MaxOrder + 1); err == nil {
+		t.Fatal("expected error above MaxOrder")
+	}
+}
+
+func TestBasis1DKroneckerDelta(t *testing.T) {
+	for p := 1; p <= 6; p++ {
+		b, err := NewBasis1D(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i <= p; i++ {
+			for j := 0; j <= p; j++ {
+				got := b.Eval(i, b.Nodes[j])
+				want := 0.0
+				if i == j {
+					want = 1.0
+				}
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("p=%d: l_%d(x_%d) = %v, want %v", p, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBasis1DPartitionOfUnity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for p := 1; p <= 6; p++ {
+		b, _ := NewBasis1D(p)
+		for trial := 0; trial < 20; trial++ {
+			x := rng.Float64()
+			sum, dsum := 0.0, 0.0
+			for i := 0; i <= p; i++ {
+				sum += b.Eval(i, x)
+				dsum += b.Deriv(i, x)
+			}
+			if math.Abs(sum-1) > 1e-10 {
+				t.Fatalf("p=%d x=%v: partition of unity broken: %v", p, x, sum)
+			}
+			if math.Abs(dsum) > 1e-9 {
+				t.Fatalf("p=%d x=%v: derivative sum %v, want 0", p, x, dsum)
+			}
+		}
+	}
+}
+
+func TestBasis1DDerivMatchesFiniteDifference(t *testing.T) {
+	b, _ := NewBasis1D(4)
+	const h = 1e-6
+	for i := 0; i <= 4; i++ {
+		for _, x := range []float64{0.13, 0.5, 0.77} {
+			fd := (b.Eval(i, x+h) - b.Eval(i, x-h)) / (2 * h)
+			got := b.Deriv(i, x)
+			if math.Abs(got-fd) > 1e-5 {
+				t.Fatalf("l_%d'(%v) = %v, finite difference %v", i, x, got, fd)
+			}
+		}
+	}
+}
+
+func TestBasis1DLinearExact(t *testing.T) {
+	// Order-1 basis: l_0 = 1-x, l_1 = x.
+	b, _ := NewBasis1D(1)
+	for _, x := range []float64{0, 0.25, 0.5, 1} {
+		if math.Abs(b.Eval(0, x)-(1-x)) > 1e-14 {
+			t.Fatalf("l_0(%v) wrong", x)
+		}
+		if math.Abs(b.Eval(1, x)-x) > 1e-14 {
+			t.Fatalf("l_1(%v) wrong", x)
+		}
+	}
+	if math.Abs(b.Deriv(0, 0.3)+1) > 1e-14 || math.Abs(b.Deriv(1, 0.3)-1) > 1e-14 {
+		t.Fatal("linear derivatives wrong")
+	}
+}
+
+// Property: interpolation reproduces polynomials of degree <= p exactly.
+func TestBasis1DReproducesPolynomials(t *testing.T) {
+	f := func(rawP, rawX uint8) bool {
+		p := int(rawP%5) + 1
+		x := float64(rawX) / 255.0
+		b, err := NewBasis1D(p)
+		if err != nil {
+			return false
+		}
+		// Interpolate f(t) = t^p through the nodes and evaluate at x.
+		got := 0.0
+		for i := 0; i <= p; i++ {
+			got += math.Pow(b.Nodes[i], float64(p)) * b.Eval(i, x)
+		}
+		want := math.Pow(x, float64(p))
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package fem
+
+import "fmt"
+
+// Geometry is the trilinear mapping from the reference cube [0,1]^3 to a
+// (possibly deformed) hexahedron defined by its 8 corner vertices.
+// Corners are ordered lexicographically: corner c = cx + 2*cy + 4*cz with
+// cd in {0,1} giving the corner at reference coordinate (cx, cy, cz).
+//
+// UnSNAP uses sub-parametric elements: the geometry is trilinear (the mesh
+// twist moves only the 8 vertices) while the solution field may be of
+// arbitrary order.
+type Geometry struct {
+	V [8][3]float64
+}
+
+// Map evaluates the trilinear mapping at reference point xi.
+func (g *Geometry) Map(xi [3]float64) [3]float64 {
+	var out [3]float64
+	for c := 0; c < 8; c++ {
+		w := 1.0
+		for d := 0; d < 3; d++ {
+			if c>>(d)&1 == 1 {
+				w *= xi[d]
+			} else {
+				w *= 1 - xi[d]
+			}
+		}
+		for d := 0; d < 3; d++ {
+			out[d] += w * g.V[c][d]
+		}
+	}
+	return out
+}
+
+// Jacobian returns J[d][e] = dX_d / dxi_e at reference point xi.
+func (g *Geometry) Jacobian(xi [3]float64) [3][3]float64 {
+	var j [3][3]float64
+	for c := 0; c < 8; c++ {
+		// weight factors per dimension and their derivatives
+		var f, df [3]float64
+		for d := 0; d < 3; d++ {
+			if c>>(d)&1 == 1 {
+				f[d] = xi[d]
+				df[d] = 1
+			} else {
+				f[d] = 1 - xi[d]
+				df[d] = -1
+			}
+		}
+		w := [3]float64{
+			df[0] * f[1] * f[2],
+			f[0] * df[1] * f[2],
+			f[0] * f[1] * df[2],
+		}
+		for d := 0; d < 3; d++ {
+			for e := 0; e < 3; e++ {
+				j[d][e] += w[e] * g.V[c][d]
+			}
+		}
+	}
+	return j
+}
+
+// Det3 returns the determinant of a 3x3 matrix.
+func Det3(j [3][3]float64) float64 {
+	return j[0][0]*(j[1][1]*j[2][2]-j[1][2]*j[2][1]) -
+		j[0][1]*(j[1][0]*j[2][2]-j[1][2]*j[2][0]) +
+		j[0][2]*(j[1][0]*j[2][1]-j[1][1]*j[2][0])
+}
+
+// InvTranspose3 returns (J^{-1})^T and det(J). It errors on non-positive
+// determinants, which indicate an inverted or degenerate element.
+func InvTranspose3(j [3][3]float64) ([3][3]float64, float64, error) {
+	det := Det3(j)
+	if det <= 0 {
+		return [3][3]float64{}, det, fmt.Errorf("fem: non-positive Jacobian determinant %g (inverted element)", det)
+	}
+	inv := 1 / det
+	// cofactor matrix of J equals det * (J^{-1})^T
+	var c [3][3]float64
+	c[0][0] = (j[1][1]*j[2][2] - j[1][2]*j[2][1]) * inv
+	c[0][1] = -(j[1][0]*j[2][2] - j[1][2]*j[2][0]) * inv
+	c[0][2] = (j[1][0]*j[2][1] - j[1][1]*j[2][0]) * inv
+	c[1][0] = -(j[0][1]*j[2][2] - j[0][2]*j[2][1]) * inv
+	c[1][1] = (j[0][0]*j[2][2] - j[0][2]*j[2][0]) * inv
+	c[1][2] = -(j[0][0]*j[2][1] - j[0][1]*j[2][0]) * inv
+	c[2][0] = (j[0][1]*j[1][2] - j[0][2]*j[1][1]) * inv
+	c[2][1] = -(j[0][0]*j[1][2] - j[0][2]*j[1][0]) * inv
+	c[2][2] = (j[0][0]*j[1][1] - j[0][1]*j[1][0]) * inv
+	return c, det, nil
+}
+
+// IsAxisAlignedBox reports whether the hexahedron is an axis-aligned box
+// and, if so, returns its origin and extents. Box elements admit exact
+// tensor-product integrals (the fast path in ComputeMatrices).
+func (g *Geometry) IsAxisAlignedBox() (origin, ext [3]float64, ok bool) {
+	const tol = 1e-14
+	origin = g.V[0]
+	ext = [3]float64{
+		g.V[1][0] - g.V[0][0],
+		g.V[2][1] - g.V[0][1],
+		g.V[4][2] - g.V[0][2],
+	}
+	for c := 0; c < 8; c++ {
+		for d := 0; d < 3; d++ {
+			want := origin[d]
+			if c>>(d)&1 == 1 {
+				want += ext[d]
+			}
+			diff := g.V[c][d] - want
+			if diff < -tol || diff > tol {
+				return origin, ext, false
+			}
+		}
+	}
+	return origin, ext, ext[0] > 0 && ext[1] > 0 && ext[2] > 0
+}

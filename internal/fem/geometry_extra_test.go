@@ -1,0 +1,112 @@
+package fem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestJacobianMatchesFiniteDifference: the analytic trilinear Jacobian
+// must agree with central differences of Map at random points of random
+// hexahedra.
+func TestJacobianMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const h = 1e-6
+	for trial := 0; trial < 10; trial++ {
+		g := perturbedCube(rng, 0.2)
+		xi := [3]float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		j := g.Jacobian(xi)
+		for e := 0; e < 3; e++ {
+			xp, xm := xi, xi
+			xp[e] += h
+			xm[e] -= h
+			p := g.Map(xp)
+			m := g.Map(xm)
+			for d := 0; d < 3; d++ {
+				fd := (p[d] - m[d]) / (2 * h)
+				if math.Abs(j[d][e]-fd) > 1e-6 {
+					t.Fatalf("trial %d: J[%d][%d] = %v, finite difference %v", trial, d, e, j[d][e], fd)
+				}
+			}
+		}
+	}
+}
+
+func TestEvalFieldPanicsOnBadLength(t *testing.T) {
+	re, _ := NewRefElement(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong coefficient count")
+		}
+	}()
+	re.EvalField(make([]float64, 3), [3]float64{0.5, 0.5, 0.5})
+}
+
+// Property: the trilinear map is affine-exact — mapping the centroid of
+// the reference cube gives the mean of the 8 corners.
+func TestMapCentroidQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	f := func(seed uint8) bool {
+		_ = seed
+		g := perturbedCube(rng, 0.3)
+		c := g.Map([3]float64{0.5, 0.5, 0.5})
+		var mean [3]float64
+		for i := 0; i < 8; i++ {
+			for d := 0; d < 3; d++ {
+				mean[d] += g.V[i][d] / 8
+			}
+		}
+		for d := 0; d < 3; d++ {
+			if math.Abs(c[d]-mean[d]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVolumeOfSheared: a sheared box (unit cube with the top face slid
+// sideways) keeps volume 1 exactly — the Jacobian integral must see that.
+func TestVolumeOfSheared(t *testing.T) {
+	re, _ := NewRefElement(2)
+	g := unitCube()
+	for c := 4; c < 8; c++ { // top corners
+		g.V[c][0] += 0.3
+	}
+	em, err := re.ComputeMatrices(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(em.Volume-1) > 1e-12 {
+		t.Fatalf("sheared volume %v, want 1", em.Volume)
+	}
+}
+
+// TestGradOfConstantIsZero: sum_j Grad[d][i][j] * 1 ... actually the
+// derivative acts on the row index, so sum over i of Grad rows against
+// constant coefficients must vanish: Int (d/dx sum_i u_i) u_j = 0.
+func TestGradOfConstantIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	re, _ := NewRefElement(2)
+	g := perturbedCube(rng, 0.15)
+	em, err := re.ComputeMatrices(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := re.N
+	for d := 0; d < 3; d++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += em.Grad[d][i*n+j]
+			}
+			if math.Abs(s) > 1e-11 {
+				t.Fatalf("column %d of Grad[%d] sums to %v, want 0 (partition of unity)", j, d, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package fem
+
+import "math"
+
+// ElementMatrices holds the precomputed basis-pair integrals of one
+// element. These are the "13 different arrays" the paper's assembly reads:
+// combined with the direction cosines, the total cross section and the
+// upwind fluxes they yield the local system A psi = b for every
+// angle/group without further integration.
+//
+// Index conventions: volume matrices are N x N row-major with the
+// derivative on the row (test) index; face matrices are NF x NF over the
+// face-node lists of RefElement.FaceNodes, with the element's outward
+// normal folded into the (unnormalised) weight so that
+// Face[f][d][k*NF+l] = Int_f n_d u_k u_l dA.
+type ElementMatrices struct {
+	N, NF int
+	Mass  []float64
+	Grad  [3][]float64
+	Face  [NumFaces][3][]float64
+	// Normal is the unit outward normal at each face centre, used for the
+	// upwind inflow/outflow classification of sweep directions.
+	Normal [NumFaces][3]float64
+	// Volume is the integral of det J over the element.
+	Volume float64
+}
+
+// ComputeMatrices integrates all basis-pair matrices for one element.
+// Axis-aligned boxes take an exact tensor-product fast path; general
+// (twisted) hexahedra are integrated with the reference quadrature, which
+// is exact for trilinear geometry. An inverted element (non-positive
+// Jacobian) returns an error.
+func (re *RefElement) ComputeMatrices(geo *Geometry) (*ElementMatrices, error) {
+	if origin, ext, ok := geo.IsAxisAlignedBox(); ok {
+		_ = origin
+		return re.boxMatrices(ext), nil
+	}
+	return re.generalMatrices(geo)
+}
+
+func newElementMatrices(n, nf int) *ElementMatrices {
+	em := &ElementMatrices{N: n, NF: nf}
+	em.Mass = make([]float64, n*n)
+	for d := 0; d < 3; d++ {
+		em.Grad[d] = make([]float64, n*n)
+	}
+	for f := 0; f < NumFaces; f++ {
+		for d := 0; d < 3; d++ {
+			em.Face[f][d] = make([]float64, nf*nf)
+		}
+	}
+	return em
+}
+
+// mass1D and grad1D integrate the 1D basis-pair matrices on [0,1]:
+// mass[i][j] = Int l_i l_j, grad[i][j] = Int l_i' l_j.
+func (re *RefElement) mass1D() ([]float64, []float64) {
+	nd := re.ND
+	m := make([]float64, nd*nd)
+	g := make([]float64, nd*nd)
+	rule := re.quadNodes1D()
+	for q := range rule.x {
+		w := rule.w[q]
+		for i := 0; i < nd; i++ {
+			vi := re.Basis.Eval(i, rule.x[q])
+			di := re.Basis.Deriv(i, rule.x[q])
+			for j := 0; j < nd; j++ {
+				vj := re.Basis.Eval(j, rule.x[q])
+				m[i*nd+j] += w * vi * vj
+				g[i*nd+j] += w * di * vj
+			}
+		}
+	}
+	return m, g
+}
+
+type rule1D struct{ x, w []float64 }
+
+// quadNodes1D recovers the 1D rule underlying the tensor quadrature.
+func (re *RefElement) quadNodes1D() rule1D {
+	x := make([]float64, re.NQ)
+	w := make([]float64, re.NQ)
+	// The first NQ volume points vary fastest in x with y=z fixed at the
+	// first node; extract the 1D rule from them.
+	w0 := 0.0
+	for q := 0; q < re.NQ; q++ {
+		x[q] = re.QPos[q][0]
+	}
+	// Weights: the 3D weight of point (qx,0,0) is w1[qx]*w1[0]^2.
+	// Recover w1 up to normalisation, then normalise to sum 1.
+	for q := 0; q < re.NQ; q++ {
+		w[q] = re.QWeight[q]
+		w0 += w[q]
+	}
+	for q := range w {
+		w[q] /= w0 // 1D GL weights on [0,1] sum to exactly 1
+	}
+	return rule1D{x: x, w: w}
+}
+
+// boxMatrices computes exact matrices for an axis-aligned box with
+// extents ext via tensor products of the 1D matrices.
+func (re *RefElement) boxMatrices(ext [3]float64) *ElementMatrices {
+	em := newElementMatrices(re.N, re.NF)
+	nd := re.ND
+	m1, g1 := re.mass1D()
+	hx, hy, hz := ext[0], ext[1], ext[2]
+	em.Volume = hx * hy * hz
+
+	for iz := 0; iz < nd; iz++ {
+		for iy := 0; iy < nd; iy++ {
+			for ix := 0; ix < nd; ix++ {
+				i := re.NodeIndex(ix, iy, iz)
+				for jz := 0; jz < nd; jz++ {
+					mz := m1[iz*nd+jz]
+					gz := g1[iz*nd+jz]
+					for jy := 0; jy < nd; jy++ {
+						my := m1[iy*nd+jy]
+						gy := g1[iy*nd+jy]
+						for jx := 0; jx < nd; jx++ {
+							mx := m1[ix*nd+jx]
+							gx := g1[ix*nd+jx]
+							j := re.NodeIndex(jx, jy, jz)
+							em.Mass[i*re.N+j] = hx * hy * hz * mx * my * mz
+							em.Grad[0][i*re.N+j] = hy * hz * gx * my * mz
+							em.Grad[1][i*re.N+j] = hx * hz * mx * gy * mz
+							em.Grad[2][i*re.N+j] = hx * hy * mx * my * gz
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Faces: constant outward normal along the face dimension; the only
+	// nonzero directional matrix is the face dimension's, equal to +/- the
+	// 2D mass scaled by the tangent extents.
+	for f := 0; f < NumFaces; f++ {
+		dim := FaceDim(f)
+		t1, t2 := FaceTangents(f)
+		area := ext[t1] * ext[t2]
+		sign := -1.0
+		if FaceSide(f) == 1 {
+			sign = 1.0
+		}
+		em.Normal[f] = [3]float64{}
+		em.Normal[f][dim] = sign
+		fm := em.Face[f][dim]
+		for k2 := 0; k2 < nd; k2++ {
+			for k1 := 0; k1 < nd; k1++ {
+				k := k1 + nd*k2
+				for l2 := 0; l2 < nd; l2++ {
+					for l1 := 0; l1 < nd; l1++ {
+						l := l1 + nd*l2
+						fm[k*re.NF+l] = sign * area * m1[k1*nd+l1] * m1[k2*nd+l2]
+					}
+				}
+			}
+		}
+	}
+	return em
+}
+
+// generalMatrices integrates the matrices for an arbitrary hexahedron.
+func (re *RefElement) generalMatrices(geo *Geometry) (*ElementMatrices, error) {
+	em := newElementMatrices(re.N, re.NF)
+	n := re.N
+	// Scratch for the physical gradients of all basis functions at one
+	// quadrature point.
+	gx := make([]float64, n)
+	gy := make([]float64, n)
+	gz := make([]float64, n)
+
+	for q := range re.QPos {
+		j := geo.Jacobian(re.QPos[q])
+		c, det, err := InvTranspose3(j)
+		if err != nil {
+			return nil, err
+		}
+		w := re.QWeight[q] * det
+		em.Volume += w
+		vals := re.Val[q*n : (q+1)*n]
+		grads := re.GradXi[q*n*3 : (q+1)*n*3]
+		for i := 0; i < n; i++ {
+			g0 := grads[i*3]
+			g1 := grads[i*3+1]
+			g2 := grads[i*3+2]
+			gx[i] = c[0][0]*g0 + c[0][1]*g1 + c[0][2]*g2
+			gy[i] = c[1][0]*g0 + c[1][1]*g1 + c[1][2]*g2
+			gz[i] = c[2][0]*g0 + c[2][1]*g1 + c[2][2]*g2
+		}
+		for i := 0; i < n; i++ {
+			wvi := w * vals[i]
+			wgx := w * gx[i]
+			wgy := w * gy[i]
+			wgz := w * gz[i]
+			mRow := em.Mass[i*n : (i+1)*n]
+			xRow := em.Grad[0][i*n : (i+1)*n]
+			yRow := em.Grad[1][i*n : (i+1)*n]
+			zRow := em.Grad[2][i*n : (i+1)*n]
+			for jj := 0; jj < n; jj++ {
+				vj := vals[jj]
+				mRow[jj] += wvi * vj
+				xRow[jj] += wgx * vj
+				yRow[jj] += wgy * vj
+				zRow[jj] += wgz * vj
+			}
+		}
+	}
+
+	// Faces.
+	nf := re.NF
+	for f := 0; f < NumFaces; f++ {
+		t1, t2 := FaceTangents(f)
+		sign := faceNormalSign[f]
+		for q := range re.FQ2 {
+			xi := re.FQPos3[f][q]
+			j := geo.Jacobian(xi)
+			// Tangent vectors are the Jacobian columns of the two in-face
+			// reference dimensions.
+			a := [3]float64{j[0][t1], j[1][t1], j[2][t1]}
+			b := [3]float64{j[0][t2], j[1][t2], j[2][t2]}
+			ndA := [3]float64{
+				sign * (a[1]*b[2] - a[2]*b[1]),
+				sign * (a[2]*b[0] - a[0]*b[2]),
+				sign * (a[0]*b[1] - a[1]*b[0]),
+			}
+			fw := re.FWeight[q]
+			fvals := re.FVal[f][q*nf : (q+1)*nf]
+			for d := 0; d < 3; d++ {
+				wd := fw * ndA[d]
+				if wd == 0 {
+					continue
+				}
+				fm := em.Face[f][d]
+				for k := 0; k < nf; k++ {
+					wk := wd * fvals[k]
+					if wk == 0 {
+						continue
+					}
+					row := fm[k*nf : (k+1)*nf]
+					for l := 0; l < nf; l++ {
+						row[l] += wk * fvals[l]
+					}
+				}
+			}
+		}
+		em.Normal[f] = re.faceCentreNormal(geo, f)
+	}
+	return em, nil
+}
+
+// faceCentreNormal returns the unit outward normal at the centre of face f.
+func (re *RefElement) faceCentreNormal(geo *Geometry, f int) [3]float64 {
+	t1, t2 := FaceTangents(f)
+	dim := FaceDim(f)
+	var xi [3]float64
+	xi[t1], xi[t2] = 0.5, 0.5
+	if FaceSide(f) == 1 {
+		xi[dim] = 1
+	}
+	j := geo.Jacobian(xi)
+	a := [3]float64{j[0][t1], j[1][t1], j[2][t1]}
+	b := [3]float64{j[0][t2], j[1][t2], j[2][t2]}
+	s := faceNormalSign[f]
+	nvec := [3]float64{
+		s * (a[1]*b[2] - a[2]*b[1]),
+		s * (a[2]*b[0] - a[0]*b[2]),
+		s * (a[0]*b[1] - a[1]*b[0]),
+	}
+	norm := math.Sqrt(nvec[0]*nvec[0] + nvec[1]*nvec[1] + nvec[2]*nvec[2])
+	if norm > 0 {
+		nvec[0] /= norm
+		nvec[1] /= norm
+		nvec[2] /= norm
+	}
+	return nvec
+}
+
+// FootprintBytes returns the FP64 storage of one local matrix of order p,
+// the quantity tabulated in the paper's Table I.
+func FootprintBytes(p int) int {
+	n := (p + 1) * (p + 1) * (p + 1)
+	return 8 * n * n
+}

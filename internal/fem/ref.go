@@ -1,0 +1,274 @@
+package fem
+
+import (
+	"fmt"
+
+	"unsnap/internal/gauss"
+)
+
+// Face identifiers. Faces are numbered 2*dim + side with side 0 at
+// reference coordinate 0 (the "low" face) and side 1 at coordinate 1:
+// 0:-x 1:+x 2:-y 3:+y 4:-z 5:+z. The mesh package uses the same numbering.
+const (
+	FaceXLo = 0
+	FaceXHi = 1
+	FaceYLo = 2
+	FaceYHi = 3
+	FaceZLo = 4
+	FaceZHi = 5
+
+	NumFaces = 6
+)
+
+// FaceDim returns the dimension (0,1,2) normal to face f.
+func FaceDim(f int) int { return f / 2 }
+
+// FaceSide returns 0 for a low face, 1 for a high face.
+func FaceSide(f int) int { return f % 2 }
+
+// FaceTangents returns the two in-face dimensions of face f in increasing
+// order; the face-node lexicographic ordering runs first over t1, then t2.
+func FaceTangents(f int) (t1, t2 int) {
+	switch FaceDim(f) {
+	case 0:
+		return 1, 2
+	case 1:
+		return 0, 2
+	default:
+		return 0, 1
+	}
+}
+
+// faceNormalSign gives the sign s such that s * (T_{t1} x T_{t2}) points
+// outward on face f (derivation: e0 x e2 = -e1, others cyclic).
+var faceNormalSign = [NumFaces]float64{
+	FaceXLo: -1, FaceXHi: +1,
+	FaceYLo: +1, FaceYHi: -1,
+	FaceZLo: -1, FaceZHi: +1,
+}
+
+// RefElement bundles everything order-dependent that is shared by all
+// elements of a mesh: the 1D basis, node layout, volume and face
+// quadrature rules, and the basis/gradient value tables at the quadrature
+// points. It is immutable after construction and safe for concurrent use.
+type RefElement struct {
+	P  int // polynomial order
+	N  int // nodes per element, (P+1)^3
+	ND int // nodes per dimension, P+1
+	NF int // nodes per face, (P+1)^2
+
+	Basis *Basis1D
+
+	// NodePos[i] is the reference coordinate of node i; node index
+	// i = ix + ND*(iy + ND*iz) (x fastest).
+	NodePos [][3]float64
+
+	// FaceNodes[f][k] is the volume-node index of the k-th face node,
+	// ordered lexicographically over (t1, t2), t1 fastest.
+	FaceNodes [NumFaces][]int
+
+	// Volume quadrature: NQ^3 points with 3D weights.
+	NQ      int
+	QPos    [][3]float64
+	QWeight []float64
+	// Val[q*N + i]: basis i at volume point q.
+	Val []float64
+	// GradXi[(q*N + i)*3 + d]: d(basis i)/dxi_d at volume point q.
+	GradXi []float64
+
+	// Face quadrature: NQ^2 points per face in (t1, t2) coordinates.
+	FQ2     [][2]float64
+	FWeight []float64
+	// FVal[f][q*NF + k]: face-node basis k of face f at face point q
+	// (the restriction of the 3D basis to the face).
+	FVal [NumFaces][]float64
+	// FQPos3[f][q]: the 3D reference coordinate of face point q on face f.
+	FQPos3 [NumFaces][][3]float64
+}
+
+// NewRefElement builds the reference element of order p. The quadrature
+// uses p+2 Gauss points per dimension, exact for the trilinear-geometry
+// integrands of every matrix computed here (degree <= 2p+2 per variable).
+func NewRefElement(p int) (*RefElement, error) {
+	b, err := NewBasis1D(p)
+	if err != nil {
+		return nil, err
+	}
+	nd := p + 1
+	re := &RefElement{
+		P:     p,
+		N:     nd * nd * nd,
+		ND:    nd,
+		NF:    nd * nd,
+		Basis: b,
+		NQ:    p + 2,
+	}
+
+	// Node positions.
+	re.NodePos = make([][3]float64, re.N)
+	for iz := 0; iz < nd; iz++ {
+		for iy := 0; iy < nd; iy++ {
+			for ix := 0; ix < nd; ix++ {
+				re.NodePos[re.NodeIndex(ix, iy, iz)] = [3]float64{b.Nodes[ix], b.Nodes[iy], b.Nodes[iz]}
+			}
+		}
+	}
+
+	// Face node lists.
+	for f := 0; f < NumFaces; f++ {
+		dim := FaceDim(f)
+		fixed := 0
+		if FaceSide(f) == 1 {
+			fixed = p
+		}
+		t1, t2 := FaceTangents(f)
+		nodes := make([]int, 0, re.NF)
+		for k2 := 0; k2 < nd; k2++ {
+			for k1 := 0; k1 < nd; k1++ {
+				var idx [3]int
+				idx[dim] = fixed
+				idx[t1] = k1
+				idx[t2] = k2
+				nodes = append(nodes, re.NodeIndex(idx[0], idx[1], idx[2]))
+			}
+		}
+		re.FaceNodes[f] = nodes
+	}
+
+	rule, err := gauss.LegendreUnit(re.NQ)
+	if err != nil {
+		return nil, err
+	}
+
+	// Volume quadrature points and tables.
+	nq3 := re.NQ * re.NQ * re.NQ
+	re.QPos = make([][3]float64, 0, nq3)
+	re.QWeight = make([]float64, 0, nq3)
+	for iz := 0; iz < re.NQ; iz++ {
+		for iy := 0; iy < re.NQ; iy++ {
+			for ix := 0; ix < re.NQ; ix++ {
+				re.QPos = append(re.QPos, [3]float64{rule.X[ix], rule.X[iy], rule.X[iz]})
+				re.QWeight = append(re.QWeight, rule.W[ix]*rule.W[iy]*rule.W[iz])
+			}
+		}
+	}
+	re.Val = make([]float64, nq3*re.N)
+	re.GradXi = make([]float64, nq3*re.N*3)
+	// 1D tables reused across the tensor products.
+	val1 := make([][]float64, re.NQ) // val1[q][i]
+	der1 := make([][]float64, re.NQ)
+	for q := 0; q < re.NQ; q++ {
+		val1[q] = make([]float64, nd)
+		der1[q] = make([]float64, nd)
+		for i := 0; i < nd; i++ {
+			val1[q][i] = b.Eval(i, rule.X[q])
+			der1[q][i] = b.Deriv(i, rule.X[q])
+		}
+	}
+	q := 0
+	for qz := 0; qz < re.NQ; qz++ {
+		for qy := 0; qy < re.NQ; qy++ {
+			for qx := 0; qx < re.NQ; qx++ {
+				for iz := 0; iz < nd; iz++ {
+					for iy := 0; iy < nd; iy++ {
+						for ix := 0; ix < nd; ix++ {
+							i := re.NodeIndex(ix, iy, iz)
+							vx, vy, vz := val1[qx][ix], val1[qy][iy], val1[qz][iz]
+							re.Val[q*re.N+i] = vx * vy * vz
+							g := (q*re.N + i) * 3
+							re.GradXi[g+0] = der1[qx][ix] * vy * vz
+							re.GradXi[g+1] = vx * der1[qy][iy] * vz
+							re.GradXi[g+2] = vx * vy * der1[qz][iz]
+						}
+					}
+				}
+				q++
+			}
+		}
+	}
+
+	// Face quadrature and tables.
+	nq2 := re.NQ * re.NQ
+	re.FQ2 = make([][2]float64, 0, nq2)
+	re.FWeight = make([]float64, 0, nq2)
+	for q2 := 0; q2 < re.NQ; q2++ {
+		for q1 := 0; q1 < re.NQ; q1++ {
+			re.FQ2 = append(re.FQ2, [2]float64{rule.X[q1], rule.X[q2]})
+			re.FWeight = append(re.FWeight, rule.W[q1]*rule.W[q2])
+		}
+	}
+	for f := 0; f < NumFaces; f++ {
+		dim := FaceDim(f)
+		t1, t2 := FaceTangents(f)
+		fixed := 0.0
+		if FaceSide(f) == 1 {
+			fixed = 1.0
+		}
+		re.FVal[f] = make([]float64, nq2*re.NF)
+		re.FQPos3[f] = make([][3]float64, nq2)
+		for qi, st := range re.FQ2 {
+			var xi [3]float64
+			xi[dim] = fixed
+			xi[t1] = st[0]
+			xi[t2] = st[1]
+			re.FQPos3[f][qi] = xi
+			for k2 := 0; k2 < nd; k2++ {
+				for k1 := 0; k1 < nd; k1++ {
+					k := k1 + nd*k2
+					re.FVal[f][qi*re.NF+k] = b.Eval(k1, st[0]) * b.Eval(k2, st[1])
+				}
+			}
+		}
+	}
+	return re, nil
+}
+
+// NodeIndex maps per-dimension node indices to the flat node index.
+func (re *RefElement) NodeIndex(ix, iy, iz int) int {
+	return ix + re.ND*(iy+re.ND*iz)
+}
+
+// NodeCoords returns the per-dimension indices of flat node i.
+func (re *RefElement) NodeCoords(i int) (ix, iy, iz int) {
+	ix = i % re.ND
+	iy = (i / re.ND) % re.ND
+	iz = i / (re.ND * re.ND)
+	return
+}
+
+// PhysicalNodes returns the physical positions of all element nodes under
+// the given geometry (sub-parametric: trilinear map of the reference
+// node positions).
+func (re *RefElement) PhysicalNodes(geo *Geometry) [][3]float64 {
+	out := make([][3]float64, re.N)
+	for i, xi := range re.NodePos {
+		out[i] = geo.Map(xi)
+	}
+	return out
+}
+
+// EvalField evaluates a nodal field (coefficients per node) at reference
+// point xi.
+func (re *RefElement) EvalField(coef []float64, xi [3]float64) float64 {
+	if len(coef) != re.N {
+		panic(fmt.Sprintf("fem: EvalField got %d coefficients, want %d", len(coef), re.N))
+	}
+	b := re.Basis
+	s := 0.0
+	for iz := 0; iz < re.ND; iz++ {
+		vz := b.Eval(iz, xi[2])
+		if vz == 0 {
+			continue
+		}
+		for iy := 0; iy < re.ND; iy++ {
+			vyz := b.Eval(iy, xi[1]) * vz
+			if vyz == 0 {
+				continue
+			}
+			for ix := 0; ix < re.ND; ix++ {
+				s += coef[re.NodeIndex(ix, iy, iz)] * b.Eval(ix, xi[0]) * vyz
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,80 @@
+// Package gauss computes Gauss-Legendre quadrature rules. They are the
+// shared integration substrate for the finite element package (volume and
+// face integrals of basis-function pairs) and for the product
+// Gauss-Chebyshev angular quadrature (polar cosines).
+package gauss
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rule holds the nodes and weights of a quadrature rule on a fixed
+// interval. A rule with n points integrates polynomials of degree 2n-1
+// exactly.
+type Rule struct {
+	X []float64 // nodes
+	W []float64 // weights
+}
+
+// Legendre returns the n-point Gauss-Legendre rule on [-1, 1].
+// Nodes are computed by Newton iteration on the Legendre polynomial using
+// the Chebyshev initial guess; this is accurate to machine precision for
+// the modest orders used here (n <= 64 is ample for element order 10).
+func Legendre(n int) (Rule, error) {
+	if n < 1 {
+		return Rule{}, fmt.Errorf("gauss: rule needs at least 1 point, got %d", n)
+	}
+	x := make([]float64, n)
+	w := make([]float64, n)
+	for i := 0; i < (n+1)/2; i++ {
+		// Chebyshev guess for the i-th root (descending order).
+		z := math.Cos(math.Pi * (float64(i) + 0.75) / (float64(n) + 0.5))
+		var pp float64
+		for iter := 0; iter < 100; iter++ {
+			p0, p1 := 1.0, 0.0
+			for j := 0; j < n; j++ {
+				p2 := p1
+				p1 = p0
+				p0 = ((2*float64(j)+1)*z*p1 - float64(j)*p2) / float64(j+1)
+			}
+			// Derivative via the standard recurrence.
+			pp = float64(n) * (z*p0 - p1) / (z*z - 1)
+			dz := p0 / pp
+			z -= dz
+			if math.Abs(dz) < 1e-15 {
+				break
+			}
+		}
+		x[i] = -z
+		x[n-1-i] = z
+		wi := 2 / ((1 - z*z) * pp * pp)
+		w[i] = wi
+		w[n-1-i] = wi
+	}
+	return Rule{X: x, W: w}, nil
+}
+
+// LegendreUnit returns the n-point Gauss-Legendre rule mapped to [0, 1].
+// This is the reference-element interval used by the Lagrange basis.
+func LegendreUnit(n int) (Rule, error) {
+	r, err := Legendre(n)
+	if err != nil {
+		return Rule{}, err
+	}
+	for i := range r.X {
+		r.X[i] = 0.5 * (r.X[i] + 1)
+		r.W[i] *= 0.5
+	}
+	return r, nil
+}
+
+// MustLegendreUnit is LegendreUnit for statically valid n; it panics on
+// error and is intended for package-internal table construction.
+func MustLegendreUnit(n int) Rule {
+	r, err := LegendreUnit(n)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,146 @@
+package gauss
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLegendreInvalid(t *testing.T) {
+	if _, err := Legendre(0); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	if _, err := Legendre(-3); err == nil {
+		t.Fatal("expected error for negative n")
+	}
+}
+
+func TestLegendreWeightSum(t *testing.T) {
+	for n := 1; n <= 32; n++ {
+		r, err := Legendre(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, w := range r.W {
+			sum += w
+		}
+		if math.Abs(sum-2) > 1e-13 {
+			t.Fatalf("n=%d: weights sum to %v, want 2", n, sum)
+		}
+	}
+}
+
+func TestLegendreSymmetry(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		r, _ := Legendre(n)
+		for i := 0; i < n; i++ {
+			j := n - 1 - i
+			if math.Abs(r.X[i]+r.X[j]) > 1e-14 {
+				t.Fatalf("n=%d: nodes not symmetric: %v vs %v", n, r.X[i], r.X[j])
+			}
+			if math.Abs(r.W[i]-r.W[j]) > 1e-14 {
+				t.Fatalf("n=%d: weights not symmetric", n)
+			}
+		}
+	}
+}
+
+// integrate x^k on [-1,1] with the rule.
+func integrateMonomial(r Rule, k int) float64 {
+	s := 0.0
+	for i := range r.X {
+		s += r.W[i] * math.Pow(r.X[i], float64(k))
+	}
+	return s
+}
+
+func TestLegendreExactness(t *testing.T) {
+	// n points must integrate degree 2n-1 exactly.
+	for n := 1; n <= 12; n++ {
+		r, _ := Legendre(n)
+		for k := 0; k <= 2*n-1; k++ {
+			want := 0.0
+			if k%2 == 0 {
+				want = 2 / float64(k+1)
+			}
+			got := integrateMonomial(r, k)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("n=%d k=%d: got %v want %v", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestLegendreNotExactBeyondDegree(t *testing.T) {
+	// Sanity: n points should NOT integrate degree 2n exactly (the error
+	// is well above round-off for small n).
+	r, _ := Legendre(2)
+	got := integrateMonomial(r, 4) // exact: 2/5
+	if math.Abs(got-0.4) < 1e-6 {
+		t.Fatalf("2-point rule unexpectedly integrated x^4 exactly: %v", got)
+	}
+}
+
+func TestLegendreUnitExactness(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		r, err := LegendreUnit(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k <= 2*n-1; k++ {
+			want := 1 / float64(k+1)
+			got := 0.0
+			for i := range r.X {
+				got += r.W[i] * math.Pow(r.X[i], float64(k))
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("n=%d k=%d: got %v want %v", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestLegendreUnitNodesInRange(t *testing.T) {
+	r, _ := LegendreUnit(20)
+	for _, x := range r.X {
+		if x <= 0 || x >= 1 {
+			t.Fatalf("node %v outside (0,1)", x)
+		}
+	}
+}
+
+func TestMustLegendreUnitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid n")
+		}
+	}()
+	MustLegendreUnit(0)
+}
+
+// Property: for random low-degree polynomials, the 8-point rule matches
+// the analytic integral.
+func TestLegendreQuickPolynomial(t *testing.T) {
+	r, _ := Legendre(8)
+	f := func(c0, c1, c2, c3 float64) bool {
+		// Clamp coefficients to keep magnitudes sane.
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 1
+			}
+			return math.Mod(v, 100)
+		}
+		c0, c1, c2, c3 = clamp(c0), clamp(c1), clamp(c2), clamp(c3)
+		got := 0.0
+		for i := range r.X {
+			x := r.X[i]
+			got += r.W[i] * (c0 + x*(c1+x*(c2+x*c3)))
+		}
+		want := 2*c0 + 2.0/3.0*c2
+		return math.Abs(got-want) <= 1e-10*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

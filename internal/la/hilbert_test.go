@@ -1,0 +1,115 @@
+package la
+
+import (
+	"math"
+	"testing"
+)
+
+// hilbert builds the notoriously ill-conditioned Hilbert matrix.
+func hilbert(n int) *Matrix {
+	a := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, 1/float64(i+j+1))
+		}
+	}
+	return a
+}
+
+// TestHilbertAccuracy: both solvers must keep the residual small on a
+// moderately ill-conditioned system (cond(H6) ~ 1.5e7), even though the
+// solution error grows with the condition number.
+func TestHilbertAccuracy(t *testing.T) {
+	n := 6
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = 1
+	}
+	b := make([]float64, n)
+	MatVec(hilbert(n), want, b)
+
+	// GE path.
+	a := hilbert(n)
+	bGE := append([]float64(nil), b...)
+	x := make([]float64, n)
+	if err := SolveGE(a, bGE, x); err != nil {
+		t.Fatal(err)
+	}
+	if r := Residual(hilbert(n), x, b); r > 1e-12 {
+		t.Fatalf("GE residual %v too large for H6", r)
+	}
+	// Solution error may be amplified by cond(H6) * eps ~ 1e-9.
+	for i := range x {
+		if math.Abs(x[i]-1) > 1e-7 {
+			t.Fatalf("GE solution error too large: %v", x)
+		}
+	}
+
+	// Blocked LU path.
+	a = hilbert(n)
+	bLU := append([]float64(nil), b...)
+	piv := make([]int, n)
+	if err := SolveDGESV(a, bLU, piv); err != nil {
+		t.Fatal(err)
+	}
+	if r := Residual(hilbert(n), bLU, b); r > 1e-12 {
+		t.Fatalf("DGESV residual %v too large for H6", r)
+	}
+}
+
+// TestSolveFactoredIdentityPermutation: a permutation matrix factors into
+// pure row swaps; the factored solve must invert it exactly.
+func TestSolveFactoredPermutationMatrix(t *testing.T) {
+	n := 4
+	a := NewMatrix(n)
+	perm := []int{2, 0, 3, 1}
+	for i, p := range perm {
+		a.Set(i, p, 1)
+	}
+	piv := make([]int, n)
+	if err := Factor(a, piv); err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{10, 20, 30, 40}
+	SolveFactored(a, piv, b)
+	// x must satisfy P x = b_orig: x[perm[i]] = b_orig[i].
+	want := make([]float64, n)
+	for i, p := range perm {
+		want[p] = float64(10 * (i + 1))
+	}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-14 {
+			t.Fatalf("permutation solve: got %v want %v", b, want)
+		}
+	}
+}
+
+// TestFactorBlockedLargeBlockFallsBack: nb >= n must use the unblocked
+// path and still produce a valid factorisation.
+func TestFactorBlockedLargeBlock(t *testing.T) {
+	n := 5
+	a := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, float64(i+2))
+		if i > 0 {
+			a.Set(i, i-1, 1)
+		}
+	}
+	piv := make([]int, n)
+	if err := FactorBlocked(a, piv, 100); err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{2, 3, 4, 5, 6}
+	SolveFactored(a, piv, b)
+	// Verify by residual against a fresh copy.
+	a2 := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		a2.Set(i, i, float64(i+2))
+		if i > 0 {
+			a2.Set(i, i-1, 1)
+		}
+	}
+	if r := Residual(a2, b, []float64{2, 3, 4, 5, 6}); r > 1e-12 {
+		t.Fatalf("residual %v", r)
+	}
+}

@@ -1,0 +1,293 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randSystem builds a well-conditioned random system by making A strictly
+// diagonally dominant, along with a known solution x and RHS b = A x.
+func randSystem(rng *rand.Rand, n int) (*Matrix, []float64, []float64) {
+	a := NewMatrix(n)
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rowSum := 0.0
+		for j := 0; j < n; j++ {
+			v := rng.Float64()*2 - 1
+			a.Set(i, j, v)
+			rowSum += math.Abs(v)
+		}
+		a.Add(i, i, rowSum+1)
+		x[i] = rng.Float64()*10 - 5
+	}
+	b := make([]float64, n)
+	MatVec(a, x, b)
+	return a, x, b
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func TestMatrixAccessors(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(1, 2, 5)
+	m.Add(1, 2, 2)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At(1,2) = %v, want 7", m.At(1, 2))
+	}
+	m.Zero()
+	if m.At(1, 2) != 0 {
+		t.Fatal("Zero did not clear")
+	}
+}
+
+func TestCopyFromMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	NewMatrix(2).CopyFrom(NewMatrix(3))
+}
+
+func TestSolveGEIdentity(t *testing.T) {
+	n := 5
+	a := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+	}
+	b := []float64{1, 2, 3, 4, 5}
+	x := make([]float64, n)
+	if err := SolveGE(a, b, x); err != nil {
+		t.Fatal(err)
+	}
+	if maxAbsDiff(x, []float64{1, 2, 3, 4, 5}) > 1e-14 {
+		t.Fatalf("identity solve wrong: %v", x)
+	}
+}
+
+func TestSolveGEKnown2x2(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	b := []float64{5, 10}
+	x := make([]float64, 2)
+	if err := SolveGE(a, b, x); err != nil {
+		t.Fatal(err)
+	}
+	// Solution of [[2,1],[1,3]] x = [5,10] is x = [1, 3].
+	if maxAbsDiff(x, []float64{1, 3}) > 1e-13 {
+		t.Fatalf("got %v, want [1 3]", x)
+	}
+}
+
+func TestSolveGERequiresPivoting(t *testing.T) {
+	// Zero on the initial pivot position forces a row swap.
+	a := NewMatrix(2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	b := []float64{2, 3}
+	x := make([]float64, 2)
+	if err := SolveGE(a, b, x); err != nil {
+		t.Fatal(err)
+	}
+	if maxAbsDiff(x, []float64{3, 2}) > 1e-14 {
+		t.Fatalf("got %v, want [3 2]", x)
+	}
+}
+
+func TestSolveGESingular(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	b := []float64{1, 2}
+	x := make([]float64, 2)
+	if err := SolveGE(a, b, x); err != ErrSingular {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveGESizeMismatch(t *testing.T) {
+	a := NewMatrix(3)
+	if err := SolveGE(a, make([]float64, 2), make([]float64, 3)); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+}
+
+func TestSolveGERandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 8, 27, 64} {
+		a, want, b := randSystem(rng, n)
+		x := make([]float64, n)
+		if err := SolveGE(a, b, x); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := maxAbsDiff(x, want); d > 1e-9 {
+			t.Fatalf("n=%d: max error %v", n, d)
+		}
+	}
+}
+
+func TestFactorSolveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 5, 8, 27} {
+		a, want, b := randSystem(rng, n)
+		piv := make([]int, n)
+		if err := Factor(a, piv); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		SolveFactored(a, piv, b)
+		if d := maxAbsDiff(b, want); d > 1e-9 {
+			t.Fatalf("n=%d: max error %v", n, d)
+		}
+	}
+}
+
+func TestFactorBlockedMatchesUnblocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{4, 8, 33, 64, 125} {
+		a0, _, _ := randSystem(rng, n)
+		a1 := NewMatrix(n)
+		a1.CopyFrom(a0)
+		p0 := make([]int, n)
+		p1 := make([]int, n)
+		if err := Factor(a0, p0); err != nil {
+			t.Fatal(err)
+		}
+		if err := FactorBlocked(a1, p1, 8); err != nil {
+			t.Fatal(err)
+		}
+		for i := range p0 {
+			if p0[i] != p1[i] {
+				t.Fatalf("n=%d: pivot %d differs: %d vs %d", n, i, p0[i], p1[i])
+			}
+		}
+		if d := maxAbsDiff(a0.Data, a1.Data); d > 1e-10 {
+			t.Fatalf("n=%d: factor mismatch %v", n, d)
+		}
+	}
+}
+
+func TestSolveDGESVRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 8, 27, 64, 125, 216} {
+		a, want, b := randSystem(rng, n)
+		piv := make([]int, n)
+		if err := SolveDGESV(a, b, piv); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := maxAbsDiff(b, want); d > 1e-8 {
+			t.Fatalf("n=%d: max error %v", n, d)
+		}
+	}
+}
+
+func TestSolveDGESVSingular(t *testing.T) {
+	a := NewMatrix(3) // all zeros
+	b := make([]float64, 3)
+	if err := SolveDGESV(a, b, make([]int, 3)); err != ErrSingular {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestFactorBlockedPivLengthMismatch(t *testing.T) {
+	a := NewMatrix(4)
+	if err := FactorBlocked(a, make([]int, 2), 2); err == nil {
+		t.Fatal("expected pivot length error")
+	}
+}
+
+func TestGEAndDGESVAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(40)
+		a, _, b := randSystem(rng, n)
+		a2 := NewMatrix(n)
+		a2.CopyFrom(a)
+		b2 := append([]float64(nil), b...)
+		x1 := make([]float64, n)
+		if err := SolveGE(a, b, x1); err != nil {
+			t.Fatal(err)
+		}
+		piv := make([]int, n)
+		if err := SolveDGESV(a2, b2, piv); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(x1, b2); d > 1e-8 {
+			t.Fatalf("n=%d: solver disagreement %v", n, d)
+		}
+	}
+}
+
+func TestResidual(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 1)
+	if r := Residual(a, []float64{1, 2}, []float64{1, 2}); r != 0 {
+		t.Fatalf("residual of exact solution = %v", r)
+	}
+	if r := Residual(a, []float64{1, 2}, []float64{1, 5}); math.Abs(r-3) > 1e-15 {
+		t.Fatalf("residual = %v, want 3", r)
+	}
+}
+
+func TestWorkspace(t *testing.T) {
+	w := NewWorkspace(8)
+	if w.A.N != 8 || len(w.B) != 8 || len(w.X) != 8 || len(w.Piv) != 8 {
+		t.Fatal("workspace sized incorrectly")
+	}
+}
+
+// Property: GE residual stays tiny for random diagonally dominant systems.
+func TestSolveGEQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(raw uint8) bool {
+		n := int(raw%30) + 1
+		a, _, b := randSystem(rng, n)
+		aCopy := NewMatrix(n)
+		aCopy.CopyFrom(a)
+		bCopy := append([]float64(nil), b...)
+		x := make([]float64, n)
+		if err := SolveGE(a, b, x); err != nil {
+			return false
+		}
+		return Residual(aCopy, x, bCopy) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: blocked LU solves match the direct GE result.
+func TestBlockedLUQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(raw uint8, rawNB uint8) bool {
+		n := int(raw%50) + 1
+		nb := int(rawNB%16) + 1
+		a, want, b := randSystem(rng, n)
+		piv := make([]int, n)
+		if err := FactorBlocked(a, piv, nb); err != nil {
+			return false
+		}
+		SolveFactored(a, piv, b)
+		return maxAbsDiff(b, want) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package mesh
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonFace mirrors Face for serialisation.
+type jsonFace struct {
+	Neighbor     int `json:"neighbor"`
+	NeighborFace int `json:"neighbor_face"`
+}
+
+type jsonElement struct {
+	Corners  [8][3]float64 `json:"corners"`
+	Faces    [6]jsonFace   `json:"faces"`
+	Material int           `json:"material"`
+	Source   float64       `json:"source"`
+}
+
+type jsonMesh struct {
+	NX    int           `json:"nx"`
+	NY    int           `json:"ny"`
+	NZ    int           `json:"nz"`
+	LX    float64       `json:"lx"`
+	LY    float64       `json:"ly"`
+	LZ    float64       `json:"lz"`
+	Twist float64       `json:"twist"`
+	Elems []jsonElement `json:"elements"`
+}
+
+// WriteJSON serialises the mesh, including the explicit connectivity, so
+// external tooling can inspect or visualise it.
+func (m *Mesh) WriteJSON(w io.Writer) error {
+	jm := jsonMesh{
+		NX: m.NX, NY: m.NY, NZ: m.NZ,
+		LX: m.LX, LY: m.LY, LZ: m.LZ,
+		Twist: m.Twist,
+		Elems: make([]jsonElement, len(m.Elems)),
+	}
+	for i, e := range m.Elems {
+		je := jsonElement{Corners: e.Corners, Material: e.Material, Source: e.Source}
+		for f := 0; f < 6; f++ {
+			je.Faces[f] = jsonFace{Neighbor: e.Faces[f].Neighbor, NeighborFace: e.Faces[f].NeighborFace}
+		}
+		jm.Elems[i] = je
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(jm)
+}
+
+// ReadJSON deserialises a mesh written by WriteJSON and validates its
+// connectivity.
+func ReadJSON(r io.Reader) (*Mesh, error) {
+	var jm jsonMesh
+	if err := json.NewDecoder(r).Decode(&jm); err != nil {
+		return nil, fmt.Errorf("mesh: decoding JSON: %w", err)
+	}
+	m := &Mesh{
+		NX: jm.NX, NY: jm.NY, NZ: jm.NZ,
+		LX: jm.LX, LY: jm.LY, LZ: jm.LZ,
+		Twist: jm.Twist,
+		Elems: make([]Element, len(jm.Elems)),
+	}
+	for i, je := range jm.Elems {
+		e := Element{Corners: je.Corners, Material: je.Material, Source: je.Source}
+		for f := 0; f < 6; f++ {
+			e.Faces[f] = Face{Neighbor: je.Faces[f].Neighbor, NeighborFace: je.Faces[f].NeighborFace}
+		}
+		m.Elems[i] = e
+	}
+	if err := m.CheckConnectivity(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

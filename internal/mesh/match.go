@@ -1,0 +1,111 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+
+	"unsnap/internal/fem"
+)
+
+// Connectivity carries the order-dependent face-node matching of a mesh:
+// for every interior element face, the permutation that maps our face-node
+// ordering onto the neighbour's. The discontinuous Galerkin upwind term
+// couples coincident nodes of adjacent elements, and on a conforming mesh
+// the coupling face-mass matrix is our own face matrix with the columns
+// permuted by this mapping.
+//
+// Matching is purely geometric (nearest physical node positions) so it
+// works for any conforming hexahedral mesh, not just ones derived from a
+// structured grid.
+type Connectivity struct {
+	Re *fem.RefElement
+	// Perm[e][f][k] is the neighbour's face-node index whose physical
+	// position coincides with our face-node k; nil for boundary faces.
+	Perm [][fem.NumFaces][]int
+}
+
+// Match computes the face-node matching of m for elements of the given
+// order. It errors if any interior face pair fails to match bijectively
+// within a tolerance scaled to the local element size (a non-conforming
+// or corrupted mesh).
+func (m *Mesh) Match(re *fem.RefElement) (*Connectivity, error) {
+	conn := &Connectivity{Re: re, Perm: make([][fem.NumFaces][]int, len(m.Elems))}
+	// Physical positions of each element's nodes, computed lazily.
+	cache := make([][][3]float64, len(m.Elems))
+	nodes := func(e int) [][3]float64 {
+		if cache[e] == nil {
+			cache[e] = re.PhysicalNodes(m.Elems[e].Geometry())
+		}
+		return cache[e]
+	}
+	for e := range m.Elems {
+		for f := 0; f < fem.NumFaces; f++ {
+			fc := m.Elems[e].Faces[f]
+			if fc.Neighbor < 0 {
+				continue
+			}
+			perm, err := matchFace(re, nodes(e), f, nodes(fc.Neighbor), fc.NeighborFace)
+			if err != nil {
+				return nil, fmt.Errorf("mesh: matching element %d face %d to element %d face %d: %w",
+					e, f, fc.Neighbor, fc.NeighborFace, err)
+			}
+			conn.Perm[e][f] = perm
+		}
+	}
+	return conn, nil
+}
+
+// MatchFacePair computes the face-node permutation between two coincident
+// faces of two elements given by their geometries, exactly as Match does
+// for intra-mesh links. The block Jacobi driver uses it to map halo data
+// across partition boundaries, where the local meshes no longer hold the
+// link. perm[k] is the index into re.FaceNodes[fb] of the node coincident
+// with our k-th face node of fa.
+func MatchFacePair(re *fem.RefElement, ga *fem.Geometry, fa int, gb *fem.Geometry, fb int) ([]int, error) {
+	return matchFace(re, re.PhysicalNodes(ga), fa, re.PhysicalNodes(gb), fb)
+}
+
+// matchFace pairs the face nodes of (mine, f) with those of (theirs, g) by
+// nearest physical position.
+func matchFace(re *fem.RefElement, mine [][3]float64, f int, theirs [][3]float64, g int) ([]int, error) {
+	nf := re.NF
+	myNodes := re.FaceNodes[f]
+	thNodes := re.FaceNodes[g]
+	// Tolerance: a small fraction of the shortest node spacing on the face.
+	tol := math.Inf(1)
+	for k := 1; k < nf; k++ {
+		d := dist(mine[myNodes[k]], mine[myNodes[0]])
+		if d > 0 && d < tol {
+			tol = d
+		}
+	}
+	if math.IsInf(tol, 1) {
+		tol = 1
+	}
+	tol *= 1e-6
+	perm := make([]int, nf)
+	used := make([]bool, nf)
+	for k := 0; k < nf; k++ {
+		p := mine[myNodes[k]]
+		best, bestD := -1, math.Inf(1)
+		for l := 0; l < nf; l++ {
+			if used[l] {
+				continue
+			}
+			if d := dist(p, theirs[thNodes[l]]); d < bestD {
+				best, bestD = l, d
+			}
+		}
+		if best < 0 || bestD > tol {
+			return nil, fmt.Errorf("face node %d has no coincident neighbour node (best distance %g, tol %g)", k, bestD, tol)
+		}
+		perm[k] = best
+		used[best] = true
+	}
+	return perm, nil
+}
+
+func dist(a, b [3]float64) float64 {
+	dx, dy, dz := a[0]-b[0], a[1]-b[1], a[2]-b[2]
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}

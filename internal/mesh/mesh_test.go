@@ -1,0 +1,367 @@
+package mesh
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"unsnap/internal/fem"
+	"unsnap/internal/xs"
+)
+
+func testConfig(n int, twist float64) Config {
+	return Config{NX: n, NY: n, NZ: n, LX: 1, LY: 1, LZ: 1, Twist: twist,
+		MatOpt: xs.MatOptCentre, SrcOpt: xs.SrcOptEverywhere}
+}
+
+func TestNewInvalid(t *testing.T) {
+	bad := []Config{
+		{NX: 0, NY: 1, NZ: 1, LX: 1, LY: 1, LZ: 1},
+		{NX: 1, NY: 1, NZ: 1, LX: 0, LY: 1, LZ: 1},
+		{NX: 1, NY: 1, NZ: 1, LX: 1, LY: 1, LZ: 1, MatOpt: 99},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestNewCounts(t *testing.T) {
+	m, err := New(Config{NX: 3, NY: 4, NZ: 5, LX: 1, LY: 2, LZ: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumElems() != 60 {
+		t.Fatalf("got %d elements, want 60", m.NumElems())
+	}
+}
+
+func TestConnectivityStructured(t *testing.T) {
+	m, _ := New(testConfig(4, 0))
+	if err := m.CheckConnectivity(); err != nil {
+		t.Fatal(err)
+	}
+	// Corner element 0 must have boundaries on the low faces and
+	// neighbours on the high faces.
+	e0 := m.Elems[0]
+	for _, f := range []int{fem.FaceXLo, fem.FaceYLo, fem.FaceZLo} {
+		if e0.Faces[f].Neighbor != -1 {
+			t.Fatalf("face %d of corner element should be boundary", f)
+		}
+	}
+	if e0.Faces[fem.FaceXHi].Neighbor != 1 {
+		t.Fatalf("+x neighbour of element 0 = %d, want 1", e0.Faces[fem.FaceXHi].Neighbor)
+	}
+	if e0.Faces[fem.FaceYHi].Neighbor != 4 {
+		t.Fatalf("+y neighbour of element 0 = %d, want 4", e0.Faces[fem.FaceYHi].Neighbor)
+	}
+	if e0.Faces[fem.FaceZHi].Neighbor != 16 {
+		t.Fatalf("+z neighbour of element 0 = %d, want 16", e0.Faces[fem.FaceZHi].Neighbor)
+	}
+}
+
+func TestCheckConnectivityDetectsCorruption(t *testing.T) {
+	m, _ := New(testConfig(3, 0))
+	m.Elems[0].Faces[fem.FaceXHi].Neighbor = 5 // wrong link
+	if err := m.CheckConnectivity(); err == nil {
+		t.Fatal("expected corruption to be detected")
+	}
+	m2, _ := New(testConfig(3, 0))
+	m2.Elems[0].Faces[fem.FaceXHi].Neighbor = 10000
+	if err := m2.CheckConnectivity(); err == nil {
+		t.Fatal("expected out-of-range link to be detected")
+	}
+}
+
+func TestStructuredCoordsRoundTrip(t *testing.T) {
+	m, _ := New(Config{NX: 3, NY: 4, NZ: 5, LX: 1, LY: 1, LZ: 1})
+	for e := 0; e < m.NumElems(); e++ {
+		ix, iy, iz := m.StructuredCoords(e)
+		if m.index(ix, iy, iz) != e {
+			t.Fatalf("round trip failed at %d", e)
+		}
+	}
+}
+
+func TestTwistPreservesSharedVertices(t *testing.T) {
+	// Adjacent elements must share identical corner coordinates so the
+	// mesh stays conforming after twisting.
+	m, _ := New(testConfig(3, 0.05))
+	e := m.Elems[0]
+	nb := m.Elems[e.Faces[fem.FaceXHi].Neighbor]
+	// e's +x corners are (1,3,5,7); nb's -x corners are (0,2,4,6).
+	pairs := [][2]int{{1, 0}, {3, 2}, {5, 4}, {7, 6}}
+	for _, p := range pairs {
+		for d := 0; d < 3; d++ {
+			if e.Corners[p[0]][d] != nb.Corners[p[1]][d] {
+				t.Fatalf("shared vertex differs: %v vs %v", e.Corners[p[0]], nb.Corners[p[1]])
+			}
+		}
+	}
+}
+
+func TestTwistZeroKeepsCubes(t *testing.T) {
+	m, _ := New(testConfig(2, 0))
+	for e := range m.Elems {
+		if _, _, ok := m.Elems[e].Geometry().IsAxisAlignedBox(); !ok {
+			t.Fatalf("element %d of untwisted mesh is not a box", e)
+		}
+	}
+}
+
+func TestTwistDeformsCells(t *testing.T) {
+	m, _ := New(testConfig(4, 0.01))
+	deformed := 0
+	for e := range m.Elems {
+		if _, _, ok := m.Elems[e].Geometry().IsAxisAlignedBox(); !ok {
+			deformed++
+		}
+	}
+	if deformed == 0 {
+		t.Fatal("twist did not deform any cells")
+	}
+}
+
+func TestTwistedVolumeNearBox(t *testing.T) {
+	re, _ := fem.NewRefElement(1)
+	m, _ := New(testConfig(4, 0.001))
+	vol, err := m.TotalVolume(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vol-1) > 1e-4 {
+		t.Fatalf("twisted mesh volume %v, want ~1", vol)
+	}
+}
+
+func TestMaterialLayoutCentre(t *testing.T) {
+	m, _ := New(testConfig(4, 0))
+	// Element at structured (2,2,2) has fractional centre 0.625: inside.
+	if mat := m.Elems[m.index(2, 2, 2)].Material; mat != xs.Mat2 {
+		t.Fatalf("centre element material = %d, want Mat2", mat)
+	}
+	if mat := m.Elems[0].Material; mat != xs.Mat1 {
+		t.Fatalf("corner element material = %d, want Mat1", mat)
+	}
+}
+
+func TestMatchIdentityOnStructured(t *testing.T) {
+	// On a structured-derived conforming mesh the lexicographic face-node
+	// orderings line up, so matching must return the identity permutation.
+	re, _ := fem.NewRefElement(2)
+	m, _ := New(testConfig(3, 0.01))
+	conn, err := m.Match(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range m.Elems {
+		for f := 0; f < fem.NumFaces; f++ {
+			perm := conn.Perm[e][f]
+			if m.Elems[e].Faces[f].Neighbor < 0 {
+				if perm != nil {
+					t.Fatalf("boundary face has a permutation")
+				}
+				continue
+			}
+			for k, v := range perm {
+				if v != k {
+					t.Fatalf("element %d face %d: perm[%d] = %d, want identity", e, f, k, v)
+				}
+			}
+		}
+	}
+}
+
+func TestMatchCoincidentPositions(t *testing.T) {
+	// The matched nodes must coincide physically — the invariant the DG
+	// upwind coupling relies on.
+	re, _ := fem.NewRefElement(3)
+	m, _ := New(testConfig(2, 0.02))
+	conn, err := m.Match(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range m.Elems {
+		mine := re.PhysicalNodes(m.Elems[e].Geometry())
+		for f := 0; f < fem.NumFaces; f++ {
+			fc := m.Elems[e].Faces[f]
+			if fc.Neighbor < 0 {
+				continue
+			}
+			theirs := re.PhysicalNodes(m.Elems[fc.Neighbor].Geometry())
+			for k, l := range conn.Perm[e][f] {
+				a := mine[re.FaceNodes[f][k]]
+				b := theirs[re.FaceNodes[fc.NeighborFace][l]]
+				if dist(a, b) > 1e-10 {
+					t.Fatalf("matched nodes differ by %g", dist(a, b))
+				}
+			}
+		}
+	}
+}
+
+func TestMatchRejectsNonConforming(t *testing.T) {
+	re, _ := fem.NewRefElement(1)
+	m, _ := New(testConfig(2, 0))
+	// Corrupt one element's geometry so its face no longer lines up.
+	for c := range m.Elems[0].Corners {
+		m.Elems[0].Corners[c][0] *= 0.5
+	}
+	if _, err := m.Match(re); err == nil {
+		t.Fatal("expected non-conforming mesh to be rejected")
+	}
+}
+
+func TestPartitionKBAInvalid(t *testing.T) {
+	m, _ := New(testConfig(4, 0))
+	if _, err := m.PartitionKBA(0, 1); err == nil {
+		t.Fatal("expected error for zero ranks")
+	}
+	if _, err := m.PartitionKBA(8, 1); err == nil {
+		t.Fatal("expected error when ranks exceed elements")
+	}
+}
+
+func TestPartitionKBACoversAllElements(t *testing.T) {
+	m, _ := New(testConfig(4, 0.001))
+	p, err := m.PartitionKBA(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Subs) != 4 {
+		t.Fatalf("got %d subs, want 4", len(p.Subs))
+	}
+	seen := make(map[int]bool)
+	for _, sub := range p.Subs {
+		if err := sub.Mesh.CheckConnectivity(); err != nil {
+			t.Fatalf("rank %d: %v", sub.Rank, err)
+		}
+		for _, g := range sub.Global {
+			if seen[g] {
+				t.Fatalf("element %d assigned twice", g)
+			}
+			seen[g] = true
+		}
+	}
+	if len(seen) != m.NumElems() {
+		t.Fatalf("covered %d elements, want %d", len(seen), m.NumElems())
+	}
+}
+
+func TestPartitionKBARemoteSymmetry(t *testing.T) {
+	m, _ := New(testConfig(4, 0))
+	p, err := m.PartitionKBA(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, sub := range p.Subs {
+		for key, ref := range sub.Remote {
+			count++
+			peer := p.Subs[ref.Rank]
+			back, ok := peer.Remote[FaceKey{Elem: ref.Elem, Face: ref.Face}]
+			if !ok {
+				t.Fatalf("remote ref (%d:%v) not reciprocated", sub.Rank, key)
+			}
+			if back.Rank != sub.Rank || back.Elem != key.Elem || back.Face != key.Face {
+				t.Fatalf("remote ref mismatch: %v -> %v -> %v", key, ref, back)
+			}
+		}
+	}
+	// A 4^3 grid split 2x2 has 2 cut planes of 4x4 faces each, counted
+	// from both sides: 2 * 16 * 2 = 64 remote records.
+	if count != 64 {
+		t.Fatalf("got %d remote faces, want 64", count)
+	}
+}
+
+func TestPartitionSingleRankKeepsEverything(t *testing.T) {
+	m, _ := New(testConfig(3, 0.001))
+	p, err := m.PartitionKBA(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := p.Subs[0]
+	if sub.Mesh.NumElems() != m.NumElems() {
+		t.Fatalf("single-rank sub has %d elements, want %d", sub.Mesh.NumElems(), m.NumElems())
+	}
+	if len(sub.Remote) != 0 {
+		t.Fatalf("single-rank sub has %d remote faces, want 0", len(sub.Remote))
+	}
+}
+
+func TestSplitRange(t *testing.T) {
+	lo, hi := splitRange(10, 3)
+	wantLo := []int{0, 4, 7}
+	wantHi := []int{4, 7, 10}
+	for i := range lo {
+		if lo[i] != wantLo[i] || hi[i] != wantHi[i] {
+			t.Fatalf("splitRange(10,3) = %v,%v", lo, hi)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	m, _ := New(testConfig(3, 0.005))
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumElems() != m.NumElems() {
+		t.Fatalf("round trip lost elements: %d vs %d", m2.NumElems(), m.NumElems())
+	}
+	for e := range m.Elems {
+		if m.Elems[e].Corners != m2.Elems[e].Corners {
+			t.Fatalf("element %d corners differ", e)
+		}
+		if m.Elems[e].Material != m2.Elems[e].Material {
+			t.Fatalf("element %d material differs", e)
+		}
+	}
+}
+
+func TestReadJSONRejectsCorrupt(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{not json")); err == nil {
+		t.Fatal("expected JSON error")
+	}
+}
+
+// Property: connectivity is a valid involution and partitions cover the
+// mesh for random shapes.
+func TestMeshQuick(t *testing.T) {
+	f := func(rawN, rawPy, rawPz uint8) bool {
+		nx := int(rawN%4) + 1
+		ny := int(rawN%3) + 2
+		nz := int(rawN%5) + 1
+		m, err := New(Config{NX: nx, NY: ny, NZ: nz, LX: 1, LY: 1, LZ: 1, Twist: 0.002})
+		if err != nil {
+			return false
+		}
+		if m.CheckConnectivity() != nil {
+			return false
+		}
+		py := int(rawPy%uint8(ny)) + 1
+		pz := int(rawPz%uint8(nz)) + 1
+		p, err := m.PartitionKBA(py, pz)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, sub := range p.Subs {
+			if sub.Mesh.CheckConnectivity() != nil {
+				return false
+			}
+			total += sub.Mesh.NumElems()
+		}
+		return total == m.NumElems()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

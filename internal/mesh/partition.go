@@ -1,0 +1,140 @@
+package mesh
+
+import (
+	"fmt"
+
+	"unsnap/internal/fem"
+)
+
+// RemoteRef identifies the face of an element owned by another subdomain.
+type RemoteRef struct {
+	Rank int // owning rank
+	Elem int // local element index on that rank
+	Face int // face index on that element
+}
+
+// FaceKey addresses one face of one local element.
+type FaceKey struct {
+	Elem int
+	Face int
+}
+
+// Sub is one rank's piece of a partitioned mesh. Faces that cross the
+// partition boundary appear as boundary faces (Neighbor = -1) in the local
+// mesh, with the true peer recorded in Remote; the block Jacobi driver
+// feeds those faces from halo data instead of treating them as vacuum.
+type Sub struct {
+	Rank   int
+	RY, RZ int   // position in the rank grid
+	Mesh   *Mesh // local mesh
+	Global []int // local element index -> global element index
+	Remote map[FaceKey]RemoteRef
+}
+
+// Partition is a KBA-style 2D decomposition of the structured provenance:
+// the Y and Z dimensions are split over a PY x PZ rank grid and every rank
+// keeps the full X extent, mirroring SNAP's decomposition (the paper keeps
+// it because it was shown to be near-optimal for sweeping unstructured
+// meshes too).
+type Partition struct {
+	PY, PZ int
+	Subs   []*Sub
+}
+
+// PartitionKBA splits m over a py x pz rank grid.
+func (m *Mesh) PartitionKBA(py, pz int) (*Partition, error) {
+	if py < 1 || pz < 1 {
+		return nil, fmt.Errorf("mesh: rank grid must be at least 1x1, got %dx%d", py, pz)
+	}
+	if py > m.NY || pz > m.NZ {
+		return nil, fmt.Errorf("mesh: rank grid %dx%d exceeds element grid %dx%d (Y,Z)", py, pz, m.NY, m.NZ)
+	}
+	p := &Partition{PY: py, PZ: pz}
+
+	yLo, yHi := splitRange(m.NY, py)
+	zLo, zHi := splitRange(m.NZ, pz)
+
+	// global element -> (rank, local index)
+	owner := make([]int, len(m.Elems))
+	local := make([]int, len(m.Elems))
+
+	for rz := 0; rz < pz; rz++ {
+		for ry := 0; ry < py; ry++ {
+			rank := ry + py*rz
+			ny := yHi[ry] - yLo[ry]
+			nz := zHi[rz] - zLo[rz]
+			sub := &Sub{
+				Rank: rank, RY: ry, RZ: rz,
+				Remote: make(map[FaceKey]RemoteRef),
+				Mesh: &Mesh{
+					NX: m.NX, NY: ny, NZ: nz,
+					LX: m.LX, LY: m.LY, LZ: m.LZ,
+					Twist: m.Twist,
+				},
+			}
+			sub.Mesh.Elems = make([]Element, 0, m.NX*ny*nz)
+			sub.Global = make([]int, 0, m.NX*ny*nz)
+			for iz := zLo[rz]; iz < zHi[rz]; iz++ {
+				for iy := yLo[ry]; iy < yHi[ry]; iy++ {
+					for ix := 0; ix < m.NX; ix++ {
+						g := m.index(ix, iy, iz)
+						owner[g] = rank
+						local[g] = len(sub.Global)
+						sub.Global = append(sub.Global, g)
+						sub.Mesh.Elems = append(sub.Mesh.Elems, m.Elems[g])
+					}
+				}
+			}
+			p.Subs = append(p.Subs, sub)
+		}
+	}
+
+	// Rewrite connectivity: intra-rank links become local indices,
+	// cross-rank links become boundary faces with a Remote record.
+	for _, sub := range p.Subs {
+		for le := range sub.Mesh.Elems {
+			g := sub.Global[le]
+			for f := 0; f < fem.NumFaces; f++ {
+				fc := m.Elems[g].Faces[f]
+				if fc.Neighbor < 0 {
+					sub.Mesh.Elems[le].Faces[f] = Face{Neighbor: -1, NeighborFace: -1}
+					continue
+				}
+				if owner[fc.Neighbor] == sub.Rank {
+					sub.Mesh.Elems[le].Faces[f] = Face{
+						Neighbor:     local[fc.Neighbor],
+						NeighborFace: fc.NeighborFace,
+					}
+				} else {
+					sub.Mesh.Elems[le].Faces[f] = Face{Neighbor: -1, NeighborFace: -1}
+					sub.Remote[FaceKey{Elem: le, Face: f}] = RemoteRef{
+						Rank: owner[fc.Neighbor],
+						Elem: local[fc.Neighbor],
+						Face: fc.NeighborFace,
+					}
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// splitRange divides n items over p near-equal contiguous chunks and
+// returns the half-open bounds of each chunk.
+func splitRange(n, p int) (lo, hi []int) {
+	lo = make([]int, p)
+	hi = make([]int, p)
+	base := n / p
+	rem := n % p
+	at := 0
+	for r := 0; r < p; r++ {
+		size := base
+		if r < rem {
+			size++
+		}
+		lo[r] = at
+		at += size
+		hi[r] = at
+	}
+	return lo, hi
+}

@@ -1,0 +1,177 @@
+// Package quadrature builds discrete-ordinates (Sn) angular quadrature
+// sets. UnSNAP inherits SNAP's conventions: angles are grouped into the 8
+// octants of the unit sphere, weights are normalised so that the sum over
+// all angles is 1, and the scalar flux is the plain weighted sum of the
+// angular fluxes.
+//
+// Two constructions are provided:
+//
+//   - NewSNAP: SNAP's "dummy" set. SNAP is a performance proxy and does not
+//     ship a physical quadrature; it spaces the direction cosines evenly so
+//     that the arithmetic is representative. UnSNAP uses the same data.
+//   - NewProductGaussChebyshev: a real product quadrature (Gauss-Legendre in
+//     the polar cosine, Chebyshev/equal-weight in azimuth) that integrates
+//     low-order spherical harmonics exactly; used by the verification tests.
+package quadrature
+
+import (
+	"fmt"
+	"math"
+
+	"unsnap/internal/gauss"
+)
+
+// Angle is a single discrete ordinate: a unit direction, its quadrature
+// weight, and the octant it belongs to.
+type Angle struct {
+	Omega  [3]float64 // direction cosines (Ωx, Ωy, Ωz), |Ω| = 1
+	Weight float64
+	Octant int // 0..7
+}
+
+// OctantSigns returns the direction signs of octant o. Bit 0 selects the x
+// sign, bit 1 the y sign, bit 2 the z sign; a set bit means negative.
+// Octant 0 is therefore (+,+,+) and octant 7 is (-,-,-), matching the
+// sweep-direction convention used by the mesh and schedule packages.
+func OctantSigns(o int) [3]float64 {
+	s := [3]float64{1, 1, 1}
+	if o&1 != 0 {
+		s[0] = -1
+	}
+	if o&2 != 0 {
+		s[1] = -1
+	}
+	if o&4 != 0 {
+		s[2] = -1
+	}
+	return s
+}
+
+// Set is a complete angular quadrature: PerOctant angles replicated with
+// sign flips into all 8 octants. Angles are stored octant-major: angle
+// index a = octant*PerOctant + m.
+type Set struct {
+	Angles    []Angle
+	PerOctant int
+}
+
+// NumAngles returns the total number of discrete ordinates (8 * PerOctant).
+func (s *Set) NumAngles() int { return len(s.Angles) }
+
+// OctantAngles returns the slice of angles belonging to octant o.
+func (s *Set) OctantAngles(o int) []Angle {
+	return s.Angles[o*s.PerOctant : (o+1)*s.PerOctant]
+}
+
+// AngleIndex returns the global index of ordinate m within octant o.
+func (s *Set) AngleIndex(o, m int) int { return o*s.PerOctant + m }
+
+// replicate expands per-octant first-octant cosines (all positive) and
+// weights into the full 8-octant set.
+func replicate(mu, eta, xi, w []float64) *Set {
+	n := len(mu)
+	set := &Set{PerOctant: n, Angles: make([]Angle, 0, 8*n)}
+	for o := 0; o < 8; o++ {
+		s := OctantSigns(o)
+		for m := 0; m < n; m++ {
+			set.Angles = append(set.Angles, Angle{
+				Omega:  [3]float64{s[0] * mu[m], s[1] * eta[m], s[2] * xi[m]},
+				Weight: w[m],
+				Octant: o,
+			})
+		}
+	}
+	return set
+}
+
+// NewSNAP builds SNAP's evenly spaced proxy quadrature with nang angles
+// per octant. For ordinate m (1-based): mu = (2m-1)/(2 nang),
+// eta = 1 - (2m-1)/(2 nang) scaled onto the sphere, xi chosen so that
+// mu^2 + eta^2 + xi^2 = 1. Every angle carries weight 0.125/nang so the
+// total weight over all 8 octants is exactly 1 (SNAP's normalisation).
+func NewSNAP(nang int) (*Set, error) {
+	if nang < 1 {
+		return nil, fmt.Errorf("quadrature: nang must be >= 1, got %d", nang)
+	}
+	mu := make([]float64, nang)
+	eta := make([]float64, nang)
+	xi := make([]float64, nang)
+	w := make([]float64, nang)
+	dm := 1.0 / float64(nang)
+	for m := 0; m < nang; m++ {
+		mu[m] = (float64(m) + 0.5) * dm
+		eta[m] = 1 - (float64(m)+0.5)*dm
+		rest := 1 - mu[m]*mu[m] - eta[m]*eta[m]
+		if rest <= 0 {
+			// Evenly spaced mu/eta can leave no room for xi when nang is
+			// small and m sits at an extreme; shrink mu and eta onto a
+			// cone that keeps xi real (SNAP avoids this by construction
+			// for its default sizes; we guard it for arbitrary nang).
+			scale := math.Sqrt(0.5 / (mu[m]*mu[m] + eta[m]*eta[m]))
+			mu[m] *= scale
+			eta[m] *= scale
+			rest = 1 - mu[m]*mu[m] - eta[m]*eta[m]
+		}
+		xi[m] = math.Sqrt(rest)
+		w[m] = 0.125 * dm
+	}
+	return replicate(mu, eta, xi, w), nil
+}
+
+// NewProductGaussChebyshev builds a physically meaningful product
+// quadrature with npolar Gauss-Legendre polar cosines in (0,1) and nazi
+// equally spaced azimuthal angles per octant (Chebyshev quadrature in
+// azimuth). The per-octant angle count is npolar*nazi and the weights sum
+// to 1 over the sphere. With npolar >= 2 the set integrates all quadratic
+// moments of the direction vector exactly: sum w Ω_d = 0 and
+// sum w Ω_d^2 = 1/3.
+func NewProductGaussChebyshev(npolar, nazi int) (*Set, error) {
+	if npolar < 1 || nazi < 1 {
+		return nil, fmt.Errorf("quadrature: npolar and nazi must be >= 1, got %d, %d", npolar, nazi)
+	}
+	rule, err := gauss.LegendreUnit(npolar)
+	if err != nil {
+		return nil, err
+	}
+	n := npolar * nazi
+	mu := make([]float64, 0, n)
+	eta := make([]float64, 0, n)
+	xi := make([]float64, 0, n)
+	w := make([]float64, 0, n)
+	for p := 0; p < npolar; p++ {
+		c := rule.X[p] // polar cosine in (0,1): Ωz of the first octant
+		sinT := math.Sqrt(1 - c*c)
+		for a := 0; a < nazi; a++ {
+			// Midpoint azimuthal angles within (0, pi/2).
+			phi := (float64(a) + 0.5) * (math.Pi / 2) / float64(nazi)
+			mu = append(mu, sinT*math.Cos(phi))
+			eta = append(eta, sinT*math.Sin(phi))
+			xi = append(xi, c)
+			// Polar GL weight integrates d(cos theta) over (0,1): one
+			// hemisphere of measure 1/2 of the normalised sphere. The
+			// azimuthal factor splits each octant's quarter-turn evenly.
+			w = append(w, 0.5*rule.W[p]/(4*float64(nazi)))
+		}
+	}
+	return replicate(mu, eta, xi, w), nil
+}
+
+// TotalWeight returns the sum of all weights (1 for a well-formed set).
+func (s *Set) TotalWeight() float64 {
+	t := 0.0
+	for _, a := range s.Angles {
+		t += a.Weight
+	}
+	return t
+}
+
+// MirrorAngle returns the index of the ordinate whose direction is a's
+// with component dim negated. Both constructions replicate the same
+// per-octant ordinates into all octants, so the mirror is the same
+// in-octant ordinate in the octant with the flipped sign bit — the pairing
+// that specular reflective boundary conditions rely on.
+func (s *Set) MirrorAngle(a, dim int) int {
+	o := s.Angles[a].Octant
+	m := a - o*s.PerOctant
+	return s.AngleIndex(o^(1<<dim), m)
+}

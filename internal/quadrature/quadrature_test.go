@@ -1,0 +1,194 @@
+package quadrature
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOctantSigns(t *testing.T) {
+	cases := []struct {
+		o    int
+		want [3]float64
+	}{
+		{0, [3]float64{1, 1, 1}},
+		{1, [3]float64{-1, 1, 1}},
+		{2, [3]float64{1, -1, 1}},
+		{4, [3]float64{1, 1, -1}},
+		{7, [3]float64{-1, -1, -1}},
+	}
+	for _, c := range cases {
+		if got := OctantSigns(c.o); got != c.want {
+			t.Fatalf("octant %d: got %v want %v", c.o, got, c.want)
+		}
+	}
+}
+
+func TestNewSNAPInvalid(t *testing.T) {
+	if _, err := NewSNAP(0); err == nil {
+		t.Fatal("expected error for nang=0")
+	}
+}
+
+func TestNewSNAPCounts(t *testing.T) {
+	for _, nang := range []int{1, 2, 6, 10, 36} {
+		s, err := NewSNAP(nang)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.NumAngles() != 8*nang {
+			t.Fatalf("nang=%d: got %d angles, want %d", nang, s.NumAngles(), 8*nang)
+		}
+		if s.PerOctant != nang {
+			t.Fatalf("PerOctant = %d, want %d", s.PerOctant, nang)
+		}
+	}
+}
+
+func TestNewSNAPWeightNormalisation(t *testing.T) {
+	for _, nang := range []int{1, 3, 10, 36} {
+		s, _ := NewSNAP(nang)
+		if w := s.TotalWeight(); math.Abs(w-1) > 1e-13 {
+			t.Fatalf("nang=%d: total weight %v, want 1", nang, w)
+		}
+	}
+}
+
+func TestNewSNAPUnitDirections(t *testing.T) {
+	s, _ := NewSNAP(12)
+	for i, a := range s.Angles {
+		n := a.Omega[0]*a.Omega[0] + a.Omega[1]*a.Omega[1] + a.Omega[2]*a.Omega[2]
+		if math.Abs(n-1) > 1e-12 {
+			t.Fatalf("angle %d: |Omega|^2 = %v, want 1", i, n)
+		}
+	}
+}
+
+func TestNewSNAPOctantMembership(t *testing.T) {
+	s, _ := NewSNAP(4)
+	for o := 0; o < 8; o++ {
+		signs := OctantSigns(o)
+		for _, a := range s.OctantAngles(o) {
+			if a.Octant != o {
+				t.Fatalf("angle in octant slice %d labelled %d", o, a.Octant)
+			}
+			for d := 0; d < 3; d++ {
+				if a.Omega[d]*signs[d] <= 0 {
+					t.Fatalf("octant %d angle has wrong sign in dim %d: %v", o, d, a.Omega)
+				}
+			}
+		}
+	}
+}
+
+func TestNewSNAPOddMomentsVanish(t *testing.T) {
+	// Octant symmetry forces first moments to zero even for the proxy set.
+	s, _ := NewSNAP(9)
+	for d := 0; d < 3; d++ {
+		m := 0.0
+		for _, a := range s.Angles {
+			m += a.Weight * a.Omega[d]
+		}
+		if math.Abs(m) > 1e-13 {
+			t.Fatalf("first moment dim %d = %v, want 0", d, m)
+		}
+	}
+}
+
+func TestAngleIndex(t *testing.T) {
+	s, _ := NewSNAP(5)
+	if got := s.AngleIndex(3, 2); got != 17 {
+		t.Fatalf("AngleIndex(3,2) = %d, want 17", got)
+	}
+	a := s.Angles[s.AngleIndex(6, 4)]
+	if a.Octant != 6 {
+		t.Fatalf("indexed angle belongs to octant %d, want 6", a.Octant)
+	}
+}
+
+func TestPGCInvalid(t *testing.T) {
+	if _, err := NewProductGaussChebyshev(0, 3); err == nil {
+		t.Fatal("expected error for npolar=0")
+	}
+	if _, err := NewProductGaussChebyshev(2, 0); err == nil {
+		t.Fatal("expected error for nazi=0")
+	}
+}
+
+func TestPGCWeightNormalisation(t *testing.T) {
+	for _, c := range [][2]int{{1, 1}, {2, 3}, {4, 4}, {3, 5}} {
+		s, err := NewProductGaussChebyshev(c[0], c[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w := s.TotalWeight(); math.Abs(w-1) > 1e-13 {
+			t.Fatalf("npolar=%d nazi=%d: total weight %v, want 1", c[0], c[1], w)
+		}
+		if s.PerOctant != c[0]*c[1] {
+			t.Fatalf("PerOctant = %d, want %d", s.PerOctant, c[0]*c[1])
+		}
+	}
+}
+
+func TestPGCUnitDirections(t *testing.T) {
+	s, _ := NewProductGaussChebyshev(3, 4)
+	for i, a := range s.Angles {
+		n := a.Omega[0]*a.Omega[0] + a.Omega[1]*a.Omega[1] + a.Omega[2]*a.Omega[2]
+		if math.Abs(n-1) > 1e-12 {
+			t.Fatalf("angle %d not unit: %v", i, n)
+		}
+	}
+}
+
+func TestPGCSecondMoments(t *testing.T) {
+	// A real quadrature integrates Ω_d^2 to 1/3 (with npolar >= 2).
+	s, _ := NewProductGaussChebyshev(3, 4)
+	for d := 0; d < 3; d++ {
+		m := 0.0
+		for _, a := range s.Angles {
+			m += a.Weight * a.Omega[d] * a.Omega[d]
+		}
+		if math.Abs(m-1.0/3.0) > 1e-12 {
+			t.Fatalf("second moment dim %d = %v, want 1/3", d, m)
+		}
+	}
+}
+
+func TestPGCCrossMomentsVanish(t *testing.T) {
+	s, _ := NewProductGaussChebyshev(2, 4)
+	pairs := [][2]int{{0, 1}, {0, 2}, {1, 2}}
+	for _, p := range pairs {
+		m := 0.0
+		for _, a := range s.Angles {
+			m += a.Weight * a.Omega[p[0]] * a.Omega[p[1]]
+		}
+		if math.Abs(m) > 1e-12 {
+			t.Fatalf("cross moment (%d,%d) = %v, want 0", p[0], p[1], m)
+		}
+	}
+}
+
+// Property: for any valid nang, SNAP sets are normalised, unit-length and
+// octant-consistent.
+func TestSNAPQuick(t *testing.T) {
+	f := func(raw uint8) bool {
+		nang := int(raw%48) + 1
+		s, err := NewSNAP(nang)
+		if err != nil {
+			return false
+		}
+		if math.Abs(s.TotalWeight()-1) > 1e-12 {
+			return false
+		}
+		for _, a := range s.Angles {
+			n := a.Omega[0]*a.Omega[0] + a.Omega[1]*a.Omega[1] + a.Omega[2]*a.Omega[2]
+			if math.Abs(n-1) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

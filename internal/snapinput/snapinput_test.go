@@ -1,0 +1,127 @@
+package snapinput
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultValid(t *testing.T) {
+	d := Default()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFullDeck(t *testing.T) {
+	deck := `
+! Figure 3 problem (paper scale)
+nx=16 ny=16 nz=16
+lx=1.0 ly=1.0 lz=1.0
+nang=36 ng=64
+mat_opt=1 src_opt=0
+order=1 twist=0.001
+epsi=1.0e-4 iitm=5 oitm=1
+npey=2 npez=2
+scheme=angle/ELEMENT/GROUP
+solver=DGESV
+threads=8
+`
+	d, err := ParseString(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NX != 16 || d.NAng != 36 || d.NG != 64 {
+		t.Fatalf("parsed deck wrong: %+v", d)
+	}
+	if d.Twist != 0.001 || d.Epsi != 1e-4 {
+		t.Fatalf("floats wrong: %+v", d)
+	}
+	if d.NPEY != 2 || d.NPEZ != 2 || d.Threads != 8 {
+		t.Fatalf("parallel settings wrong: %+v", d)
+	}
+	if d.Solver != "DGESV" || d.Scheme != "angle/ELEMENT/GROUP" {
+		t.Fatalf("strings wrong: %+v", d)
+	}
+}
+
+func TestParseCommentsAndMultiPerLine(t *testing.T) {
+	d, err := ParseString("nx=4 ny=4 # trailing comment\nnz=4 ! also comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NX != 4 || d.NY != 4 || d.NZ != 4 {
+		t.Fatalf("got %+v", d)
+	}
+}
+
+func TestParseCaseInsensitiveKeys(t *testing.T) {
+	d, err := ParseString("NX=3 Ng=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NX != 3 || d.NG != 2 {
+		t.Fatalf("got %+v", d)
+	}
+}
+
+func TestParseSolverLowercased(t *testing.T) {
+	d, err := ParseString("solver=ge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Solver != "GE" {
+		t.Fatalf("solver = %q", d.Solver)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"bogus_key=3",
+		"nx",          // not key=value
+		"nx=abc",      // bad int
+		"twist=x",     // bad float
+		"fixup=maybe", // bad bool
+		"nx=0",        // fails validation
+		"solver=QR",   // unknown solver
+		"epsi=-1",
+		"npey=0",
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c); err == nil {
+			t.Fatalf("deck %q should fail", c)
+		}
+	}
+}
+
+func TestParseExtensionKeys(t *testing.T) {
+	d, err := ParseString("refl_x=true refl_z=true pgc_polar=2 pgc_azi=3 scat_order=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.ReflX || d.ReflY || !d.ReflZ {
+		t.Fatalf("reflect flags wrong: %+v", d)
+	}
+	if d.PGCPolar != 2 || d.PGCAzi != 3 || d.ScatOrder != 1 {
+		t.Fatalf("quadrature/scattering keys wrong: %+v", d)
+	}
+}
+
+func TestParseFixup(t *testing.T) {
+	d, err := ParseString("fixup=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Fixup {
+		t.Fatal("fixup not set")
+	}
+}
+
+func TestParseReaderError(t *testing.T) {
+	// A line longer than the scanner limit triggers a scan error.
+	long := "nx=4 " + strings.Repeat(" ", 1024*1024)
+	if _, err := ParseString(long); err != nil {
+		// bufio default is 64k; very long line errors out — acceptable
+		// either way, just must not panic.
+		t.Logf("long line rejected: %v", err)
+	}
+}

@@ -1,0 +1,221 @@
+// Package sweep builds the wavefront schedules that order the element
+// updates of a transport sweep. For every discrete ordinate the upwind
+// dependency between elements forms a directed graph; the schedule groups
+// elements into "buckets" by their tlevel (Pautz's term): bucket k holds
+// every element whose longest upwind chain has length k. Buckets must be
+// processed in order, but all elements inside a bucket are mutually
+// independent — they are the unit of on-node parallelism in UnSNAP.
+//
+// The paper's first UnSNAP version assumes the graph is acyclic (true for
+// the twisted-structured meshes it studies) and defers cycle handling to
+// future work. Build enforces that assumption by returning ErrCycle;
+// BuildWithLagging implements the deferred extension: it breaks cycles by
+// removing ("lagging") as few dependency edges as it can find greedily,
+// recording them so the solver can substitute previous-iteration flux on
+// those couplings.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCycle reports a cyclic upwind dependency, which the plain builder
+// refuses to schedule.
+var ErrCycle = errors.New("sweep: dependency graph contains a cycle")
+
+// Input is the upwind dependency graph of one ordinate.
+type Input struct {
+	NumElems int
+	// Upwind[e] lists the elements that must be solved before element e.
+	Upwind [][]int
+}
+
+// Edge is a directed dependency from an upwind element to a downwind one.
+type Edge struct {
+	From, To int
+}
+
+// Schedule is a levelled topological order of the elements.
+type Schedule struct {
+	// Buckets[k] holds the elements of tlevel k, in ascending element
+	// order (deterministic for reproducible parallel execution).
+	Buckets [][]int
+	// Lagged lists dependency edges that were removed to break cycles;
+	// empty for acyclic graphs.
+	Lagged []Edge
+}
+
+// NumElems returns the total number of scheduled elements.
+func (s *Schedule) NumElems() int {
+	n := 0
+	for _, b := range s.Buckets {
+		n += len(b)
+	}
+	return n
+}
+
+// MaxBucket returns the size of the largest bucket (the peak element-level
+// parallelism of the sweep).
+func (s *Schedule) MaxBucket() int {
+	m := 0
+	for _, b := range s.Buckets {
+		if len(b) > m {
+			m = len(b)
+		}
+	}
+	return m
+}
+
+// AvgBucket returns the mean bucket size.
+func (s *Schedule) AvgBucket() float64 {
+	if len(s.Buckets) == 0 {
+		return 0
+	}
+	return float64(s.NumElems()) / float64(len(s.Buckets))
+}
+
+// Build computes the bucketed schedule of in, failing with ErrCycle if the
+// graph is not acyclic.
+func Build(in Input) (*Schedule, error) {
+	return build(in, false)
+}
+
+// BuildWithLagging computes the schedule, breaking any cycles by removing
+// dependency edges greedily (fewest remaining dependencies first, lowest
+// element index as the tie-break) and recording them in Lagged.
+func BuildWithLagging(in Input) (*Schedule, error) {
+	return build(in, true)
+}
+
+func build(in Input, lag bool) (*Schedule, error) {
+	if err := checkInput(in); err != nil {
+		return nil, err
+	}
+	n := in.NumElems
+	indeg := make([]int, n)
+	// Downwind adjacency, derived from the upwind lists.
+	down := make([][]int, n)
+	for e := 0; e < n; e++ {
+		indeg[e] = len(in.Upwind[e])
+		for _, u := range in.Upwind[e] {
+			down[u] = append(down[u], e)
+		}
+	}
+	s := &Schedule{}
+	done := make([]bool, n)
+	remaining := n
+
+	current := make([]int, 0, n)
+	for e := 0; e < n; e++ {
+		if indeg[e] == 0 {
+			current = append(current, e)
+		}
+	}
+	for remaining > 0 {
+		if len(current) == 0 {
+			if !lag {
+				return nil, ErrCycle
+			}
+			// Break the cycle: seed the next bucket with the unfinished
+			// element carrying the fewest unmet dependencies.
+			seed := -1
+			for e := 0; e < n; e++ {
+				if !done[e] && (seed == -1 || indeg[e] < indeg[seed]) {
+					seed = e
+				}
+			}
+			for _, u := range in.Upwind[seed] {
+				if !done[u] {
+					s.Lagged = append(s.Lagged, Edge{From: u, To: seed})
+				}
+			}
+			indeg[seed] = 0
+			current = append(current, seed)
+		}
+		bucket := append([]int(nil), current...)
+		s.Buckets = append(s.Buckets, bucket)
+		next := current[:0:0]
+		for _, e := range bucket {
+			done[e] = true
+			remaining--
+		}
+		for _, e := range bucket {
+			for _, d := range down[e] {
+				if done[d] {
+					continue
+				}
+				indeg[d]--
+				if indeg[d] == 0 {
+					next = append(next, d)
+				}
+			}
+		}
+		current = next
+	}
+	return s, nil
+}
+
+func checkInput(in Input) error {
+	if in.NumElems < 0 {
+		return fmt.Errorf("sweep: negative element count %d", in.NumElems)
+	}
+	if len(in.Upwind) != in.NumElems {
+		return fmt.Errorf("sweep: upwind list has %d entries for %d elements", len(in.Upwind), in.NumElems)
+	}
+	for e, ups := range in.Upwind {
+		for _, u := range ups {
+			if u < 0 || u >= in.NumElems {
+				return fmt.Errorf("sweep: element %d depends on out-of-range element %d", e, u)
+			}
+			if u == e {
+				return fmt.Errorf("sweep: element %d depends on itself", e)
+			}
+		}
+	}
+	return nil
+}
+
+// Validate checks that the schedule is a valid levelled topological order
+// of in: every element appears exactly once, and every non-lagged upwind
+// dependency of an element lives in a strictly earlier bucket.
+func (s *Schedule) Validate(in Input) error {
+	if err := checkInput(in); err != nil {
+		return err
+	}
+	level := make([]int, in.NumElems)
+	seen := make([]bool, in.NumElems)
+	for k, b := range s.Buckets {
+		for _, e := range b {
+			if e < 0 || e >= in.NumElems {
+				return fmt.Errorf("sweep: bucket %d holds out-of-range element %d", k, e)
+			}
+			if seen[e] {
+				return fmt.Errorf("sweep: element %d scheduled twice", e)
+			}
+			seen[e] = true
+			level[e] = k
+		}
+	}
+	for e := 0; e < in.NumElems; e++ {
+		if !seen[e] {
+			return fmt.Errorf("sweep: element %d missing from schedule", e)
+		}
+	}
+	lagged := make(map[Edge]bool, len(s.Lagged))
+	for _, l := range s.Lagged {
+		lagged[l] = true
+	}
+	for e, ups := range in.Upwind {
+		for _, u := range ups {
+			if lagged[Edge{From: u, To: e}] {
+				continue
+			}
+			if level[u] >= level[e] {
+				return fmt.Errorf("sweep: dependency %d -> %d not respected (levels %d >= %d)",
+					u, e, level[u], level[e])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,312 @@
+package sweep
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildInvalidInput(t *testing.T) {
+	if _, err := Build(Input{NumElems: -1}); err == nil {
+		t.Fatal("expected error for negative count")
+	}
+	if _, err := Build(Input{NumElems: 2, Upwind: [][]int{nil}}); err == nil {
+		t.Fatal("expected error for short upwind list")
+	}
+	if _, err := Build(Input{NumElems: 2, Upwind: [][]int{{5}, nil}}); err == nil {
+		t.Fatal("expected error for out-of-range dependency")
+	}
+	if _, err := Build(Input{NumElems: 1, Upwind: [][]int{{0}}}); err == nil {
+		t.Fatal("expected error for self dependency")
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	s, err := Build(Input{NumElems: 0, Upwind: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Buckets) != 0 || s.NumElems() != 0 {
+		t.Fatal("empty graph should yield empty schedule")
+	}
+}
+
+func TestBuildIndependent(t *testing.T) {
+	in := Input{NumElems: 5, Upwind: make([][]int, 5)}
+	s, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Buckets) != 1 || len(s.Buckets[0]) != 5 {
+		t.Fatalf("independent graph: got %d buckets, first size %d", len(s.Buckets), len(s.Buckets[0]))
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildChain(t *testing.T) {
+	n := 6
+	up := make([][]int, n)
+	for e := 1; e < n; e++ {
+		up[e] = []int{e - 1}
+	}
+	in := Input{NumElems: n, Upwind: up}
+	s, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Buckets) != n {
+		t.Fatalf("chain should have %d buckets, got %d", n, len(s.Buckets))
+	}
+	for k, b := range s.Buckets {
+		if len(b) != 1 || b[0] != k {
+			t.Fatalf("bucket %d = %v", k, b)
+		}
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildDiamond(t *testing.T) {
+	// 0 -> {1,2} -> 3
+	in := Input{NumElems: 4, Upwind: [][]int{nil, {0}, {0}, {1, 2}}}
+	s, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0}, {1, 2}, {3}}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(s.Buckets), len(want))
+	}
+	for k := range want {
+		if len(s.Buckets[k]) != len(want[k]) {
+			t.Fatalf("bucket %d = %v, want %v", k, s.Buckets[k], want[k])
+		}
+		for i := range want[k] {
+			if s.Buckets[k][i] != want[k][i] {
+				t.Fatalf("bucket %d = %v, want %v", k, s.Buckets[k], want[k])
+			}
+		}
+	}
+}
+
+// structuredInput builds the (+,+,+) octant dependencies of an n^3
+// structured grid: each element depends on its -x, -y, -z neighbours.
+func structuredInput(n int) Input {
+	idx := func(x, y, z int) int { return x + n*(y+n*z) }
+	up := make([][]int, n*n*n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				e := idx(x, y, z)
+				if x > 0 {
+					up[e] = append(up[e], idx(x-1, y, z))
+				}
+				if y > 0 {
+					up[e] = append(up[e], idx(x, y-1, z))
+				}
+				if z > 0 {
+					up[e] = append(up[e], idx(x, y, z-1))
+				}
+			}
+		}
+	}
+	return Input{NumElems: n * n * n, Upwind: up}
+}
+
+func TestBuildStructuredHyperplanes(t *testing.T) {
+	n := 4
+	in := structuredInput(n)
+	s, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tlevel of (x,y,z) is x+y+z: 3(n-1)+1 buckets.
+	if got, want := len(s.Buckets), 3*(n-1)+1; got != want {
+		t.Fatalf("got %d buckets, want %d", got, want)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	// Bucket k must contain exactly the lattice points with x+y+z = k.
+	for k, b := range s.Buckets {
+		for _, e := range b {
+			x := e % n
+			y := (e / n) % n
+			z := e / (n * n)
+			if x+y+z != k {
+				t.Fatalf("element (%d,%d,%d) in bucket %d", x, y, z, k)
+			}
+		}
+	}
+	// Peak parallelism for n=4: the middle hyperplanes.
+	if s.MaxBucket() <= 1 {
+		t.Fatal("structured sweep should expose parallelism")
+	}
+}
+
+func TestBuildDetectsTwoCycle(t *testing.T) {
+	in := Input{NumElems: 2, Upwind: [][]int{{1}, {0}}}
+	if _, err := Build(in); err != ErrCycle {
+		t.Fatalf("expected ErrCycle, got %v", err)
+	}
+}
+
+func TestBuildDetectsEmbeddedCycle(t *testing.T) {
+	// 0 -> 1 <-> 2 -> 3
+	in := Input{NumElems: 4, Upwind: [][]int{nil, {0, 2}, {1}, {2}}}
+	if _, err := Build(in); err != ErrCycle {
+		t.Fatalf("expected ErrCycle, got %v", err)
+	}
+}
+
+func TestBuildWithLaggingBreaksCycle(t *testing.T) {
+	in := Input{NumElems: 2, Upwind: [][]int{{1}, {0}}}
+	s, err := BuildWithLagging(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Lagged) == 0 {
+		t.Fatal("expected lagged edges")
+	}
+	if s.NumElems() != 2 {
+		t.Fatalf("schedule covers %d elements, want 2", s.NumElems())
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildWithLaggingAcyclicUnchanged(t *testing.T) {
+	in := structuredInput(3)
+	s1, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := BuildWithLagging(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Lagged) != 0 {
+		t.Fatal("acyclic graph must not produce lagged edges")
+	}
+	if len(s1.Buckets) != len(s2.Buckets) {
+		t.Fatal("lagging builder changed an acyclic schedule")
+	}
+}
+
+func TestBuildWithLaggingEmbeddedCycle(t *testing.T) {
+	in := Input{NumElems: 4, Upwind: [][]int{nil, {0, 2}, {1}, {2}}}
+	s, err := BuildWithLagging(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Lagged) != 1 {
+		t.Fatalf("expected exactly 1 lagged edge, got %v", s.Lagged)
+	}
+}
+
+func TestValidateCatchesBadSchedules(t *testing.T) {
+	in := Input{NumElems: 2, Upwind: [][]int{nil, {0}}}
+	// Missing element.
+	s := &Schedule{Buckets: [][]int{{0}}}
+	if err := s.Validate(in); err == nil {
+		t.Fatal("expected missing-element error")
+	}
+	// Duplicated element.
+	s = &Schedule{Buckets: [][]int{{0}, {0, 1}}}
+	if err := s.Validate(in); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+	// Dependency violated.
+	s = &Schedule{Buckets: [][]int{{1}, {0}}}
+	if err := s.Validate(in); err == nil {
+		t.Fatal("expected dependency violation error")
+	}
+	// Same bucket violates strict ordering.
+	s = &Schedule{Buckets: [][]int{{0, 1}}}
+	if err := s.Validate(in); err == nil {
+		t.Fatal("expected same-level violation error")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := &Schedule{Buckets: [][]int{{0, 1, 2}, {3}, {4, 5}}}
+	if s.NumElems() != 6 {
+		t.Fatalf("NumElems = %d", s.NumElems())
+	}
+	if s.MaxBucket() != 3 {
+		t.Fatalf("MaxBucket = %d", s.MaxBucket())
+	}
+	if s.AvgBucket() != 2 {
+		t.Fatalf("AvgBucket = %v", s.AvgBucket())
+	}
+}
+
+// randomDAG builds a random DAG by sampling edges consistent with a random
+// topological permutation.
+func randomDAG(rng *rand.Rand, n int, density float64) Input {
+	perm := rng.Perm(n)
+	rank := make([]int, n)
+	for i, p := range perm {
+		rank[p] = i
+	}
+	up := make([][]int, n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if rank[a] < rank[b] && rng.Float64() < density {
+				up[b] = append(up[b], a)
+			}
+		}
+	}
+	return Input{NumElems: n, Upwind: up}
+}
+
+// Property: random DAGs always schedule and validate.
+func TestBuildQuickRandomDAG(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(rawN, rawD uint8) bool {
+		n := int(rawN%40) + 1
+		density := float64(rawD%100) / 250.0
+		in := randomDAG(rng, n, density)
+		s, err := Build(in)
+		if err != nil {
+			return false
+		}
+		return s.Validate(in) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: lagging always yields a valid schedule for arbitrary directed
+// graphs, including cyclic ones.
+func TestLaggingQuickRandomDigraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	f := func(rawN, rawD uint8) bool {
+		n := int(rawN%30) + 2
+		up := make([][]int, n)
+		for e := 0; e < n; e++ {
+			for u := 0; u < n; u++ {
+				if u != e && rng.Float64() < float64(rawD%80)/400.0 {
+					up[e] = append(up[e], u)
+				}
+			}
+		}
+		in := Input{NumElems: n, Upwind: up}
+		s, err := BuildWithLagging(in)
+		if err != nil {
+			return false
+		}
+		return s.Validate(in) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package timers provides lightweight named accumulating timers for
+// instrumenting the solver phases (assembly, solve, sweep, source update),
+// mirroring the timing breakdown SNAP and UnSNAP print at the end of a run.
+//
+// A Set is safe for concurrent Add calls; Start/Stop pairs are intended for
+// single-goroutine phase timing while Add is used from worker pools.
+package timers
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Timer accumulates wall-clock durations and invocation counts for one
+// named phase.
+type Timer struct {
+	mu      sync.Mutex
+	total   time.Duration
+	count   int64
+	started time.Time
+	running bool
+}
+
+// Start marks the beginning of a timed region. Nested starts are an error
+// in the caller; the second Start overwrites the first mark.
+func (t *Timer) Start() {
+	t.mu.Lock()
+	t.started = time.Now()
+	t.running = true
+	t.mu.Unlock()
+}
+
+// Stop ends the region opened by Start and accumulates the elapsed time.
+// Stop without a matching Start is a no-op.
+func (t *Timer) Stop() {
+	now := time.Now()
+	t.mu.Lock()
+	if t.running {
+		t.total += now.Sub(t.started)
+		t.count++
+		t.running = false
+	}
+	t.mu.Unlock()
+}
+
+// Add accumulates an externally measured duration. It is safe to call from
+// multiple goroutines.
+func (t *Timer) Add(d time.Duration) {
+	t.mu.Lock()
+	t.total += d
+	t.count++
+	t.mu.Unlock()
+}
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Count returns how many intervals were accumulated.
+func (t *Timer) Count() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Reset clears the accumulated time and count.
+func (t *Timer) Reset() {
+	t.mu.Lock()
+	t.total = 0
+	t.count = 0
+	t.running = false
+	t.mu.Unlock()
+}
+
+// Set is a collection of named timers.
+type Set struct {
+	mu     sync.Mutex
+	timers map[string]*Timer
+}
+
+// NewSet returns an empty timer set.
+func NewSet() *Set {
+	return &Set{timers: make(map[string]*Timer)}
+}
+
+// Get returns the timer with the given name, creating it on first use.
+func (s *Set) Get(name string) *Timer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.timers[name]
+	if !ok {
+		t = &Timer{}
+		s.timers[name] = t
+	}
+	return t
+}
+
+// Names returns the timer names in sorted order.
+func (s *Set) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.timers))
+	for n := range s.timers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Total returns the accumulated duration for name (zero if absent).
+func (s *Set) Total(name string) time.Duration {
+	s.mu.Lock()
+	t, ok := s.timers[name]
+	s.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return t.Total()
+}
+
+// Reset clears every timer in the set.
+func (s *Set) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.timers {
+		t.Reset()
+	}
+}
+
+// Report writes a SNAP-style timing table: one line per timer with total
+// seconds and call count, sorted by name.
+func (s *Set) Report(w io.Writer) {
+	for _, n := range s.Names() {
+		t := s.Get(n)
+		fmt.Fprintf(w, "  %-24s %12.6f s  (%d calls)\n", n, t.Total().Seconds(), t.Count())
+	}
+}

@@ -1,0 +1,128 @@
+package timers
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimerStartStop(t *testing.T) {
+	var tm Timer
+	tm.Start()
+	time.Sleep(2 * time.Millisecond)
+	tm.Stop()
+	if tm.Total() <= 0 {
+		t.Fatalf("expected positive total, got %v", tm.Total())
+	}
+	if tm.Count() != 1 {
+		t.Fatalf("expected count 1, got %d", tm.Count())
+	}
+}
+
+func TestTimerStopWithoutStart(t *testing.T) {
+	var tm Timer
+	tm.Stop()
+	if tm.Total() != 0 || tm.Count() != 0 {
+		t.Fatalf("stop without start must be a no-op, got total=%v count=%d", tm.Total(), tm.Count())
+	}
+}
+
+func TestTimerAddConcurrent(t *testing.T) {
+	var tm Timer
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tm.Add(time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if got := tm.Total(); got != n*time.Millisecond {
+		t.Fatalf("expected %v, got %v", n*time.Millisecond, got)
+	}
+	if tm.Count() != n {
+		t.Fatalf("expected count %d, got %d", n, tm.Count())
+	}
+}
+
+func TestTimerReset(t *testing.T) {
+	var tm Timer
+	tm.Add(time.Second)
+	tm.Reset()
+	if tm.Total() != 0 || tm.Count() != 0 {
+		t.Fatalf("reset did not clear timer")
+	}
+}
+
+func TestSetGetSameInstance(t *testing.T) {
+	s := NewSet()
+	a := s.Get("assembly")
+	b := s.Get("assembly")
+	if a != b {
+		t.Fatal("Get must return the same timer for the same name")
+	}
+}
+
+func TestSetNamesSorted(t *testing.T) {
+	s := NewSet()
+	s.Get("solve")
+	s.Get("assembly")
+	s.Get("sweep")
+	names := s.Names()
+	want := []string{"assembly", "solve", "sweep"}
+	if len(names) != len(want) {
+		t.Fatalf("expected %d names, got %d", len(want), len(names))
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestSetTotalAbsent(t *testing.T) {
+	s := NewSet()
+	if s.Total("nope") != 0 {
+		t.Fatal("absent timer should report zero total")
+	}
+}
+
+func TestSetReport(t *testing.T) {
+	s := NewSet()
+	s.Get("solve").Add(1500 * time.Millisecond)
+	var sb strings.Builder
+	s.Report(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "solve") || !strings.Contains(out, "1.500000") {
+		t.Fatalf("unexpected report output: %q", out)
+	}
+}
+
+func TestSetReset(t *testing.T) {
+	s := NewSet()
+	s.Get("a").Add(time.Second)
+	s.Get("b").Add(time.Second)
+	s.Reset()
+	if s.Total("a") != 0 || s.Total("b") != 0 {
+		t.Fatal("set reset did not clear timers")
+	}
+}
+
+func TestSetConcurrentGet(t *testing.T) {
+	s := NewSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Get("shared").Add(time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if s.Get("shared").Count() != 32 {
+		t.Fatalf("expected 32 adds, got %d", s.Get("shared").Count())
+	}
+}

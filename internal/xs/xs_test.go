@@ -1,0 +1,220 @@
+package xs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLibraryInvalid(t *testing.T) {
+	if _, err := NewLibrary(0); err == nil {
+		t.Fatal("expected error for zero groups")
+	}
+	if _, err := NewLibrary(-4); err == nil {
+		t.Fatal("expected error for negative groups")
+	}
+}
+
+func TestLibraryBaseValues(t *testing.T) {
+	lib, err := NewLibrary(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lib.Total[Mat1][0]; math.Abs(got-1.0) > 1e-15 {
+		t.Fatalf("mat1 sigt = %v, want 1.0", got)
+	}
+	if got := lib.Total[Mat2][0]; math.Abs(got-2.0) > 1e-15 {
+		t.Fatalf("mat2 sigt = %v, want 2.0", got)
+	}
+	if got := lib.ScatTotal[Mat1][0]; math.Abs(got-0.5) > 1e-15 {
+		t.Fatalf("mat1 sigs = %v, want 0.5", got)
+	}
+}
+
+func TestTotalIsAbsorbPlusScatter(t *testing.T) {
+	lib, _ := NewLibrary(16)
+	for m := 0; m < NumMaterials; m++ {
+		for g := 0; g < 16; g++ {
+			want := lib.Absorb[m][g] + lib.ScatTotal[m][g]
+			if math.Abs(lib.Total[m][g]-want) > 1e-14 {
+				t.Fatalf("mat %d group %d: sigt %v != siga+sigs %v", m, g, lib.Total[m][g], want)
+			}
+		}
+	}
+}
+
+func TestScatterRowsSumToScatTotal(t *testing.T) {
+	for _, groups := range []int{1, 2, 3, 8, 64} {
+		lib, _ := NewLibrary(groups)
+		for m := 0; m < NumMaterials; m++ {
+			for g := 0; g < groups; g++ {
+				sum := 0.0
+				for gp := 0; gp < groups; gp++ {
+					sum += lib.Scatter[m][g][gp]
+				}
+				if math.Abs(sum-lib.ScatTotal[m][g]) > 1e-12 {
+					t.Fatalf("groups=%d mat=%d g=%d: row sum %v != sigs %v",
+						groups, m, g, sum, lib.ScatTotal[m][g])
+				}
+			}
+		}
+	}
+}
+
+func TestScatterNonNegative(t *testing.T) {
+	lib, _ := NewLibrary(32)
+	for m := 0; m < NumMaterials; m++ {
+		for g := 0; g < 32; g++ {
+			for gp := 0; gp < 32; gp++ {
+				if lib.Scatter[m][g][gp] < 0 {
+					t.Fatalf("negative scatter mat=%d %d->%d", m, g, gp)
+				}
+			}
+		}
+	}
+}
+
+func TestScatterUpscatterLimitedToOneGroup(t *testing.T) {
+	lib, _ := NewLibrary(8)
+	for g := 2; g < 8; g++ {
+		for gp := 0; gp < g-1; gp++ {
+			if lib.Scatter[Mat1][g][gp] != 0 {
+				t.Fatalf("unexpected up-scatter %d -> %d", g, gp)
+			}
+		}
+	}
+}
+
+func TestScatteringRatioBounded(t *testing.T) {
+	lib, _ := NewLibrary(64)
+	for m := 0; m < NumMaterials; m++ {
+		for g := 0; g < 64; g++ {
+			c := lib.ScatteringRatio(m, g)
+			if c <= 0 || c > 0.6+1e-12 {
+				t.Fatalf("scattering ratio mat=%d g=%d out of (0, 0.6]: %v", m, g, c)
+			}
+		}
+	}
+}
+
+func TestGroupScalingMonotone(t *testing.T) {
+	lib, _ := NewLibrary(10)
+	for m := 0; m < NumMaterials; m++ {
+		for g := 1; g < 10; g++ {
+			if lib.Total[m][g] <= lib.Total[m][g-1] {
+				t.Fatalf("sigt should grow with group index: mat=%d g=%d", m, g)
+			}
+		}
+	}
+}
+
+func TestSingleGroupScatterIsDiagonal(t *testing.T) {
+	lib, _ := NewLibrary(1)
+	if math.Abs(lib.Scatter[Mat1][0][0]-lib.ScatTotal[Mat1][0]) > 1e-15 {
+		t.Fatal("single-group scattering must be all in-group")
+	}
+}
+
+func TestMaterialAt(t *testing.T) {
+	if MaterialAt(MatOptHomogeneous, 0.5, 0.5, 0.5) != Mat1 {
+		t.Fatal("homogeneous option must always be material 1")
+	}
+	if MaterialAt(MatOptCentre, 0.5, 0.5, 0.5) != Mat2 {
+		t.Fatal("centre of domain should be material 2 under MatOptCentre")
+	}
+	if MaterialAt(MatOptCentre, 0.1, 0.5, 0.5) != Mat1 {
+		t.Fatal("edge of domain should be material 1 under MatOptCentre")
+	}
+	if MaterialAt(MatOptCentre, 0.75, 0.5, 0.5) != Mat1 {
+		t.Fatal("boundary 0.75 is outside the half-cube (half-open interval)")
+	}
+}
+
+func TestSourceAt(t *testing.T) {
+	if SourceAt(SrcOptEverywhere, 0.01, 0.99, 0.5) != 1 {
+		t.Fatal("src option 0 must be 1 everywhere")
+	}
+	if SourceAt(SrcOptCentre, 0.5, 0.5, 0.5) != 1 {
+		t.Fatal("src option 1 must be 1 in the centre")
+	}
+	if SourceAt(SrcOptCentre, 0.9, 0.5, 0.5) != 0 {
+		t.Fatal("src option 1 must be 0 at the edge")
+	}
+}
+
+func TestValidateOptions(t *testing.T) {
+	if err := ValidateOptions(MatOptCentre, SrcOptEverywhere); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateOptions(5, 0); err == nil {
+		t.Fatal("expected error for bad mat option")
+	}
+	if err := ValidateOptions(0, -1); err == nil {
+		t.Fatal("expected error for bad src option")
+	}
+}
+
+func TestNewLibraryP1(t *testing.T) {
+	lib, err := NewLibraryP1(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.ScatterP1 == nil {
+		t.Fatal("P1 library missing first-moment data")
+	}
+	for m := 0; m < NumMaterials; m++ {
+		for g := 0; g < 4; g++ {
+			for gp := 0; gp < 4; gp++ {
+				want := MeanScatteringCosine * lib.Scatter[m][g][gp]
+				if math.Abs(lib.ScatterP1[m][g][gp]-want) > 1e-15 {
+					t.Fatalf("P1 entry mat=%d %d->%d: %v, want %v",
+						m, g, gp, lib.ScatterP1[m][g][gp], want)
+				}
+			}
+		}
+	}
+}
+
+func TestNewLibraryP1Invalid(t *testing.T) {
+	if _, err := NewLibraryP1(0); err == nil {
+		t.Fatal("expected error for zero groups")
+	}
+}
+
+func TestIsotropicLibraryHasNoP1(t *testing.T) {
+	lib, _ := NewLibrary(2)
+	if lib.ScatterP1 != nil {
+		t.Fatal("plain library must not carry P1 data")
+	}
+}
+
+// Property: scatter rows always sum to sigs and stay non-negative for any
+// group count.
+func TestScatterRowQuick(t *testing.T) {
+	f := func(raw uint8) bool {
+		groups := int(raw%64) + 1
+		lib, err := NewLibrary(groups)
+		if err != nil {
+			return false
+		}
+		for m := 0; m < NumMaterials; m++ {
+			for g := 0; g < groups; g++ {
+				sum := 0.0
+				for gp := 0; gp < groups; gp++ {
+					v := lib.Scatter[m][g][gp]
+					if v < 0 {
+						return false
+					}
+					sum += v
+				}
+				if math.Abs(sum-lib.ScatTotal[m][g]) > 1e-11 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

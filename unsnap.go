@@ -1,0 +1,387 @@
+// Package unsnap is a Go reproduction of UnSNAP, the discontinuous
+// Galerkin finite element discrete ordinates transport mini-app of Deakin
+// et al. (WRAp @ IEEE CLUSTER 2018). It solves the steady multigroup
+// neutral-particle transport equation on unstructured hexahedral meshes by
+// wavefront sweeps, assembling and solving one small dense linear system
+// per angle, element and energy group.
+//
+// The package is the public face of the library. A minimal run:
+//
+//	p := unsnap.DefaultProblem()
+//	s, err := unsnap.NewSolver(p, unsnap.Options{})
+//	if err != nil { ... }
+//	res, err := s.Run()
+//	fmt.Println(res.Balance, s.FluxIntegral(0))
+//
+// Deeper control (concurrency schemes, data layouts, solver kinds, block
+// Jacobi domain decomposition, the finite-difference SNAP baseline) is
+// exposed through Options, NewDistributed and NewFD. The experiment
+// harness that regenerates the paper's tables and figures lives in
+// cmd/unsnap-bench.
+package unsnap
+
+import (
+	"fmt"
+
+	"unsnap/internal/core"
+	"unsnap/internal/mesh"
+	"unsnap/internal/quadrature"
+	"unsnap/internal/xs"
+)
+
+// Material and source layout options (SNAP's mat_opt / src_opt).
+const (
+	MatHomogeneous = xs.MatOptHomogeneous
+	MatCentre      = xs.MatOptCentre
+	SrcEverywhere  = xs.SrcOptEverywhere
+	SrcCentre      = xs.SrcOptCentre
+)
+
+// Scheme selects an on-node concurrency scheme (paper Figures 3/4). The
+// mnemonic reads the loop nest angle/element/group from outer to inner
+// with upper case marking the threaded loops; the array layout always
+// matches the loop order.
+type Scheme int
+
+const (
+	// AEg threads the elements of each schedule bucket.
+	AEg Scheme = iota
+	// AEG threads the collapsed element x group iteration space.
+	AEG
+	// AeG threads the group loop (element-major layout).
+	AeG
+	// AGe threads the group loop (group-major layout).
+	AGe
+	// AGE threads the collapsed group x element iteration space.
+	AGE
+	// AgE threads the elements (group-major layout).
+	AgE
+	// Angles threads the angles within each octant with a serialised
+	// scalar-flux update — the paper's non-scaling ablation.
+	Angles
+)
+
+// String returns the paper-style scheme name.
+func (s Scheme) String() string { return core.Scheme(s).String() }
+
+// ParseScheme resolves a paper-style scheme name.
+func ParseScheme(name string) (Scheme, error) {
+	cs, err := core.ParseScheme(name)
+	return Scheme(cs), err
+}
+
+// AllSchemes lists every scheme.
+func AllSchemes() []Scheme {
+	out := make([]Scheme, 0, len(core.Schemes()))
+	for _, s := range core.Schemes() {
+		out = append(out, Scheme(s))
+	}
+	return out
+}
+
+// SolverKind selects the local dense solver (paper Table II).
+type SolverKind int
+
+const (
+	// GE is the hand-written Gaussian elimination.
+	GE SolverKind = iota
+	// DGESV is the blocked-LU LAPACK-style solver standing in for MKL.
+	DGESV
+)
+
+// String names the solver kind.
+func (k SolverKind) String() string { return core.SolverKind(k).String() }
+
+// Problem describes the physical and discretisation setup: the SNAP-style
+// structured box stored as an unstructured twisted mesh, the element
+// order, the angular quadrature size and the multigroup data options.
+type Problem struct {
+	NX, NY, NZ int
+	LX, LY, LZ float64
+	// Twist is the maximum rotation in radians of the top z-layer about
+	// the domain axis (the paper uses up to 0.001).
+	Twist           float64
+	MatOpt, SrcOpt  int
+	Order           int // finite element order >= 1
+	AnglesPerOctant int
+	Groups          int
+
+	// PGCPolar/PGCAzi, when both positive, replace the SNAP proxy
+	// quadrature with the product Gauss-Chebyshev set of
+	// PGCPolar x PGCAzi ordinates per octant (AnglesPerOctant is then
+	// ignored). The product set integrates low-order angular moments
+	// exactly, which matters for solution-quality studies; the proxy set
+	// matches SNAP's performance-representative data.
+	PGCPolar, PGCAzi int
+
+	// ScatOrder selects the scattering anisotropy: 0 for isotropic (the
+	// paper's setting) or 1 for linearly anisotropic P1 scattering with
+	// SNAP-style synthetic first-moment data.
+	ScatOrder int
+}
+
+// DefaultProblem returns the paper's Figure 3 configuration scaled down to
+// run quickly on a laptop (override fields for the full size).
+func DefaultProblem() Problem {
+	return Problem{
+		NX: 8, NY: 8, NZ: 8,
+		LX: 1, LY: 1, LZ: 1,
+		Twist:  0.001,
+		MatOpt: MatCentre, SrcOpt: SrcEverywhere,
+		Order:           1,
+		AnglesPerOctant: 4,
+		Groups:          4,
+	}
+}
+
+// PaperFig3Problem returns the full-size Figure 3/4 problem (16^3
+// elements, 36 angles per octant, 64 groups); pass order 1 for Figure 3
+// and order 3 for Figure 4.
+func PaperFig3Problem(order int) Problem {
+	return Problem{
+		NX: 16, NY: 16, NZ: 16,
+		LX: 1, LY: 1, LZ: 1,
+		Twist:  0.001,
+		MatOpt: MatCentre, SrcOpt: SrcEverywhere,
+		Order:           order,
+		AnglesPerOctant: 36,
+		Groups:          64,
+	}
+}
+
+// PaperTable2Problem returns the full-size Table II problem (32^3
+// elements, 10 angles per octant, 16 groups) at the given element order.
+func PaperTable2Problem(order int) Problem {
+	return Problem{
+		NX: 32, NY: 32, NZ: 32,
+		LX: 1, LY: 1, LZ: 1,
+		Twist:  0.001,
+		MatOpt: MatCentre, SrcOpt: SrcEverywhere,
+		Order:           order,
+		AnglesPerOctant: 10,
+		Groups:          16,
+	}
+}
+
+// Options are the solver-side knobs.
+type Options struct {
+	Scheme  Scheme
+	Threads int
+	Solver  SolverKind
+
+	Epsi      float64
+	MaxInners int
+	MaxOuters int
+	// ForceIterations runs exactly MaxOuters x MaxInners sweeps with no
+	// convergence exits (the paper's timing methodology).
+	ForceIterations bool
+
+	AllowCycles  bool
+	PreAssembled bool
+	Instrument   bool
+
+	// Reflect enables specular reflective boundary conditions on the
+	// domain faces normal to each dimension (SNAP's reflective BC);
+	// unset dimensions keep the vacuum condition. Only supported by the
+	// single-domain solver.
+	Reflect [3]bool
+
+	// TimeSteps > 0 enables SNAP's time-dependent mode: backward-Euler
+	// steps of length TimeDt from the zero initial condition, each
+	// converged like a steady solve. Group speeds default to
+	// SNAP-style synthetic values (fastest at the highest energy).
+	TimeSteps int
+	TimeDt    float64
+}
+
+// StepRecord reports one time step of a time-dependent run.
+type StepRecord struct {
+	Step         int
+	Inners       int
+	Converged    bool
+	FluxIntegral []float64 // per group
+}
+
+// Balance is the global particle balance of a solution; see core.Balance.
+type Balance struct {
+	Source     float64
+	Absorption float64
+	Leakage    float64
+	Residual   float64
+}
+
+// Result reports a run.
+type Result struct {
+	Outers    int
+	Inners    int
+	Converged bool
+	FinalDF   float64
+	DFHistory []float64
+	Balance   Balance
+
+	SetupSeconds    float64
+	SweepSeconds    float64
+	AssembleSeconds float64 // Instrument only
+	SolveSeconds    float64 // Instrument only
+}
+
+// buildParts constructs the internal mesh, quadrature and library.
+func buildParts(p Problem) (*mesh.Mesh, *quadrature.Set, *xs.Library, error) {
+	m, err := mesh.New(mesh.Config{
+		NX: p.NX, NY: p.NY, NZ: p.NZ,
+		LX: p.LX, LY: p.LY, LZ: p.LZ,
+		Twist: p.Twist, MatOpt: p.MatOpt, SrcOpt: p.SrcOpt,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var q *quadrature.Set
+	if p.PGCPolar > 0 && p.PGCAzi > 0 {
+		q, err = quadrature.NewProductGaussChebyshev(p.PGCPolar, p.PGCAzi)
+	} else {
+		q, err = quadrature.NewSNAP(p.AnglesPerOctant)
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var lib *xs.Library
+	if p.ScatOrder >= 1 {
+		lib, err = xs.NewLibraryP1(p.Groups)
+	} else {
+		lib, err = xs.NewLibrary(p.Groups)
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return m, q, lib, nil
+}
+
+func coreConfig(p Problem, o Options, m *mesh.Mesh, q *quadrature.Set, lib *xs.Library) core.Config {
+	cfg := core.Config{
+		Mesh: m, Order: p.Order, Quad: q, Lib: lib,
+		Scheme: core.Scheme(o.Scheme), Threads: o.Threads,
+		Solver: core.SolverKind(o.Solver),
+		Epsi:   o.Epsi, MaxInners: o.MaxInners, MaxOuters: o.MaxOuters,
+		ForceIterations: o.ForceIterations,
+		AllowCycles:     o.AllowCycles,
+		PreAssembled:    o.PreAssembled,
+		Instrument:      o.Instrument,
+		ScatOrder:       p.ScatOrder,
+	}
+	if o.TimeSteps > 0 {
+		cfg.Time = &core.TimeConfig{
+			Steps: o.TimeSteps, Dt: o.TimeDt,
+			Velocity: core.DefaultVelocities(p.Groups),
+		}
+	}
+	return cfg
+}
+
+func fromCoreResult(r *core.Result) *Result {
+	return &Result{
+		Outers: r.Outers, Inners: r.Inners,
+		Converged: r.Converged, FinalDF: r.FinalDF,
+		DFHistory: append([]float64(nil), r.DFHistory...),
+		Balance: Balance{
+			Source:     r.Balance.Source,
+			Absorption: r.Balance.Absorption,
+			Leakage:    r.Balance.Leakage,
+			Residual:   r.Balance.Residual,
+		},
+		SetupSeconds:    r.SetupTime.Seconds(),
+		SweepSeconds:    r.SweepTime.Seconds(),
+		AssembleSeconds: r.AssembleTime.Seconds(),
+		SolveSeconds:    r.SolveTime.Seconds(),
+	}
+}
+
+// Solver is a single-domain UnSNAP solver.
+type Solver struct {
+	inner *core.Solver
+	prob  Problem
+}
+
+// NewSolver builds a single-domain solver for the problem.
+func NewSolver(p Problem, o Options) (*Solver, error) {
+	m, q, lib, err := buildParts(p)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.New(coreConfig(p, o, m, q, lib))
+	if err != nil {
+		return nil, err
+	}
+	if o.Reflect != [3]bool{} {
+		s.SetBoundary(core.ReflectiveBoundary(s, o.Reflect))
+		s.SetBalanceSkip(core.ReflectiveSkip(s, o.Reflect))
+	}
+	return &Solver{inner: s, prob: p}, nil
+}
+
+// Run executes the iteration and reports the result.
+func (s *Solver) Run() (*Result, error) {
+	r, err := s.inner.Run()
+	if err != nil {
+		return nil, err
+	}
+	return fromCoreResult(r), nil
+}
+
+// RunTimeDependent executes the configured backward-Euler time steps
+// (Options.TimeSteps/TimeDt) and reports one record per step.
+func (s *Solver) RunTimeDependent() ([]StepRecord, error) {
+	rec, err := s.inner.RunTimeDependent()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]StepRecord, len(rec))
+	for i, r := range rec {
+		out[i] = StepRecord{
+			Step: r.Step, Inners: r.Inners, Converged: r.Converged,
+			FluxIntegral: append([]float64(nil), r.FluxIntegral...),
+		}
+	}
+	return out, nil
+}
+
+// FluxIntegral returns the volume-integrated group-g scalar flux.
+func (s *Solver) FluxIntegral(g int) float64 { return s.inner.FluxIntegral(g) }
+
+// Phi returns the scalar flux at (element, group, node).
+func (s *Solver) Phi(e, g, node int) float64 { return s.inner.Phi(e, g, node) }
+
+// NumElems returns the element count.
+func (s *Solver) NumElems() int { return s.inner.NumElems() }
+
+// NumNodes returns the nodes per element.
+func (s *Solver) NumNodes() int { return s.inner.NumNodes() }
+
+// NumGroups returns the group count.
+func (s *Solver) NumGroups() int { return s.inner.NumGroups() }
+
+// ScheduleStats reports (distinct topologies, buckets, max bucket size,
+// mean bucket size) of the sweep schedules.
+func (s *Solver) ScheduleStats() (int, int, int, float64) {
+	return s.inner.ScheduleStats()
+}
+
+// Problem returns the problem this solver was built for.
+func (s *Solver) Problem() Problem { return s.prob }
+
+// Internal exposes the underlying core solver for advanced callers
+// (benchmark drivers that step PrepareInner/SweepAllAngles manually).
+func (s *Solver) Internal() *core.Solver { return s.inner }
+
+// Validate sanity-checks a problem without building a solver.
+func (p Problem) Validate() error {
+	if p.NX < 1 || p.NY < 1 || p.NZ < 1 {
+		return fmt.Errorf("unsnap: grid %dx%dx%d invalid", p.NX, p.NY, p.NZ)
+	}
+	if p.Order < 1 {
+		return fmt.Errorf("unsnap: order %d invalid", p.Order)
+	}
+	if p.AnglesPerOctant < 1 || p.Groups < 1 {
+		return fmt.Errorf("unsnap: need at least one angle and one group")
+	}
+	return xs.ValidateOptions(p.MatOpt, p.SrcOpt)
+}

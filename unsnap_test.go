@@ -1,0 +1,274 @@
+package unsnap
+
+import (
+	"math"
+	"testing"
+)
+
+func smallProblem() Problem {
+	p := DefaultProblem()
+	p.NX, p.NY, p.NZ = 3, 3, 3
+	p.AnglesPerOctant = 2
+	p.Groups = 2
+	return p
+}
+
+func TestProblemValidate(t *testing.T) {
+	if err := DefaultProblem().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultProblem()
+	bad.NX = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected invalid grid")
+	}
+	bad = DefaultProblem()
+	bad.Order = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected invalid order")
+	}
+	bad = DefaultProblem()
+	bad.MatOpt = 9
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected invalid material option")
+	}
+}
+
+func TestPaperProblems(t *testing.T) {
+	f3 := PaperFig3Problem(1)
+	if f3.NX != 16 || f3.AnglesPerOctant != 36 || f3.Groups != 64 || f3.Order != 1 {
+		t.Fatalf("Fig3 problem wrong: %+v", f3)
+	}
+	t2 := PaperTable2Problem(4)
+	if t2.NX != 32 || t2.AnglesPerOctant != 10 || t2.Groups != 16 || t2.Order != 4 {
+		t.Fatalf("Table2 problem wrong: %+v", t2)
+	}
+}
+
+func TestSchemeNamesRoundTrip(t *testing.T) {
+	for _, s := range AllSchemes() {
+		got, err := ParseScheme(s.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != s {
+			t.Fatalf("round trip failed for %v", s)
+		}
+	}
+}
+
+func TestSolverEndToEnd(t *testing.T) {
+	s, err := NewSolver(smallProblem(), Options{Epsi: 1e-8, MaxInners: 100, MaxOuters: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: df=%v", res.FinalDF)
+	}
+	if res.Balance.Residual > 1e-5 {
+		t.Fatalf("balance residual %v", res.Balance.Residual)
+	}
+	if s.FluxIntegral(0) <= 0 {
+		t.Fatal("flux integral should be positive")
+	}
+	if s.NumElems() != 27 || s.NumNodes() != 8 || s.NumGroups() != 2 {
+		t.Fatalf("dimensions wrong: %d %d %d", s.NumElems(), s.NumNodes(), s.NumGroups())
+	}
+	distinct, buckets, maxB, avgB := s.ScheduleStats()
+	if distinct < 1 || buckets < 1 || maxB < 1 || avgB <= 0 {
+		t.Fatal("schedule stats empty")
+	}
+}
+
+func TestDistributedMatchesSingle(t *testing.T) {
+	p := smallProblem()
+	p.NX, p.NY, p.NZ = 4, 4, 4
+	o := Options{Epsi: 1e-9, MaxInners: 300, MaxOuters: 40}
+	s, err := NewSolver(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDistributed(p, o, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRanks() != 4 {
+		t.Fatalf("ranks = %d", d.NumRanks())
+	}
+	dres, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dres.Converged {
+		t.Fatal("distributed run did not converge")
+	}
+	for g := 0; g < p.Groups; g++ {
+		a, b := s.FluxIntegral(g), d.FluxIntegral(g)
+		if math.Abs(a-b) > 1e-5*(1+math.Abs(a)) {
+			t.Fatalf("group %d: distributed %v vs single %v", g, b, a)
+		}
+	}
+}
+
+// TestFDAndFEMAgree cross-validates the two discretisations: on a matched
+// problem the volume-integrated fluxes must agree to within discretisation
+// error (a few percent on these coarse grids).
+func TestFDAndFEMAgree(t *testing.T) {
+	p := DefaultProblem()
+	p.NX, p.NY, p.NZ = 6, 6, 6
+	p.AnglesPerOctant = 3
+	p.Groups = 2
+	p.Twist = 0 // matched grids
+	o := Options{Epsi: 1e-8, MaxInners: 200, MaxOuters: 30}
+
+	femS, err := NewSolver(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := femS.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fdS, err := NewFD(p, o, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fdS.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < p.Groups; g++ {
+		a, b := femS.FluxIntegral(g), fdS.FluxIntegral(g)
+		rel := math.Abs(a-b) / math.Abs(a)
+		if rel > 0.05 {
+			t.Fatalf("group %d: FEM %v vs FD %v (rel %v)", g, a, b, rel)
+		}
+	}
+}
+
+func TestMemoryRatio(t *testing.T) {
+	if MemoryRatioFEMOverFD(1) != 8 {
+		t.Fatalf("linear ratio = %d, want 8 (paper II-C)", MemoryRatioFEMOverFD(1))
+	}
+	if MemoryRatioFEMOverFD(3) != 64 {
+		t.Fatalf("cubic ratio = %d, want 64", MemoryRatioFEMOverFD(3))
+	}
+}
+
+func TestOptionsInstrument(t *testing.T) {
+	s, err := NewSolver(smallProblem(), Options{
+		Instrument: true, MaxInners: 2, MaxOuters: 1, ForceIterations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AssembleSeconds <= 0 || res.SolveSeconds <= 0 {
+		t.Fatal("instrumented run should report phase times")
+	}
+	if res.Inners != 2 || res.Outers != 1 {
+		t.Fatalf("forced iterations wrong: %d inners %d outers", res.Inners, res.Outers)
+	}
+}
+
+func TestReflectiveInfiniteMediumFacade(t *testing.T) {
+	p := Problem{
+		NX: 2, NY: 2, NZ: 2, LX: 1, LY: 1, LZ: 1,
+		MatOpt: MatHomogeneous, SrcOpt: SrcEverywhere,
+		Order: 1, AnglesPerOctant: 2, Groups: 1,
+	}
+	s, err := NewSolver(p, Options{
+		Reflect: [3]bool{true, true, true},
+		Epsi:    1e-10, MaxInners: 400, MaxOuters: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %v", res.FinalDF)
+	}
+	// Infinite medium: phi = q/sigma_a = 1/0.5 = 2 everywhere; integral
+	// over the unit cube is 2.
+	if got := s.FluxIntegral(0); math.Abs(got-2) > 1e-6 {
+		t.Fatalf("infinite-medium flux integral %v, want 2", got)
+	}
+	// Balance must close with reflective faces excluded from leakage.
+	if res.Balance.Residual > 1e-6 {
+		t.Fatalf("reflective balance residual %v: %+v", res.Balance.Residual, res.Balance)
+	}
+	if res.Balance.Leakage != 0 {
+		t.Fatalf("all-reflective problem should report zero leakage, got %v", res.Balance.Leakage)
+	}
+}
+
+func TestProductQuadratureFacade(t *testing.T) {
+	p := smallProblem()
+	p.PGCPolar, p.PGCAzi = 2, 2
+	s, err := NewSolver(p, Options{Epsi: 1e-7, MaxInners: 100, MaxOuters: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Balance.Residual > 1e-5 {
+		t.Fatalf("product-quadrature run failed: converged=%v residual=%v",
+			res.Converged, res.Balance.Residual)
+	}
+}
+
+func TestP1ScatteringFacade(t *testing.T) {
+	p := smallProblem()
+	p.ScatOrder = 1
+	s, err := NewSolver(p, Options{Epsi: 1e-7, MaxInners: 200, MaxOuters: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Balance.Residual > 1e-5 {
+		t.Fatalf("P1 facade run failed: converged=%v residual=%v",
+			res.Converged, res.Balance.Residual)
+	}
+}
+
+func TestDistributedRejectsReflect(t *testing.T) {
+	if _, err := NewDistributed(DefaultProblem(), Options{Reflect: [3]bool{true, false, false}}, 2, 1); err == nil {
+		t.Fatal("expected reflective+distributed to be rejected")
+	}
+}
+
+func TestNewSolverErrors(t *testing.T) {
+	bad := DefaultProblem()
+	bad.NX = -1
+	if _, err := NewSolver(bad, Options{}); err == nil {
+		t.Fatal("expected mesh error")
+	}
+	bad = DefaultProblem()
+	bad.AnglesPerOctant = 0
+	if _, err := NewSolver(bad, Options{}); err == nil {
+		t.Fatal("expected quadrature error")
+	}
+	if _, err := NewDistributed(DefaultProblem(), Options{}, 0, 1); err == nil {
+		t.Fatal("expected partition error")
+	}
+	badFD := DefaultProblem()
+	badFD.Groups = 0
+	if _, err := NewFD(badFD, Options{}, false); err == nil {
+		t.Fatal("expected library error")
+	}
+}
