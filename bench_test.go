@@ -8,6 +8,7 @@ package unsnap_test
 
 import (
 	"math/rand"
+	"strconv"
 	"testing"
 
 	"unsnap"
@@ -52,7 +53,7 @@ func BenchmarkTableI(b *testing.B) {
 }
 
 func orderName(order int) string {
-	return "order-" + string(rune('0'+order))
+	return "order-" + strconv.Itoa(order)
 }
 
 // BenchmarkTableII compares the two local solvers across orders on a small
@@ -94,7 +95,7 @@ func BenchmarkFig3(b *testing.B) {
 }
 
 func threadName(t int) string {
-	return "threads-" + string(rune('0'+t))
+	return "threads-" + strconv.Itoa(t)
 }
 
 // BenchmarkFig4 repeats the scheme comparison with cubic elements
@@ -117,8 +118,41 @@ func BenchmarkFig4(b *testing.B) {
 	}
 }
 
-// BenchmarkAtomicAngles compares the angle-threading ablation against the
-// collapsed scheme (section IV-A3: it should not win).
+// BenchmarkEngine is the engine-vs-legacy family: the persistent
+// worker-pool sweep engine against the legacy bucket executor (SchemeAEg,
+// the paper's element-threading baseline) on a Fig. 3-style workload —
+// linear elements, several angles per octant, shallow buckets — across
+// thread counts. The cmd/unsnap-bench `engine` experiment (and
+// scripts/bench.sh) records the same comparison into BENCH_sweep.json.
+func BenchmarkEngine(b *testing.B) {
+	modes := []struct {
+		name   string
+		scheme unsnap.Scheme
+	}{
+		{"legacy-AEg", unsnap.AEg},
+		{"engine", unsnap.Engine},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			for _, threads := range []int{1, 4} {
+				b.Run(threadName(threads), func(b *testing.B) {
+					p := unsnap.DefaultProblem()
+					p.NX, p.NY, p.NZ = 6, 6, 6
+					p.AnglesPerOctant = 4
+					p.Groups = 4
+					sweepBench(b, p, unsnap.Options{Scheme: mode.scheme, Threads: threads})
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkAtomicAngles compares angle threading against the collapsed
+// legacy scheme. The paper's section IV-A3 found angle threading does
+// not scale — with the striped-lock flux update it then had. Angles is
+// now engine-backed (lock-free ordered reduction), so it is expected to
+// match or beat AEG; the series tracks how far the engine moved this
+// ablation from the paper's published result.
 func BenchmarkAtomicAngles(b *testing.B) {
 	for _, scheme := range []unsnap.Scheme{unsnap.AEG, unsnap.Angles} {
 		b.Run(scheme.String(), func(b *testing.B) {

@@ -7,10 +7,14 @@
 //
 //	unsnap-bench -experiment table1
 //	unsnap-bench -experiment fig3 -threads 1,2,4
+//	unsnap-bench -experiment engine -threads 1,2,4 -json BENCH_sweep.json
 //	unsnap-bench -experiment all
 //
 // Experiments: table1, table2, fig3, fig4, tradeoffs, jacobi, atomic,
-// preassembled, all.
+// preassembled, engine, all. The engine experiment compares the
+// persistent worker-pool sweep engine against a legacy bucket executor
+// and, with -json, records ns/op per sweep for the perf trajectory
+// (scripts/bench.sh runs it and writes BENCH_sweep.json).
 package main
 
 import (
@@ -46,8 +50,9 @@ func parseThreads(s string) ([]int, error) {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("unsnap-bench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "table1|table2|fig3|fig4|tradeoffs|jacobi|atomic|preassembled|all")
+	experiment := fs.String("experiment", "all", "table1|table2|fig3|fig4|tradeoffs|jacobi|atomic|preassembled|engine|all")
 	threadsFlag := fs.String("threads", "1,2", "comma-separated worker counts for scaling experiments")
+	jsonPath := fs.String("json", "", "write the engine experiment's comparison to this JSON file")
 	paper := fs.Bool("paper", false, "use the paper's full problem sizes (slow)")
 	nx := fs.Int("nx", 0, "override elements per dimension")
 	nang := fs.Int("nang", 0, "override angles per octant")
@@ -168,7 +173,7 @@ func run(args []string) error {
 		ran = true
 		p := unsnap.DefaultProblem()
 		override(&p)
-		fmt.Println("== Section IV-A3: angle threading with serialised flux update ==")
+		fmt.Println("== Section IV-A3: angle threading (now engine-backed, lock-free reduction) ==")
 		rows, err := harness.RunAtomic(p, threads, *inners)
 		if err != nil {
 			return err
@@ -190,6 +195,27 @@ func run(args []string) error {
 		}
 		harness.FprintPreassembled(os.Stdout, rows)
 		fmt.Println()
+	}
+	if want("engine") {
+		ran = true
+		cfg := harness.DefaultEngine()
+		override(&cfg.Problem)
+		cfg.Threads = threads
+		cfg.Inners = *inners
+		fmt.Printf("== Sweep engine vs legacy %s (%d^3 elements, %d ang/oct, %d groups) ==\n",
+			cfg.Legacy, cfg.Problem.NX, cfg.Problem.AnglesPerOctant, cfg.Problem.Groups)
+		rows, err := harness.RunEngine(cfg)
+		if err != nil {
+			return err
+		}
+		harness.FprintEngine(os.Stdout, cfg, rows)
+		fmt.Println()
+		if *jsonPath != "" {
+			if err := harness.WriteEngineJSON(*jsonPath, cfg, rows); err != nil {
+				return err
+			}
+			fmt.Println("wrote", *jsonPath)
+		}
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *experiment)

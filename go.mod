@@ -1,0 +1,3 @@
+module unsnap
+
+go 1.24

@@ -43,9 +43,17 @@ const (
 type Scheme int
 
 const (
+	// SchemeEngine is the default executor: the persistent worker-pool
+	// sweep engine. Long-lived workers pop ready (angle, element) tasks
+	// from work-stealing deques, firing each element the moment its last
+	// upwind dependency resolves (counter-driven wavefronts instead of
+	// bucket barriers), with every ordinate of an octant in flight at
+	// once and a deterministic ordered scalar-flux reduction once per
+	// sweep. See engine.go.
+	SchemeEngine Scheme = iota
 	// SchemeAEg: angle / element / group, threading the elements of each
 	// schedule bucket; groups run sequentially inside each element.
-	SchemeAEg Scheme = iota
+	SchemeAEg
 	// SchemeAEG: angle / element / group with the element and group loops
 	// collapsed and threaded together (OpenMP collapse(2) semantics:
 	// lexicographic with group fastest).
@@ -59,9 +67,10 @@ const (
 	SchemeAGE
 	// SchemeAgE: angle / group / element, threading the element loop.
 	SchemeAgE
-	// SchemeAngles: the ablation from section IV-A3 — angles within an
-	// octant are threaded and the scalar-flux reduction is serialised per
-	// element, which the paper found does not scale.
+	// SchemeAngles: the section IV-A3 angle-threading ablation. It now
+	// maps onto the sweep engine, whose wavefronts are angle-parallel by
+	// construction and whose ordered reduction replaces the striped
+	// scalar-flux locks the paper found do not scale.
 	SchemeAngles
 
 	numSchemes
@@ -79,6 +88,8 @@ func Schemes() []Scheme {
 // String returns the paper-style name with threaded loops capitalised.
 func (s Scheme) String() string {
 	switch s {
+	case SchemeEngine:
+		return "engine"
 	case SchemeAEg:
 		return "angle/ELEMENT/group"
 	case SchemeAEG:
@@ -116,6 +127,12 @@ func (s Scheme) Layout() Layout {
 	default:
 		return LayoutEG
 	}
+}
+
+// engineBacked reports whether the scheme executes on the persistent
+// sweep engine rather than the legacy bucket-by-bucket executors.
+func (s Scheme) engineBacked() bool {
+	return s == SchemeEngine || s == SchemeAngles
 }
 
 // SolverKind selects the local dense solver (Table II).

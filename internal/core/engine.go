@@ -1,0 +1,471 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"unsnap/internal/fem"
+	"unsnap/internal/la"
+	"unsnap/internal/sweep"
+)
+
+// This file implements the persistent sweep engine behind SchemeEngine
+// (and the engine-backed SchemeAngles compatibility mode). Instead of the
+// legacy fork/join per schedule bucket per ordinate, a pool of long-lived
+// workers executes each octant of SweepAllAngles as one task graph:
+//
+//   - Counter-driven wavefronts: a task is all energy groups of one
+//     (ordinate, element) pair. Workers pop ready tasks from per-worker
+//     Chase-Lev work-stealing deques and, on completion, decrement the
+//     remaining-upwind counters of the downwind tasks (sweep.Graph),
+//     pushing the ones that reach zero. No bucket barriers.
+//   - Angle-parallel execution: every ordinate of an octant is in flight
+//     at once (their dependency graphs are independent), multiplying the
+//     available parallelism by Quad.PerOctant on shallow-bucket meshes.
+//     Octants stay sequential, preserving the reflective-boundary and
+//     lagged-edge ordering of the legacy executor.
+//   - Lock-free deterministic flux reduction: tasks store only the
+//     angular flux; the scalar flux (and P1 current) is reduced from psi
+//     once per sweep in fixed ordinate order, so results are bitwise
+//     identical across runs and across thread counts, with no locks.
+//
+// The engine also pre-fuses the per-angle face matrices
+// om·Fx + om·Fy + om·Fz (and assembles the group-independent matrix part
+// once per task), cutting the assembly flops the legacy path spends
+// re-combining the three directional factors for every group.
+
+// ---- work-stealing deque ----
+
+// wsDeque is a fixed-capacity Chase-Lev work-stealing deque of task ids.
+// The owning worker pushes and pops at the bottom without contention;
+// other workers steal from the top with a CAS. The engine sizes every
+// deque to one octant's full task count, so the buffer can never
+// overflow or wrap onto live entries.
+type wsDeque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	mask   int64
+	buf    []atomic.Int64
+}
+
+func newWSDeque(capacity int) *wsDeque {
+	c := int64(1)
+	for c < int64(capacity) {
+		c <<= 1
+	}
+	return &wsDeque{mask: c - 1, buf: make([]atomic.Int64, c)}
+}
+
+// reset may only be called while no worker owns or steals from the deque
+// (the engine quiesces the pool between octant phases).
+func (d *wsDeque) reset() { d.top.Store(0); d.bottom.Store(0) }
+
+func (d *wsDeque) push(t int64) {
+	b := d.bottom.Load()
+	d.buf[b&d.mask].Store(t)
+	d.bottom.Store(b + 1)
+}
+
+func (d *wsDeque) pop() (int64, bool) {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		d.bottom.Store(t)
+		return 0, false
+	}
+	v := d.buf[b&d.mask].Load()
+	if t == b {
+		// Last entry: race the thieves for it.
+		ok := d.top.CompareAndSwap(t, t+1)
+		d.bottom.Store(t + 1)
+		if !ok {
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+// steal takes the oldest entry. A failed CAS means a concurrent steal or
+// pop won the entry; the caller just tries elsewhere.
+func (d *wsDeque) steal() (int64, bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return 0, false
+	}
+	v := d.buf[t&d.mask].Load()
+	if !d.top.CompareAndSwap(t, t+1) {
+		return 0, false
+	}
+	return v, true
+}
+
+func (d *wsDeque) size() int64 { return d.bottom.Load() - d.top.Load() }
+
+// ---- persistent worker pool ----
+
+// enginePool is the long-lived state shared with the background worker
+// goroutines. It deliberately holds no reference back to the Solver:
+// phases hand workers an engineJob carrying all per-phase context and
+// clear it on completion, so a quiescent pool never roots the solver's
+// (large) arrays. That lets the runtime cleanup registered in newEngine
+// stop the workers once the solver itself becomes unreachable.
+type enginePool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	idle atomic.Int32 // workers parked mid-phase; updated under mu
+	job  *engineJob   // current phase; nil when quiescent (under mu)
+	seq  uint64       // bumped with every installed job (under mu)
+	stop bool         // set by the solver's cleanup (under mu)
+}
+
+func poolWorker(p *enginePool, w int) {
+	// Jobs are tracked by sequence number, not by retaining the pointer:
+	// a parked worker must hold no reference into the completed phase, or
+	// it would root the solver and the cleanup could never fire.
+	var lastSeq uint64
+	for {
+		p.mu.Lock()
+		for (p.job == nil || p.seq == lastSeq) && !p.stop {
+			p.cond.Wait()
+		}
+		if p.stop {
+			p.mu.Unlock()
+			return
+		}
+		job := p.job
+		lastSeq = p.seq
+		p.mu.Unlock()
+		job.run(w)
+		p.mu.Lock()
+		job.exited++
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// engine owns the scheduling state of the engine-backed schemes for one
+// Solver: the per-ordinate task graphs, per-octant seed lists and initial
+// counters, the worker deques, and the pool of workers (created once).
+type engine struct {
+	s      *Solver
+	nw     int
+	pool   *enginePool // nil when nw == 1 (fully inline execution)
+	deques []*wsDeque
+	graphs []*sweep.Graph // per angle, shared across angles of one topo
+
+	// Per-octant immutable schedule data: the initial remaining-upwind
+	// counters and the initially-ready tasks of every ordinate lane.
+	octCounts [8][]int32
+	octSeeds  [8][]int32
+
+	counts []int32 // working counters of the current phase
+}
+
+// engineJob is one octant phase handed to the pool.
+type engineJob struct {
+	eng       *engine
+	octant    int
+	seeds     []int32
+	cursor    atomic.Int64
+	remaining atomic.Int64
+	exited    int // background workers done with this job (under pool.mu)
+	record    func(error)
+}
+
+// newEngine builds the engine for s and starts its Threads-1 background
+// workers (the sweeping goroutine acts as worker 0). Workers outlive any
+// single sweep; a runtime cleanup stops them when s is collected.
+func newEngine(s *Solver) *engine {
+	per := s.cfg.Quad.PerOctant
+	nTasks := per * s.nE
+	e := &engine{s: s, nw: s.cfg.Threads}
+	e.deques = make([]*wsDeque, e.nw)
+	for w := range e.deques {
+		e.deques[w] = newWSDeque(nTasks)
+	}
+	e.counts = make([]int32, nTasks)
+	e.graphs = make([]*sweep.Graph, s.nA)
+	for a := range e.graphs {
+		e.graphs[a] = s.topos[a].graph
+	}
+	for o := 0; o < 8; o++ {
+		ic := make([]int32, nTasks)
+		var seeds []int32
+		for m := 0; m < per; m++ {
+			g := e.graphs[s.cfg.Quad.AngleIndex(o, m)]
+			copy(ic[m*s.nE:(m+1)*s.nE], g.Indeg)
+			for _, r := range g.Roots {
+				seeds = append(seeds, int32(m*s.nE)+r)
+			}
+		}
+		e.octCounts[o] = ic
+		e.octSeeds[o] = seeds
+	}
+	if e.nw > 1 {
+		e.pool = &enginePool{}
+		e.pool.cond = sync.NewCond(&e.pool.mu)
+		for w := 1; w < e.nw; w++ {
+			go poolWorker(e.pool, w)
+		}
+		runtime.AddCleanup(s, func(p *enginePool) {
+			p.mu.Lock()
+			p.stop = true
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}, e.pool)
+	}
+	return e
+}
+
+// ensureEngine lazily builds the engine (and the fused face-matrix cache)
+// on the first engine-backed sweep (or the first after Close).
+func (s *Solver) ensureEngine() *engine {
+	if s.engine == nil {
+		if s.fusedFace == nil {
+			s.buildFusedFaces()
+		}
+		s.engine = newEngine(s)
+	}
+	return s.engine
+}
+
+// Close stops the engine's background workers deterministically. Without
+// it the workers are only reclaimed when the garbage collector notices
+// the solver is unreachable — fine for short-lived solvers, but a
+// process that holds many solvers alive should Close the ones it is done
+// sweeping with. The solver remains fully usable: state queries work,
+// and a later sweep simply builds a fresh worker pool. Safe to call
+// multiple times.
+func (s *Solver) Close() {
+	if s.engine != nil {
+		s.engine.shutdown()
+		s.engine = nil
+	}
+}
+
+// shutdown terminates the pool's background workers. The pool is
+// quiescent between sweeps, so this never interrupts a phase.
+func (e *engine) shutdown() {
+	if e.pool == nil {
+		return
+	}
+	e.pool.mu.Lock()
+	e.pool.stop = true
+	e.pool.cond.Broadcast()
+	e.pool.mu.Unlock()
+}
+
+// runOctant executes one octant phase to completion. The pool is
+// quiescent on entry and on return: the caller may touch counters,
+// deques and worker scratch freely in between.
+func (e *engine) runOctant(o int, record func(error)) {
+	copy(e.counts, e.octCounts[o])
+	for _, d := range e.deques {
+		d.reset()
+	}
+	job := &engineJob{eng: e, octant: o, seeds: e.octSeeds[o], record: record}
+	job.remaining.Store(int64(len(e.counts)))
+	if e.nw == 1 {
+		job.run(0)
+		return
+	}
+	p := e.pool
+	p.mu.Lock()
+	p.job = job
+	p.seq++
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	job.run(0)
+	// Quiesce: wait for every background worker to leave the job before
+	// the next phase reuses the deques and counters.
+	p.mu.Lock()
+	for job.exited < e.nw-1 {
+		p.cond.Wait()
+	}
+	p.job = nil
+	p.mu.Unlock()
+}
+
+// run is the per-worker phase loop: drain own deque, then the seed list,
+// then steal; park when nothing is ready and not done.
+func (j *engineJob) run(w int) {
+	e := j.eng
+	own := e.deques[w]
+	for {
+		if j.remaining.Load() == 0 {
+			return
+		}
+		t, ok := own.pop()
+		if !ok {
+			t, ok = j.takeSeed()
+		}
+		if !ok {
+			t, ok = j.stealFrom(w)
+		}
+		if !ok {
+			if e.nw == 1 {
+				// Inline mode cannot park: an empty scan with work
+				// remaining would be a scheduler bug, not contention.
+				if j.remaining.Load() > 0 && !j.hasWork() {
+					j.record(errEngineStalled)
+					return
+				}
+				continue
+			}
+			p := e.pool
+			p.mu.Lock()
+			p.idle.Add(1)
+			for !j.hasWork() && j.remaining.Load() > 0 {
+				p.cond.Wait()
+			}
+			p.idle.Add(-1)
+			p.mu.Unlock()
+			continue
+		}
+		j.exec(w, t)
+	}
+}
+
+func (j *engineJob) takeSeed() (int64, bool) {
+	i := j.cursor.Add(1) - 1
+	if i >= int64(len(j.seeds)) {
+		return 0, false
+	}
+	return int64(j.seeds[i]), true
+}
+
+func (j *engineJob) stealFrom(w int) (int64, bool) {
+	e := j.eng
+	for round := 0; round < 2; round++ {
+		for k := 1; k < e.nw; k++ {
+			v := e.deques[(w+k)%e.nw]
+			if t, ok := v.steal(); ok {
+				return t, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// hasWork reports whether any task is visible in the seed list or any
+// deque. Parked workers re-check it under the pool mutex, which pairs
+// with pushers taking the mutex to broadcast, so no wakeup is lost.
+func (j *engineJob) hasWork() bool {
+	if j.cursor.Load() < int64(len(j.seeds)) {
+		return true
+	}
+	for _, d := range j.eng.deques {
+		if d.size() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// exec solves all groups of one task and releases its downwind tasks.
+func (j *engineJob) exec(w int, t int64) {
+	e := j.eng
+	s := e.s
+	nE := int64(s.nE)
+	m := int(t / nE)
+	el := int(t % nE)
+	a := s.cfg.Quad.AngleIndex(j.octant, m)
+	if err := s.solveElem(s.workers[w], a, el); err != nil {
+		j.record(err)
+	}
+	base := int64(m) * nE
+	own := e.deques[w]
+	pushed := false
+	for _, d := range e.graphs[a].DownwindOf(el) {
+		if atomic.AddInt32(&e.counts[base+int64(d)], -1) == 0 {
+			own.push(base + int64(d))
+			pushed = true
+		}
+	}
+	if e.pool != nil {
+		if pushed && e.pool.idle.Load() > 0 {
+			e.pool.mu.Lock()
+			e.pool.cond.Broadcast()
+			e.pool.mu.Unlock()
+		}
+		if j.remaining.Add(-1) == 0 {
+			e.pool.mu.Lock()
+			e.pool.cond.Broadcast()
+			e.pool.mu.Unlock()
+		}
+	} else {
+		j.remaining.Add(-1)
+	}
+}
+
+// ---- deterministic flux reduction ----
+
+// reduceFluxFromPsi folds the quadrature weights into the scalar flux
+// (and, for P1 scattering, the current) from the freshly swept angular
+// flux: phi += sum_a w_a psi_a, accumulated in fixed ordinate order for
+// every node so the result is bitwise reproducible across runs and
+// thread counts. Both layouts place psi of angle a at a*len(phi) plus
+// the scalar-flux offset, so the reduction is a strided daxpy stream.
+func (s *Solver) reduceFluxFromPsi() {
+	size := len(s.phi)
+	angles := s.cfg.Quad.Angles
+	p1 := s.cfg.ScatOrder >= 1
+	parallelRanges(s.cfg.Threads, size, func(_, lo, hi int) {
+		for a := range angles {
+			w := angles[a].Weight
+			ps := s.psi[a*size+lo : a*size+hi]
+			la.AddScaled(s.phi[lo:hi], ps, w)
+			if p1 {
+				om := angles[a].Omega
+				for d := 0; d < 3; d++ {
+					la.AddScaled(s.cur[d][lo:hi], ps, w*om[d])
+				}
+			}
+		}
+	})
+}
+
+// ---- pre-fused per-angle face matrices ----
+
+// fusedFaceCacheLimit caps the fused face-matrix cache; above it the
+// assembly falls back to fusing on the fly (the cache is an optimisation,
+// not a requirement). The paper-scale Figure 3 problem (288 ordinates,
+// 4096 elements) would need ~0.9 GiB and falls back.
+const fusedFaceCacheLimit = 512 << 20
+
+// buildFusedFaces precomputes om·Fx + om·Fy + om·Fz for every (angle,
+// element, face) into one flat cache, shared by matrix and RHS assembly.
+func (s *Solver) buildFusedFaces() {
+	nf := s.re.NF
+	block := nf * nf
+	total := s.nA * s.nE * fem.NumFaces * block
+	if total*8 > fusedFaceCacheLimit {
+		return
+	}
+	s.fusedFace = make([]float64, total)
+	parallelFor(s.cfg.Threads, s.nA*s.nE, func(_, idx int) {
+		a := idx / s.nE
+		e := idx % s.nE
+		om := s.cfg.Quad.Angles[a].Omega
+		em := s.em[e]
+		for f := 0; f < fem.NumFaces; f++ {
+			dst := s.fusedFace[(idx*fem.NumFaces+f)*block : (idx*fem.NumFaces+f+1)*block]
+			la.Fuse3(dst, em.Face[f][0], em.Face[f][1], em.Face[f][2], om[0], om[1], om[2])
+		}
+	})
+}
+
+// fusedFaceBlock returns the fused face matrix of (angle, elem, face), or
+// nil when the cache is disabled or not yet built.
+func (s *Solver) fusedFaceBlock(a, e, f int) []float64 {
+	if s.fusedFace == nil {
+		return nil
+	}
+	nf := s.re.NF
+	block := nf * nf
+	base := ((a*s.nE+e)*fem.NumFaces + f) * block
+	return s.fusedFace[base : base+block]
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// engineProblem builds the 4x4x4 twisted-mesh configuration the engine
+// acceptance tests run on.
+func engineProblem(t *testing.T) Config {
+	t.Helper()
+	m, q, lib := testProblem(t, 4, 2, 3, 0.004)
+	return Config{
+		Mesh: m, Order: 1, Quad: q, Lib: lib,
+		MaxInners: 3, MaxOuters: 2, ForceIterations: true,
+	}
+}
+
+func runAndSnapshot(t *testing.T, cfg Config) (phi, psi []float64) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	phi = make([]float64, 0, s.nE*s.nG*s.nN)
+	for e := 0; e < s.nE; e++ {
+		for g := 0; g < s.nG; g++ {
+			for i := 0; i < s.nN; i++ {
+				phi = append(phi, s.Phi(e, g, i))
+			}
+		}
+	}
+	psi = make([]float64, 0, s.nA*s.nE*s.nG*s.nN)
+	for a := 0; a < s.nA; a++ {
+		for e := 0; e < s.nE; e++ {
+			for g := 0; g < s.nG; g++ {
+				for i := 0; i < s.nN; i++ {
+					psi = append(psi, s.Psi(a, e, g, i))
+				}
+			}
+		}
+	}
+	return phi, psi
+}
+
+// TestEngineMatchesLegacy checks the engine path against the legacy
+// SchemeAEg executor on a 4x4x4 twisted mesh: scalar and angular fluxes
+// must agree to 1e-12 relative.
+func TestEngineMatchesLegacy(t *testing.T) {
+	legacy := engineProblem(t)
+	legacy.Scheme = SchemeAEg
+	legacy.Threads = 1
+	refPhi, refPsi := runAndSnapshot(t, legacy)
+
+	for _, threads := range []int{1, 4} {
+		eng := engineProblem(t)
+		eng.Scheme = SchemeEngine
+		eng.Threads = threads
+		phi, psi := runAndSnapshot(t, eng)
+		for i := range refPhi {
+			if math.Abs(phi[i]-refPhi[i]) > 1e-12*(1+math.Abs(refPhi[i])) {
+				t.Fatalf("threads=%d: phi[%d] engine %v vs legacy %v", threads, i, phi[i], refPhi[i])
+			}
+		}
+		for i := range refPsi {
+			if math.Abs(psi[i]-refPsi[i]) > 1e-12*(1+math.Abs(refPsi[i])) {
+				t.Fatalf("threads=%d: psi[%d] engine %v vs legacy %v", threads, i, psi[i], refPsi[i])
+			}
+		}
+	}
+}
+
+// TestEngineDeterministic checks the engine is bitwise reproducible: two
+// fresh solvers at Threads=4 (and the same solver across thread counts,
+// thanks to the ordered reduction) must produce identical bits.
+func TestEngineDeterministic(t *testing.T) {
+	run := func(threads int) ([]float64, []float64) {
+		cfg := engineProblem(t)
+		cfg.Scheme = SchemeEngine
+		cfg.Threads = threads
+		return runAndSnapshot(t, cfg)
+	}
+	phi1, psi1 := run(4)
+	phi2, psi2 := run(4)
+	for i := range phi1 {
+		if phi1[i] != phi2[i] {
+			t.Fatalf("phi[%d] differs across runs: %v vs %v", i, phi1[i], phi2[i])
+		}
+	}
+	for i := range psi1 {
+		if psi1[i] != psi2[i] {
+			t.Fatalf("psi[%d] differs across runs: %v vs %v", i, psi1[i], psi2[i])
+		}
+	}
+	phi3, _ := run(2)
+	for i := range phi1 {
+		if phi1[i] != phi3[i] {
+			t.Fatalf("phi[%d] differs across thread counts: %v vs %v", i, phi1[i], phi3[i])
+		}
+	}
+}
+
+// TestEngineAnglesCompatMatches checks the SchemeAngles compatibility
+// mode (now engine-backed) still agrees with the legacy executor.
+func TestEngineAnglesCompatMatches(t *testing.T) {
+	legacy := engineProblem(t)
+	legacy.Scheme = SchemeAEG
+	legacy.Threads = 2
+	refPhi, _ := runAndSnapshot(t, legacy)
+
+	ang := engineProblem(t)
+	ang.Scheme = SchemeAngles
+	ang.Threads = 4
+	phi, _ := runAndSnapshot(t, ang)
+	for i := range refPhi {
+		if math.Abs(phi[i]-refPhi[i]) > 1e-12*(1+math.Abs(refPhi[i])) {
+			t.Fatalf("phi[%d] angles-compat %v vs legacy %v", i, phi[i], refPhi[i])
+		}
+	}
+}
+
+// TestEnginePreassembledMatches checks the engine composes with the
+// pre-factorised matrix mode.
+func TestEnginePreassembledMatches(t *testing.T) {
+	base := engineProblem(t)
+	base.Scheme = SchemeEngine
+	base.Threads = 2
+	refPhi, _ := runAndSnapshot(t, base)
+
+	pre := engineProblem(t)
+	pre.Scheme = SchemeEngine
+	pre.Threads = 2
+	pre.PreAssembled = true
+	phi, _ := runAndSnapshot(t, pre)
+	for i := range refPhi {
+		if math.Abs(phi[i]-refPhi[i]) > 1e-10*(1+math.Abs(refPhi[i])) {
+			t.Fatalf("phi[%d] pre-assembled %v vs on-the-fly %v", i, phi[i], refPhi[i])
+		}
+	}
+}
+
+// TestEngineReflectiveMatches checks the engine respects the reflective
+// boundary coupling (mirror ordinates live in other octants, so the
+// engine's sequential octant phases must preserve the legacy ordering).
+func TestEngineReflectiveMatches(t *testing.T) {
+	run := func(scheme Scheme, threads int) []float64 {
+		cfg := engineProblem(t)
+		cfg.Scheme = scheme
+		cfg.Threads = threads
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dims := [3]bool{true, false, true}
+		s.SetBoundary(ReflectiveBoundary(s, dims))
+		s.SetBalanceSkip(ReflectiveSkip(s, dims))
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, 0, s.nE*s.nG*s.nN)
+		for e := 0; e < s.nE; e++ {
+			for g := 0; g < s.nG; g++ {
+				for i := 0; i < s.nN; i++ {
+					out = append(out, s.Phi(e, g, i))
+				}
+			}
+		}
+		return out
+	}
+	ref := run(SchemeAEg, 1)
+	got := run(SchemeEngine, 4)
+	for i := range ref {
+		if math.Abs(got[i]-ref[i]) > 1e-12*(1+math.Abs(ref[i])) {
+			t.Fatalf("reflective phi[%d] engine %v vs legacy %v", i, got[i], ref[i])
+		}
+	}
+}
+
+// TestEngineCloseAndReuse checks Close stops the pool deterministically,
+// is idempotent, and that a later Run transparently rebuilds it with
+// identical results.
+func TestEngineCloseAndReuse(t *testing.T) {
+	// Reference: two warm-started Runs on a solver that is never closed
+	// (Run continues from the current flux, so the second differs from
+	// the first by design).
+	ref, err := New(func() Config {
+		cfg := engineProblem(t)
+		cfg.Scheme = SchemeEngine
+		cfg.Threads = 4
+		return cfg
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := engineProblem(t)
+	cfg.Scheme = SchemeEngine
+	cfg.Threads = 4
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	first := s.FluxIntegral(0)
+	s.Close()
+	s.Close() // idempotent
+	if got := s.FluxIntegral(0); got != first {
+		t.Fatalf("state changed by Close: %v vs %v", got, first)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatalf("run after Close: %v", err)
+	}
+	if got, want := s.FluxIntegral(0), ref.FluxIntegral(0); got != want {
+		t.Fatalf("rebuilt pool diverged from uninterrupted solver: %v vs %v", got, want)
+	}
+	s.Close()
+}
+
+// TestEngineFusedCacheDisabled checks the over-limit fallback path (no
+// fused face cache) produces the same answer.
+func TestEngineFusedCacheDisabled(t *testing.T) {
+	cfg := engineProblem(t)
+	cfg.Scheme = SchemeEngine
+	cfg.Threads = 2
+	refPhi, _ := runAndSnapshot(t, cfg)
+
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ensureEngine()
+	s.fusedFace = nil // simulate a problem too large for the cache
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	idx := 0
+	for e := 0; e < s.nE; e++ {
+		for g := 0; g < s.nG; g++ {
+			for i := 0; i < s.nN; i++ {
+				if math.Abs(s.Phi(e, g, i)-refPhi[idx]) > 1e-12*(1+math.Abs(refPhi[idx])) {
+					t.Fatalf("uncached phi[%d] %v vs cached %v", idx, s.Phi(e, g, i), refPhi[idx])
+				}
+				idx++
+			}
+		}
+	}
+}

@@ -33,3 +33,31 @@ func parallelFor(workers, n int, fn func(worker, i int)) {
 	}
 	wg.Wait()
 }
+
+// parallelRanges statically splits [0, n) into one contiguous range per
+// worker and runs fn(worker, lo, hi) on each — the chunked variant of
+// parallelFor for vector kernels that want whole slices rather than
+// single indices (the engine's flux reduction).
+func parallelRanges(workers, n int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}

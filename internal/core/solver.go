@@ -19,6 +19,7 @@ import (
 type topo struct {
 	inflow []uint64 // bitset over elem*6+face
 	sched  *sweep.Schedule
+	graph  *sweep.Graph // counter-driven view of the same dependencies
 }
 
 func (t *topo) isInflow(e, f int) bool {
@@ -64,8 +65,10 @@ type Solver struct {
 
 	workers []*workerState
 
-	// striped locks for the atomic-angles ablation scheme
-	phiLocks [64]sync.Mutex
+	// The persistent sweep engine (engine-backed schemes only, built on
+	// first use) and its pre-fused per-angle face matrices; see engine.go.
+	engine    *engine
+	fusedFace []float64
 
 	// pre-assembled factored matrices (PreAssembled mode):
 	// preA[(a*nE+e)*nG+g] and prePiv likewise.
@@ -169,7 +172,7 @@ func New(cfg Config) (*Solver, error) {
 
 	s.workers = make([]*workerState, cfg.Threads)
 	for w := range s.workers {
-		s.workers[w] = newWorkerState(s.nN, re.NF)
+		s.workers[w] = newWorkerState(s.nN, re.NF, cfg.Scheme.engineBacked())
 	}
 
 	if cfg.PreAssembled {
@@ -254,6 +257,14 @@ func (s *Solver) buildTopologies() error {
 			return fmt.Errorf("core: scheduling angle %d (omega %v): %w", a, om, err)
 		}
 		t.sched = sched
+		if s.cfg.Scheme.engineBacked() {
+			// Legacy bucket schemes never read the counter view; skip its
+			// build (and its failure modes) for them.
+			t.graph, err = sweep.BuildGraph(in, sched.Lagged)
+			if err != nil {
+				return fmt.Errorf("core: task graph for angle %d (omega %v): %w", a, om, err)
+			}
+		}
 		cache[key] = append(cache[key], t)
 		s.topos[a] = t
 	}

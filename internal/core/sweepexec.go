@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -9,23 +10,36 @@ import (
 	"unsnap/internal/la"
 )
 
+// errEngineStalled guards against scheduler bugs: the counter-driven
+// executor found no ready task while elements remained. The task graphs
+// are validated acyclic at build time, so this should be unreachable.
+var errEngineStalled = errors.New("core: sweep engine stalled with unfinished elements")
+
 // workerState is the per-worker scratch of the sweep loops: one dense
-// workspace plus face gather buffers and local nanosecond accumulators
-// (flushed into the solver's totals after each sweep to avoid contention).
+// workspace plus the group-independent matrix base, face gather buffers
+// and local nanosecond accumulators (flushed into the solver's totals
+// after each sweep to avoid contention).
 type workerState struct {
 	ws      *la.Workspace
+	base    []float64 // engine: -Omega·G + outflow faces, reused per group
 	up      []float64 // upwind nodal values in our face ordering
 	qt      []float64 // per-angle effective source (time-dependent runs)
 	asmNS   int64
 	solveNS int64
 }
 
-func newWorkerState(n, nf int) *workerState {
-	return &workerState{
+// newWorkerState allocates one worker's scratch; the base matrix is
+// engine-only and skipped for the legacy bucket schemes.
+func newWorkerState(n, nf int, engine bool) *workerState {
+	st := &workerState{
 		ws: la.NewWorkspace(n),
 		up: make([]float64, nf),
 		qt: make([]float64, n),
 	}
+	if engine {
+		st.base = make([]float64, n*n)
+	}
+	return st
 }
 
 // assembleMatrix builds the local matrix of (angle, elem, group) into dst
@@ -40,6 +54,25 @@ func (s *Solver) assembleMatrix(a, e, g int, dst []float64) {
 	for idx := range dst {
 		dst[idx] = sigt*mass[idx] - om[0]*gx[idx] - om[1]*gy[idx] - om[2]*gz[idx]
 	}
+	s.addOutflowFaces(a, e, dst)
+}
+
+// assembleBase builds the group-independent part of the local matrices of
+// (angle, elem) — minus Omega·G plus the outflow face terms — so the
+// engine's per-group matrix is just base + sigma_t,g M.
+func (s *Solver) assembleBase(a, e int, dst []float64) {
+	em := s.em[e]
+	om := s.cfg.Quad.Angles[a].Omega
+	la.Fuse3(dst, em.Grad[0], em.Grad[1], em.Grad[2], -om[0], -om[1], -om[2])
+	s.addOutflowFaces(a, e, dst)
+}
+
+// addOutflowFaces accumulates the outflow surface terms of (angle, elem)
+// into the local matrix, through the pre-fused per-angle face cache when
+// available.
+func (s *Solver) addOutflowFaces(a, e int, dst []float64) {
+	om := s.cfg.Quad.Angles[a].Omega
+	em := s.em[e]
 	n := s.nN
 	nf := s.re.NF
 	t := s.topos[a]
@@ -48,6 +81,16 @@ func (s *Solver) assembleMatrix(a, e, g int, dst []float64) {
 			continue
 		}
 		fn := s.re.FaceNodes[f]
+		if fb := s.fusedFaceBlock(a, e, f); fb != nil {
+			for k, gi := range fn {
+				row := dst[gi*n : (gi+1)*n]
+				fr := fb[k*nf : (k+1)*nf]
+				for l, gj := range fn {
+					row[gj] += fr[l]
+				}
+			}
+			continue
+		}
 		fx, fy, fz := em.Face[f][0], em.Face[f][1], em.Face[f][2]
 		for k, gi := range fn {
 			row := dst[gi*n : (gi+1)*n]
@@ -127,6 +170,17 @@ func (s *Solver) assembleRHS(st *workerState, a, e, g int) {
 			continue // vacuum
 		}
 		fn := s.re.FaceNodes[f]
+		if fb := s.fusedFaceBlock(a, e, f); fb != nil {
+			for k, gi := range fn {
+				fr := fb[k*nf : (k+1)*nf]
+				acc := 0.0
+				for l := 0; l < nf; l++ {
+					acc += fr[l] * up[l]
+				}
+				b[gi] -= acc
+			}
+			continue
+		}
 		fx, fy, fz := em.Face[f][0], em.Face[f][1], em.Face[f][2]
 		for k, gi := range fn {
 			fr := k * nf
@@ -141,31 +195,17 @@ func (s *Solver) assembleRHS(st *workerState, a, e, g int) {
 	}
 }
 
-// solveOne assembles and solves one (angle, elem, group) system, stores
-// the angular flux and accumulates the scalar flux. lockPhi serialises the
-// scalar-flux update (used only by the angle-threading ablation).
-func (s *Solver) solveOne(st *workerState, a, e, g int, lockPhi bool) error {
-	instr := s.cfg.Instrument
-	var t0 time.Time
-	if instr {
-		t0 = time.Now()
-	}
-
-	pre := s.preA != nil
-	if !pre {
-		s.assembleMatrix(a, e, g, st.ws.A.Data)
-	}
-	s.assembleRHS(st, a, e, g)
-
+// solveLocal runs the configured dense solver on the system prepared in
+// st.ws (or the pre-factorised matrix), leaving the solution in st.ws.X,
+// and charges the time to the worker's solve accumulator.
+func (s *Solver) solveLocal(st *workerState, a, e, g int) error {
 	var t1 time.Time
-	if instr {
+	if s.cfg.Instrument {
 		t1 = time.Now()
-		st.asmNS += t1.Sub(t0).Nanoseconds()
 	}
-
 	x := st.ws.X
 	switch {
-	case pre:
+	case s.preA != nil:
 		idx := (a*s.nE+e)*s.nG + g
 		la.SolveFactored(&s.preA[idx], s.prePiv[idx], st.ws.B)
 		copy(x, st.ws.B)
@@ -179,47 +219,105 @@ func (s *Solver) solveOne(st *workerState, a, e, g int, lockPhi bool) error {
 		}
 		copy(x, st.ws.B)
 	}
-	if instr {
+	if s.cfg.Instrument {
 		st.solveNS += time.Since(t1).Nanoseconds()
+	}
+	return nil
+}
+
+// solveOne assembles and solves one (angle, elem, group) system, stores
+// the angular flux and accumulates the scalar flux (the legacy executors'
+// unit of work; the engine uses solveElem).
+func (s *Solver) solveOne(st *workerState, a, e, g int) error {
+	instr := s.cfg.Instrument
+	var t0 time.Time
+	if instr {
+		t0 = time.Now()
+	}
+	if s.preA == nil {
+		s.assembleMatrix(a, e, g, st.ws.A.Data)
+	}
+	s.assembleRHS(st, a, e, g)
+	if instr {
+		st.asmNS += time.Since(t0).Nanoseconds()
+	}
+	if err := s.solveLocal(st, a, e, g); err != nil {
+		return err
 	}
 
 	// Store the angular flux (needed by downwind neighbours and the next
 	// iteration) and fold the quadrature weight into the scalar flux and,
 	// for P1 scattering, the current.
+	x := st.ws.X
 	copy(s.psi[s.psiIdx(a, e, g):s.psiIdx(a, e, g)+s.nN], x)
 	w := s.cfg.Quad.Angles[a].Weight
 	om := s.cfg.Quad.Angles[a].Omega
 	fluxBase := s.phiIdx(e, g)
 	phi := s.phi[fluxBase : fluxBase+s.nN]
-	accumulate := func() {
-		for i, v := range x {
-			phi[i] += w * v
-		}
-		if s.cfg.ScatOrder >= 1 {
-			for d := 0; d < 3; d++ {
-				wd := w * om[d]
-				cd := s.cur[d][fluxBase : fluxBase+s.nN]
-				for i, v := range x {
-					cd[i] += wd * v
-				}
+	for i, v := range x {
+		phi[i] += w * v
+	}
+	if s.cfg.ScatOrder >= 1 {
+		for d := 0; d < 3; d++ {
+			wd := w * om[d]
+			cd := s.cur[d][fluxBase : fluxBase+s.nN]
+			for i, v := range x {
+				cd[i] += wd * v
 			}
 		}
-	}
-	if lockPhi {
-		lk := &s.phiLocks[e&63]
-		lk.Lock()
-		accumulate()
-		lk.Unlock()
-	} else {
-		accumulate()
 	}
 	return nil
 }
 
+// solveElem is the engine's unit of work: all energy groups of one
+// (angle, elem) task. The group-independent matrix part is assembled once
+// and the per-group matrix formed by adding sigma_t M onto it. The scalar
+// flux is NOT accumulated here — the engine reduces it from psi once per
+// sweep, in deterministic ordinate order (see reduceFluxFromPsi). On a
+// solve failure the remaining groups still run (matching the legacy
+// executors) and the first error is returned.
+func (s *Solver) solveElem(st *workerState, a, e int) error {
+	instr := s.cfg.Instrument
+	pre := s.preA != nil
+	var t0 time.Time
+	if instr {
+		t0 = time.Now()
+	}
+	if !pre {
+		s.assembleBase(a, e, st.base)
+	}
+	mass := s.em[e].Mass
+	sigt := s.sigtEff[s.cfg.Mesh.Elems[e].Material]
+	var firstErr error
+	for g := 0; g < s.nG; g++ {
+		if instr && g > 0 {
+			t0 = time.Now()
+		}
+		if !pre {
+			la.AddScaledTo(st.ws.A.Data, st.base, mass, sigt[g])
+		}
+		s.assembleRHS(st, a, e, g)
+		if instr {
+			st.asmNS += time.Since(t0).Nanoseconds()
+		}
+		if err := s.solveLocal(st, a, e, g); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		copy(s.psi[s.psiIdx(a, e, g):s.psiIdx(a, e, g)+s.nN], st.ws.X)
+	}
+	return firstErr
+}
+
 // SweepAllAngles performs one full transport sweep: all octants in turn,
-// all ordinates, following each ordinate's bucketed schedule with the
-// configured concurrency scheme. The scalar flux accumulates the weighted
-// angular fluxes as it goes; callers zero it first via PrepareInner.
+// all ordinates. Engine-backed schemes execute each octant as one
+// counter-driven task graph with every ordinate in flight and reduce the
+// scalar flux from psi afterwards; legacy schemes follow each ordinate's
+// bucketed schedule under the scheme's threading choice. The scalar flux
+// accumulates the weighted angular fluxes; callers zero it first via
+// PrepareInner.
 func (s *Solver) SweepAllAngles() error {
 	var errMu sync.Mutex
 	var firstErr error
@@ -232,8 +330,12 @@ func (s *Solver) SweepAllAngles() error {
 			errMu.Unlock()
 		}
 	}
-	if s.cfg.Scheme == SchemeAngles {
-		s.sweepAnglesThreaded(record)
+	if s.cfg.Scheme.engineBacked() {
+		eng := s.ensureEngine()
+		for o := 0; o < 8; o++ {
+			eng.runOctant(o, record)
+		}
+		s.reduceFluxFromPsi()
 	} else {
 		for o := 0; o < 8; o++ {
 			for m := 0; m < s.cfg.Quad.PerOctant; m++ {
@@ -264,7 +366,7 @@ func (s *Solver) sweepAngle(a int, record func(error)) {
 				st := s.workers[w]
 				e := bucket[bi]
 				for g := 0; g < s.nG; g++ {
-					record(s.solveOne(st, a, e, g, false))
+					record(s.solveOne(st, a, e, g))
 				}
 			})
 		case SchemeAEG:
@@ -274,7 +376,7 @@ func (s *Solver) sweepAngle(a int, record func(error)) {
 				st := s.workers[w]
 				e := bucket[idx/s.nG]
 				g := idx % s.nG
-				record(s.solveOne(st, a, e, g, false))
+				record(s.solveOne(st, a, e, g))
 			})
 		case SchemeAGE:
 			// Collapse (group, element), element fastest.
@@ -282,40 +384,19 @@ func (s *Solver) sweepAngle(a int, record func(error)) {
 				st := s.workers[w]
 				g := idx / nb
 				e := bucket[idx%nb]
-				record(s.solveOne(st, a, e, g, false))
+				record(s.solveOne(st, a, e, g))
 			})
 		case SchemeAeG, SchemeAGe:
 			// Thread the groups; each worker walks the whole bucket.
 			parallelFor(nw, s.nG, func(w, g int) {
 				st := s.workers[w]
 				for _, e := range bucket {
-					record(s.solveOne(st, a, e, g, false))
+					record(s.solveOne(st, a, e, g))
 				}
 			})
 		default:
 			record(fmt.Errorf("core: scheme %v has no bucket executor", s.cfg.Scheme))
 			return
 		}
-	}
-}
-
-// sweepAnglesThreaded is the section IV-A3 ablation: within each octant
-// the ordinates run concurrently (each walking its own schedule
-// sequentially) and the shared scalar-flux update is serialised.
-func (s *Solver) sweepAnglesThreaded(record func(error)) {
-	for o := 0; o < 8; o++ {
-		per := s.cfg.Quad.PerOctant
-		parallelFor(s.cfg.Threads, per, func(w, m int) {
-			st := s.workers[w]
-			a := s.cfg.Quad.AngleIndex(o, m)
-			t := s.topos[a]
-			for _, bucket := range t.sched.Buckets {
-				for _, e := range bucket {
-					for g := 0; g < s.nG; g++ {
-						record(s.solveOne(st, a, e, g, true))
-					}
-				}
-			}
-		})
 	}
 }

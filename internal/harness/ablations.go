@@ -170,8 +170,13 @@ type AtomicRow struct {
 	AnglesSeconds float64
 }
 
-// RunAtomic reproduces the section IV-A3 observation: threading angles
-// within an octant (serialised scalar-flux update) does not scale.
+// RunAtomic measures the section IV-A3 angle-threading experiment. The
+// paper's original finding — angles threaded over a mutex-serialised
+// scalar-flux update do not scale — was an artifact of that striped-lock
+// implementation, which the sweep engine has since replaced: Angles now
+// runs engine-backed (angle-parallel wavefronts, lock-free ordered
+// reduction), so this table documents the fix rather than reproducing
+// the paper's negative result. Expect Angles to match or beat AEG.
 func RunAtomic(p unsnap.Problem, threads []int, inners int) ([]AtomicRow, error) {
 	rows := make([]AtomicRow, 0, len(threads))
 	for _, t := range threads {

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"unsnap"
+)
+
+// EngineConfig drives the engine-vs-legacy sweep comparison: the
+// persistent worker-pool engine against one of the paper's bucket
+// executors on the same problem, across thread counts.
+type EngineConfig struct {
+	Problem unsnap.Problem
+	Threads []int
+	Legacy  unsnap.Scheme // baseline executor (default SchemeAEg)
+	Inners  int
+}
+
+// DefaultEngine compares on a Figure 3-style workload at bench scale:
+// linear elements on a twisted 6^3 mesh with 4 angles per octant and 8
+// groups — the shallow-bucket regime where the element schemes starve
+// for parallelism and where the engine's angle-parallel wavefronts and
+// per-task group reuse have the most to offer.
+func DefaultEngine() EngineConfig {
+	p := unsnap.DefaultProblem()
+	p.NX, p.NY, p.NZ = 6, 6, 6
+	p.AnglesPerOctant = 4
+	p.Groups = 8
+	return EngineConfig{
+		Problem: p,
+		Threads: []int{1, 2, 4},
+		Legacy:  unsnap.AEg,
+		Inners:  5,
+	}
+}
+
+// EngineRow is one measured thread count of the comparison. The ns/op
+// figures are per sweep (SweepSeconds over the forced inner count),
+// matching the go-bench BenchmarkEngine family.
+type EngineRow struct {
+	Threads    int     `json:"threads"`
+	LegacyNsOp float64 `json:"legacy_ns_op"`
+	EngineNsOp float64 `json:"engine_ns_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// EngineReport is the serialised form of the comparison (BENCH_sweep.json).
+type EngineReport struct {
+	Problem struct {
+		NX              int `json:"nx"`
+		Order           int `json:"order"`
+		AnglesPerOctant int `json:"angles_per_octant"`
+		Groups          int `json:"groups"`
+	} `json:"problem"`
+	LegacyScheme string      `json:"legacy_scheme"`
+	Inners       int         `json:"inners_per_run"`
+	Rows         []EngineRow `json:"rows"`
+}
+
+// RunEngine measures both executors at every thread count.
+func RunEngine(cfg EngineConfig) ([]EngineRow, error) {
+	rows := make([]EngineRow, 0, len(cfg.Threads))
+	for _, threads := range cfg.Threads {
+		var nsop [2]float64
+		for i, scheme := range []unsnap.Scheme{cfg.Legacy, unsnap.Engine} {
+			s, err := unsnap.NewSolver(cfg.Problem, unsnap.Options{
+				Scheme: scheme, Threads: threads,
+				MaxInners: cfg.Inners, MaxOuters: 1, ForceIterations: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("harness: engine experiment scheme %v threads %d: %w", scheme, threads, err)
+			}
+			res, err := s.Run()
+			if err != nil {
+				return nil, err
+			}
+			s.Close()
+			nsop[i] = res.SweepSeconds * 1e9 / float64(cfg.Inners)
+		}
+		row := EngineRow{Threads: threads, LegacyNsOp: nsop[0], EngineNsOp: nsop[1]}
+		if nsop[1] > 0 {
+			row.Speedup = nsop[0] / nsop[1]
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FprintEngine writes the comparison table.
+func FprintEngine(w io.Writer, cfg EngineConfig, rows []EngineRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Threads\t%s (ns/sweep)\tengine (ns/sweep)\tspeedup\n", cfg.Legacy)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.0f\t%.0f\t%.2fx\n", r.Threads, r.LegacyNsOp, r.EngineNsOp, r.Speedup)
+	}
+	tw.Flush()
+}
+
+// WriteEngineJSON records the comparison for the perf trajectory
+// (scripts/bench.sh writes it to BENCH_sweep.json at the repo root).
+func WriteEngineJSON(path string, cfg EngineConfig, rows []EngineRow) error {
+	var rep EngineReport
+	rep.Problem.NX = cfg.Problem.NX
+	rep.Problem.Order = cfg.Problem.Order
+	rep.Problem.AnglesPerOctant = cfg.Problem.AnglesPerOctant
+	rep.Problem.Groups = cfg.Problem.Groups
+	rep.LegacyScheme = cfg.Legacy.String()
+	rep.Inners = cfg.Inners
+	rep.Rows = rows
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunEngineTiny(t *testing.T) {
+	cfg := DefaultEngine()
+	cfg.Problem = tinyProblem()
+	cfg.Threads = []int{1, 2}
+	cfg.Inners = 2
+	rows, err := RunEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.LegacyNsOp <= 0 || r.EngineNsOp <= 0 || r.Speedup <= 0 {
+			t.Fatalf("row not measured: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	FprintEngine(&buf, cfg, rows)
+	if !strings.Contains(buf.String(), "engine (ns/sweep)") {
+		t.Fatalf("table output malformed: %s", buf.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteEngineJSON(path, cfg, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep EngineReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 || rep.Rows[0].Threads != 1 || rep.Problem.Groups != cfg.Problem.Groups {
+		t.Fatalf("report round trip wrong: %+v", rep)
+	}
+}

@@ -351,6 +351,39 @@ func SolveDGESV(a *Matrix, b []float64, piv []int) error {
 	return nil
 }
 
+// AddScaled accumulates y[i] += w*x[i] (daxpy). The sweep engine's
+// ordered flux reduction streams the angular flux through this kernel
+// once per ordinate.
+func AddScaled(y, x []float64, w float64) {
+	x = x[:len(y)]
+	for i := range y {
+		y[i] += w * x[i]
+	}
+}
+
+// Fuse3 writes dst[i] = wa*a[i] + wb*b[i] + wc*c[i]: the omega-weighted
+// combination that pre-fuses a per-angle face or gradient matrix out of
+// its three directional factors, trading three multiplies and two adds
+// per entry per use for one fused read.
+func Fuse3(dst, a, b, c []float64, wa, wb, wc float64) {
+	a = a[:len(dst)]
+	b = b[:len(dst)]
+	c = c[:len(dst)]
+	for i := range dst {
+		dst[i] = wa*a[i] + wb*b[i] + wc*c[i]
+	}
+}
+
+// AddScaledTo writes dst[i] = base[i] + w*x[i]: the per-group local
+// matrix sigma_t*M added onto a group-independent base in one pass.
+func AddScaledTo(dst, base, x []float64, w float64) {
+	base = base[:len(dst)]
+	x = x[:len(dst)]
+	for i := range dst {
+		dst[i] = base[i] + w*x[i]
+	}
+}
+
 // Workspace bundles the per-worker scratch needed to assemble and solve
 // one local system without allocating in the sweep's hot loop.
 type Workspace struct {

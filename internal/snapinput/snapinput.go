@@ -63,7 +63,7 @@ func Default() Deck {
 		Order: 1, Twist: 0.001,
 		Epsi: 1e-4, IITM: 5, OITM: 1,
 		NPEY: 1, NPEZ: 1,
-		Scheme: "angle/ELEMENT/GROUP", Solver: "GE",
+		Scheme: "engine", Solver: "GE",
 	}
 }
 

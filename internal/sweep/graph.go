@@ -1,0 +1,142 @@
+package sweep
+
+import "fmt"
+
+// Graph is the counter-driven (task-graph) view of one ordinate's
+// dependency graph, the scheduling structure behind the core package's
+// persistent sweep engine. Where Schedule groups elements into bucket
+// barriers, Graph keeps the raw dependency structure so an executor can
+// fire an element the moment its last upwind neighbour resolves: each
+// worker that finishes element e decrements the remaining-upwind counter
+// of every element downwind of e and enqueues the ones that reach zero.
+//
+// Lagged (cycle-broken) edges need care. The bucketed schedule places the
+// lag seed strictly before the upwind element it was cut from, so the
+// seed always reads the previous iteration's flux on the cut coupling.
+// Graph preserves that semantics — and makes concurrent execution
+// deterministic and race-free — by reversing each lagged edge: the seed
+// becomes a prerequisite of its cut upwind element, so the old value is
+// read before it can be overwritten. Reversal cannot introduce a cycle:
+// the schedule's levels already order seed strictly before upwind, and
+// every kept edge strictly increases the level, so the levels remain a
+// topological certificate of the modified graph.
+type Graph struct {
+	NumElems int
+	// Indeg[e] is the number of prerequisites of element e: its non-lagged
+	// upwind neighbours plus the seeds of any lagged edges cut from e.
+	// Executors copy this (see Counts) and decrement the copy as elements
+	// complete.
+	Indeg []int32
+	// Down/DownOff form the CSR adjacency of successors:
+	// Down[DownOff[e]:DownOff[e+1]] lists the elements whose counter drops
+	// when e completes.
+	DownOff []int32
+	Down    []int32
+	// Roots lists the elements with no prerequisites (Indeg 0), in
+	// ascending order — the initially-ready task set.
+	Roots []int32
+}
+
+// BuildGraph derives the counter view of in, treating the given lagged
+// edges (typically Schedule.Lagged) as cut-and-reversed as described on
+// Graph. With no lagged edges it is the plain dependency graph. It fails
+// if the resulting graph is cyclic, which for a lag set produced by
+// BuildWithLagging on the same input cannot happen.
+func BuildGraph(in Input, lagged []Edge) (*Graph, error) {
+	if err := checkInput(in); err != nil {
+		return nil, err
+	}
+	n := in.NumElems
+	cut := make(map[Edge]bool, len(lagged))
+	for _, l := range lagged {
+		cut[l] = true
+	}
+	g := &Graph{
+		NumElems: n,
+		Indeg:    make([]int32, n),
+		DownOff:  make([]int32, n+1),
+	}
+	// First pass: successor counts. A kept upwind edge u->e makes e a
+	// successor of u; a lagged edge (From, To) is reversed into To->From.
+	for e := 0; e < n; e++ {
+		for _, u := range in.Upwind[e] {
+			if cut[Edge{From: u, To: e}] {
+				g.DownOff[e+1]++ // reversed: From becomes a successor of To
+				g.Indeg[u]++
+			} else {
+				g.DownOff[u+1]++
+				g.Indeg[e]++
+			}
+		}
+	}
+	for e := 0; e < n; e++ {
+		g.DownOff[e+1] += g.DownOff[e]
+	}
+	g.Down = make([]int32, g.DownOff[n])
+	fill := make([]int32, n)
+	copy(fill, g.DownOff[:n])
+	add := func(from, to int) {
+		g.Down[fill[from]] = int32(to)
+		fill[from]++
+	}
+	for e := 0; e < n; e++ {
+		for _, u := range in.Upwind[e] {
+			if cut[Edge{From: u, To: e}] {
+				add(e, u)
+			} else {
+				add(u, e)
+			}
+		}
+	}
+	for e := 0; e < n; e++ {
+		if g.Indeg[e] == 0 {
+			g.Roots = append(g.Roots, int32(e))
+		}
+	}
+	if err := g.checkAcyclic(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// checkAcyclic runs Kahn's algorithm over the counter view and fails if
+// any element is unreachable (a cycle survived).
+func (g *Graph) checkAcyclic() error {
+	counts := g.Counts()
+	ready := append([]int32(nil), g.Roots...)
+	visited := 0
+	for len(ready) > 0 {
+		e := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		visited++
+		for _, d := range g.DownwindOf(int(e)) {
+			counts[d]--
+			if counts[d] == 0 {
+				ready = append(ready, d)
+			}
+		}
+	}
+	if visited != g.NumElems {
+		return fmt.Errorf("sweep: task graph retains a cycle (%d of %d elements reachable): %w",
+			visited, g.NumElems, ErrCycle)
+	}
+	return nil
+}
+
+// Counts returns a fresh copy of the remaining-prerequisite counters, the
+// per-sweep mutable state of a counter-driven executor.
+func (g *Graph) Counts() []int32 {
+	c := make([]int32, len(g.Indeg))
+	copy(c, g.Indeg)
+	return c
+}
+
+// DownwindOf returns the successors of element e (elements whose counter
+// an executor decrements when e completes).
+func (g *Graph) DownwindOf(e int) []int32 {
+	return g.Down[g.DownOff[e]:g.DownOff[e+1]]
+}
+
+// NumEdges returns the total number of scheduling edges in the counter
+// view (kept upwind edges plus reversed lagged edges).
+func (g *Graph) NumEdges() int { return len(g.Down) }

@@ -1,0 +1,201 @@
+package sweep
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomInput builds a random dependency graph of up to ~24 elements.
+// With cyclic=false edges only point from lower to higher element index
+// (guaranteed acyclic); with cyclic=true any direction is allowed, so
+// cycles appear regularly.
+func randomInput(rng *rand.Rand, cyclic bool) Input {
+	n := rng.Intn(24) + 1
+	in := Input{NumElems: n, Upwind: make([][]int, n)}
+	for e := 0; e < n; e++ {
+		for u := 0; u < n; u++ {
+			if u == e {
+				continue
+			}
+			if !cyclic && u > e {
+				continue
+			}
+			if rng.Float64() < 0.12 {
+				in.Upwind[e] = append(in.Upwind[e], u)
+			}
+		}
+	}
+	return in
+}
+
+// simulateCounterRun executes the graph the way the engine does — pop any
+// ready task, run it, decrement its successors — but picks the ready task
+// at random to model arbitrary worker interleavings. It returns the
+// completion order, or nil if execution stalled with elements pending.
+func simulateCounterRun(g *Graph, rng *rand.Rand) []int {
+	counts := g.Counts()
+	ready := make([]int32, len(g.Roots))
+	copy(ready, g.Roots)
+	order := make([]int, 0, g.NumElems)
+	for len(ready) > 0 {
+		i := rng.Intn(len(ready))
+		e := ready[i]
+		ready[i] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, int(e))
+		for _, d := range g.DownwindOf(int(e)) {
+			counts[d]--
+			if counts[d] == 0 {
+				ready = append(ready, d)
+			}
+		}
+	}
+	if len(order) != g.NumElems {
+		return nil
+	}
+	return order
+}
+
+// checkOrder verifies a completion order against the input and lag set:
+// every element exactly once, every kept upwind edge resolved before its
+// downwind element, and every lagged edge executed seed-first (the
+// reversed ordering that preserves previous-iteration reads).
+func checkOrder(t *testing.T, in Input, lagged []Edge, order []int) {
+	t.Helper()
+	pos := make([]int, in.NumElems)
+	seen := make([]bool, in.NumElems)
+	for p, e := range order {
+		if seen[e] {
+			t.Fatalf("element %d completed twice", e)
+		}
+		seen[e] = true
+		pos[e] = p
+	}
+	for e := 0; e < in.NumElems; e++ {
+		if !seen[e] {
+			t.Fatalf("element %d never completed", e)
+		}
+	}
+	cut := make(map[Edge]bool, len(lagged))
+	for _, l := range lagged {
+		cut[l] = true
+	}
+	for e, ups := range in.Upwind {
+		for _, u := range ups {
+			if cut[Edge{From: u, To: e}] {
+				if pos[e] >= pos[u] {
+					t.Fatalf("lagged edge %d->%d: seed %d ran at %d, after upwind %d at %d",
+						u, e, e, pos[e], u, pos[u])
+				}
+			} else if pos[u] >= pos[e] {
+				t.Fatalf("upwind edge %d->%d violated: %d at %d, %d at %d",
+					u, e, u, pos[u], e, pos[e])
+			}
+		}
+	}
+}
+
+// TestGraphCounterOrderProperty is the scheduler's property test: for
+// random graphs — including cyclic ones handled by lagging — any
+// counter-driven execution order visits each element exactly once and
+// respects every scheduling edge, under many random interleavings.
+func TestGraphCounterOrderProperty(t *testing.T) {
+	f := func(seed int64, cyclic bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInput(rng, cyclic)
+		var sched *Schedule
+		var err error
+		if cyclic {
+			sched, err = BuildWithLagging(in)
+		} else {
+			sched, err = Build(in)
+		}
+		if err != nil {
+			t.Logf("schedule build failed: %v", err)
+			return false
+		}
+		g, err := BuildGraph(in, sched.Lagged)
+		if err != nil {
+			t.Logf("graph build failed: %v", err)
+			return false
+		}
+		for trial := 0; trial < 8; trial++ {
+			order := simulateCounterRun(g, rng)
+			if order == nil {
+				t.Log("counter execution stalled")
+				return false
+			}
+			checkOrder(t, in, sched.Lagged, order)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGraphMatchesScheduleOnAcyclic checks the counter view agrees with
+// the bucket schedule on acyclic graphs: same root set as bucket 0 and an
+// edge count equal to the input's.
+func TestGraphMatchesScheduleOnAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		in := randomInput(rng, false)
+		sched, err := Build(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := BuildGraph(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Roots) != len(sched.Buckets[0]) {
+			t.Fatalf("roots %v vs bucket 0 %v", g.Roots, sched.Buckets[0])
+		}
+		for i, r := range g.Roots {
+			if int(r) != sched.Buckets[0][i] {
+				t.Fatalf("roots %v vs bucket 0 %v", g.Roots, sched.Buckets[0])
+			}
+		}
+		edges := 0
+		for _, ups := range in.Upwind {
+			edges += len(ups)
+		}
+		if g.NumEdges() != edges {
+			t.Fatalf("edge count %d, want %d", g.NumEdges(), edges)
+		}
+	}
+}
+
+// TestGraphRejectsCycleWithoutLagging mirrors Build's ErrCycle contract.
+func TestGraphRejectsCycleWithoutLagging(t *testing.T) {
+	in := Input{NumElems: 3, Upwind: [][]int{{2}, {0}, {1}}}
+	if _, err := BuildGraph(in, nil); err == nil {
+		t.Fatal("expected cycle error")
+	}
+	// With the lag set from the schedule builder the same graph builds.
+	sched, err := BuildWithLagging(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildGraph(in, sched.Lagged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := simulateCounterRun(g, rand.New(rand.NewSource(1)))
+	if order == nil {
+		t.Fatal("lagged graph stalled")
+	}
+	checkOrder(t, in, sched.Lagged, order)
+}
+
+// TestGraphRejectsBadInput mirrors the schedule builder's validation.
+func TestGraphRejectsBadInput(t *testing.T) {
+	if _, err := BuildGraph(Input{NumElems: 2, Upwind: [][]int{{5}, nil}}, nil); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := BuildGraph(Input{NumElems: 1, Upwind: [][]int{{0}}}, nil); err == nil {
+		t.Fatal("expected self-dependency error")
+	}
+}

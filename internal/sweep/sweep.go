@@ -1,10 +1,22 @@
-// Package sweep builds the wavefront schedules that order the element
+// Package sweep builds the scheduling structures that order the element
 // updates of a transport sweep. For every discrete ordinate the upwind
-// dependency between elements forms a directed graph; the schedule groups
-// elements into "buckets" by their tlevel (Pautz's term): bucket k holds
-// every element whose longest upwind chain has length k. Buckets must be
-// processed in order, but all elements inside a bucket are mutually
-// independent — they are the unit of on-node parallelism in UnSNAP.
+// dependency between elements forms a directed graph, and the package
+// offers two executable views of it:
+//
+//   - Schedule (Build/BuildWithLagging) groups elements into "buckets" by
+//     their tlevel (Pautz's term): bucket k holds every element whose
+//     longest upwind chain has length k. Buckets must be processed in
+//     order — a barrier per bucket — but all elements inside a bucket are
+//     mutually independent. This is the paper's unit of on-node
+//     parallelism, used by the legacy scheme executors.
+//   - Graph (BuildGraph) is the counter-driven task-graph view behind the
+//     core package's persistent sweep engine: per-element remaining-upwind
+//     counters plus downwind adjacency, so an executor can fire an element
+//     the moment its last dependency resolves instead of waiting for a
+//     bucket barrier. On meshes with shallow, narrow buckets the counter
+//     view exposes strictly more concurrency; the bucket view remains the
+//     right tool for reproducing the paper's scheme ablations and for
+//     reasoning about tlevel statistics.
 //
 // The paper's first UnSNAP version assumes the graph is acyclic (true for
 // the twisted-structured meshes it studies) and defers cycle handling to
@@ -12,7 +24,9 @@
 // BuildWithLagging implements the deferred extension: it breaks cycles by
 // removing ("lagging") as few dependency edges as it can find greedily,
 // recording them so the solver can substitute previous-iteration flux on
-// those couplings.
+// those couplings. BuildGraph consumes the same lag set, reversing the cut
+// edges so counter-driven execution preserves the previous-iteration reads
+// (see Graph).
 package sweep
 
 import (

@@ -1,0 +1,8 @@
+#!/bin/sh
+# bench.sh — the repo's perf-trajectory target: runs the engine-vs-legacy
+# sweep comparison and records ns/op per sweep into BENCH_sweep.json at
+# the repo root, so successive PRs can track the hot path. Extra flags
+# are passed through to cmd/unsnap-bench (e.g. -inners 10 -nx 8).
+set -e
+cd "$(dirname "$0")/.."
+exec go run ./cmd/unsnap-bench -experiment engine -threads 1,2,4 -json BENCH_sweep.json "$@"

@@ -37,15 +37,25 @@ const (
 	SrcCentre      = xs.SrcOptCentre
 )
 
-// Scheme selects an on-node concurrency scheme (paper Figures 3/4). The
-// mnemonic reads the loop nest angle/element/group from outer to inner
-// with upper case marking the threaded loops; the array layout always
-// matches the loop order.
+// Scheme selects the sweep executor. The default Engine runs the
+// persistent worker-pool engine; the remaining values are the paper's
+// on-node concurrency schemes (Figures 3/4), kept as compatibility modes
+// so the ablation tables still regenerate. Their mnemonic reads the loop
+// nest angle/element/group from outer to inner with upper case marking
+// the threaded loops; the array layout always matches the loop order.
 type Scheme int
 
 const (
+	// Engine is the default executor: the persistent worker-pool sweep
+	// engine. Long-lived workers execute counter-driven wavefronts (an
+	// element fires the moment its upwind dependencies resolve — no
+	// bucket barriers), every ordinate of an octant is in flight at
+	// once, and the scalar flux is reduced from the angular flux once
+	// per sweep in a fixed order, making results bitwise reproducible
+	// across runs and thread counts.
+	Engine Scheme = iota
 	// AEg threads the elements of each schedule bucket.
-	AEg Scheme = iota
+	AEg
 	// AEG threads the collapsed element x group iteration space.
 	AEG
 	// AeG threads the group loop (element-major layout).
@@ -56,8 +66,9 @@ const (
 	AGE
 	// AgE threads the elements (group-major layout).
 	AgE
-	// Angles threads the angles within each octant with a serialised
-	// scalar-flux update — the paper's non-scaling ablation.
+	// Angles threads the angles within each octant — the paper's
+	// section IV-A3 ablation, now executed by the sweep engine (whose
+	// wavefronts are angle-parallel by construction).
 	Angles
 )
 
@@ -371,6 +382,13 @@ func (s *Solver) Problem() Problem { return s.prob }
 // Internal exposes the underlying core solver for advanced callers
 // (benchmark drivers that step PrepareInner/SweepAllAngles manually).
 func (s *Solver) Internal() *core.Solver { return s.inner }
+
+// Close stops the sweep engine's background workers deterministically
+// (they are otherwise reclaimed when the solver is garbage collected).
+// The solver stays usable — queries keep working and a later Run builds
+// a fresh pool — so Close is just the polite thing to do in processes
+// that hold many solvers alive. Safe to call multiple times.
+func (s *Solver) Close() { s.inner.Close() }
 
 // Validate sanity-checks a problem without building a solver.
 func (p Problem) Validate() error {
