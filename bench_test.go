@@ -200,6 +200,7 @@ func BenchmarkJacobiBlocks(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer d.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := d.Run(); err != nil {

@@ -53,11 +53,12 @@ func run(args []string) error {
 	experiment := fs.String("experiment", "all", "table1|table2|fig3|fig4|tradeoffs|jacobi|atomic|preassembled|engine|all")
 	threadsFlag := fs.String("threads", "1,2", "comma-separated worker counts for scaling experiments")
 	jsonPath := fs.String("json", "", "write the engine experiment's comparison to this JSON file")
+	commit := fs.String("commit", "", "git revision to stamp into the engine JSON report")
 	paper := fs.Bool("paper", false, "use the paper's full problem sizes (slow)")
 	nx := fs.Int("nx", 0, "override elements per dimension")
 	nang := fs.Int("nang", 0, "override angles per octant")
 	ng := fs.Int("ng", 0, "override energy groups")
-	inners := fs.Int("inners", 5, "inner iterations (timing runs)")
+	inners := fs.Int("inners", 5, "inner iterations (timing runs; the engine experiment defaults to 10 unless set)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +66,12 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	innersSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "inners" {
+			innersSet = true
+		}
+	})
 
 	override := func(p *unsnap.Problem) {
 		if *nx > 0 {
@@ -201,7 +208,11 @@ func run(args []string) error {
 		cfg := harness.DefaultEngine()
 		override(&cfg.Problem)
 		cfg.Threads = threads
-		cfg.Inners = *inners
+		// Keep DefaultEngine's inner count (tuned for bench stability)
+		// unless the flag was given explicitly.
+		if innersSet {
+			cfg.Inners = *inners
+		}
 		fmt.Printf("== Sweep engine vs legacy %s (%d^3 elements, %d ang/oct, %d groups) ==\n",
 			cfg.Legacy, cfg.Problem.NX, cfg.Problem.AnglesPerOctant, cfg.Problem.Groups)
 		rows, err := harness.RunEngine(cfg)
@@ -211,7 +222,7 @@ func run(args []string) error {
 		harness.FprintEngine(os.Stdout, cfg, rows)
 		fmt.Println()
 		if *jsonPath != "" {
-			if err := harness.WriteEngineJSON(*jsonPath, cfg, rows); err != nil {
+			if err := harness.WriteEngineJSON(*jsonPath, cfg, *commit, rows); err != nil {
 				return err
 			}
 			fmt.Println("wrote", *jsonPath)

@@ -181,6 +181,7 @@ func runDistributed(prob unsnap.Problem, opts unsnap.Options, py, pz int) error 
 	if err != nil {
 		return err
 	}
+	defer d.Close()
 	fmt.Printf("block Jacobi: %d ranks (%dx%d KBA grid)\n", d.NumRanks(), py, pz)
 	res, err := d.Run()
 	if err != nil {

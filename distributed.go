@@ -30,8 +30,8 @@ func NewDistributed(p Problem, o Options, py, pz int) (*Distributed, error) {
 		Mesh: m, PY: py, PZ: pz,
 		Order: p.Order, Quad: q, Lib: lib,
 		Scheme: core.Scheme(o.Scheme), ThreadsPerRank: o.Threads,
-		Solver: core.SolverKind(o.Solver),
-		Epsi:   o.Epsi, MaxInners: o.MaxInners, MaxOuters: o.MaxOuters,
+		Solver: core.SolverKind(o.Solver), Octants: core.OctantMode(o.Octants),
+		Epsi: o.Epsi, MaxInners: o.MaxInners, MaxOuters: o.MaxOuters,
 		ForceIterations: o.ForceIterations, Instrument: o.Instrument,
 	})
 	if err != nil {
@@ -62,6 +62,14 @@ func (d *Distributed) Run() (*Result, error) {
 
 // NumRanks returns the number of ranks.
 func (d *Distributed) NumRanks() int { return d.inner.NumRanks() }
+
+// Close stops every rank's background sweep workers deterministically
+// (otherwise an engine-backed run leaks ranks x (Threads-1) goroutines
+// until the solvers are garbage collected). The solver remains usable —
+// queries keep working and a later Run rebuilds the worker pools — so
+// call it once a process is done sweeping with this instance. Safe to
+// call multiple times.
+func (d *Distributed) Close() { d.inner.Close() }
 
 // FluxIntegral sums the group-g flux integral over all ranks.
 func (d *Distributed) FluxIntegral(g int) float64 { return d.inner.FluxIntegral(g) }

@@ -42,6 +42,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer dist.Close()
 	dres, err := dist.Run()
 	if err != nil {
 		log.Fatal(err)

@@ -34,6 +34,11 @@ type Config struct {
 	Scheme         core.Scheme
 	ThreadsPerRank int
 	Solver         core.SolverKind
+	// Octants is forwarded to every rank solver. Halo boundaries force
+	// sequential octant phases regardless (octant fusion needs vacuum),
+	// so today this only affects validation; it becomes meaningful if a
+	// sweep-aware halo protocol ever allows cross-rank octant overlap.
+	Octants core.OctantMode
 
 	Epsi            float64
 	MaxInners       int
@@ -128,7 +133,8 @@ func New(cfg Config) (*Driver, error) {
 		s, err := core.New(core.Config{
 			Mesh: sub.Mesh, Order: cfg.Order, Quad: cfg.Quad, Lib: cfg.Lib,
 			Scheme: cfg.Scheme, Threads: cfg.ThreadsPerRank, Solver: cfg.Solver,
-			Epsi: cfg.Epsi, MaxInners: cfg.MaxInners, MaxOuters: cfg.MaxOuters,
+			Octants: cfg.Octants,
+			Epsi:    cfg.Epsi, MaxInners: cfg.MaxInners, MaxOuters: cfg.MaxOuters,
 			ForceIterations: cfg.ForceIterations, Instrument: cfg.Instrument,
 			Boundary: boundary,
 		})
@@ -142,6 +148,18 @@ func New(cfg Config) (*Driver, error) {
 
 // NumRanks returns the rank count.
 func (d *Driver) NumRanks() int { return len(d.solvers) }
+
+// Close stops every rank solver's background sweep workers
+// deterministically. Without it an engine-backed driver leaks
+// ranks x (ThreadsPerRank-1) persistent worker goroutines until the
+// garbage collector notices the solvers are unreachable. The driver
+// remains fully usable: a later Run transparently rebuilds the pools.
+// Safe to call multiple times.
+func (d *Driver) Close() {
+	for _, s := range d.solvers {
+		s.Close()
+	}
+}
 
 // Rank returns the solver of rank r (for inspection in tests and tools).
 func (d *Driver) Rank(r int) *core.Solver { return d.solvers[r] }

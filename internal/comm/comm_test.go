@@ -48,6 +48,7 @@ func TestSingleRankMatchesSingleDomain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer d.Close()
 	if d.NumRanks() != 1 {
 		t.Fatalf("got %d ranks, want 1", d.NumRanks())
 	}
@@ -84,6 +85,7 @@ func TestMultiRankConvergesWithBalance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer d.Close()
 	if d.NumRanks() != 4 {
 		t.Fatalf("got %d ranks, want 4", d.NumRanks())
 	}
@@ -109,6 +111,7 @@ func TestMultiRankMatchesSingleDomainSolution(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		defer d.Close()
 		res, err := d.Run()
 		if err != nil {
 			t.Fatal(err)
@@ -136,6 +139,7 @@ func TestJacobiConvergenceDegradesWithRanks(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		defer d.Close()
 		res, err := d.Run()
 		if err != nil {
 			t.Fatal(err)
@@ -161,6 +165,7 @@ func TestDistributedSchemesAgree(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		defer d.Close()
 		if _, err := d.Run(); err != nil {
 			t.Fatal(err)
 		}
@@ -183,6 +188,7 @@ func TestGlobalBalanceExcludesInternalFaces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer d.Close()
 	if _, err := d.Run(); err != nil {
 		t.Fatal(err)
 	}

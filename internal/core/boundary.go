@@ -4,8 +4,17 @@ import "unsnap/internal/fem"
 
 // SetBoundary installs (or replaces) the boundary-flux callback after
 // construction. Reflective boundaries need the solver's own flux state, so
-// they cannot be wired through Config before New returns.
-func (s *Solver) SetBoundary(fn BoundaryFlux) { s.cfg.Boundary = fn }
+// they cannot be wired through Config before New returns. Any existing
+// sweep engine and fused face-matrix cache are discarded (octant-fusion
+// eligibility and the cache's full-vs-slab tier both depend on the
+// callback); the next sweep rebuilds them.
+func (s *Solver) SetBoundary(fn BoundaryFlux) {
+	s.cfg.Boundary = fn
+	s.Close()
+	s.fusedFace = nil
+	s.fusedSlab = false
+	s.fusedOct = 0
+}
 
 // SetBalanceSkip installs the boundary-face filter Run's balance report
 // uses (see ComputeBalanceExcluding); pair it with SetBoundary when the

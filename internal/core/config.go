@@ -135,6 +135,46 @@ func (s Scheme) engineBacked() bool {
 	return s == SchemeEngine || s == SchemeAngles
 }
 
+// OctantMode selects how the sweep engine orders the eight octant
+// phases of a full sweep.
+type OctantMode int
+
+const (
+	// OctantsAuto (the default) fuses all eight octants into one
+	// counter-driven task graph whenever that is safe: vacuum boundaries
+	// (no Boundary callback) and no cycle lagging (AllowCycles off), with
+	// the fused face-matrix cache either holding every angle or disabled.
+	// Ineligible configurations fall back to sequential octant phases
+	// automatically.
+	OctantsAuto OctantMode = iota
+	// OctantsSequential forces one quiesced phase per octant (the
+	// pre-overlap engine behaviour), preserved for A/B benchmarking and
+	// for callers that want the smaller per-octant working set.
+	OctantsSequential
+	// OctantsFused prefers the fused cross-octant graph over the
+	// per-octant slab of the face-matrix cache: at problem sizes where
+	// the full cache does not fit, OctantsAuto keeps the slab cache and
+	// sequential phases, while OctantsFused drops the cache (on-the-fly
+	// face fusing) and overlaps the octants. The safety conditions
+	// (vacuum boundaries, no cycle lagging) still apply — an unsafe
+	// configuration falls back to sequential phases.
+	OctantsFused
+)
+
+// String names the octant mode.
+func (m OctantMode) String() string {
+	switch m {
+	case OctantsAuto:
+		return "auto"
+	case OctantsSequential:
+		return "sequential"
+	case OctantsFused:
+		return "fused"
+	default:
+		return fmt.Sprintf("OctantMode(%d)", int(m))
+	}
+}
+
 // SolverKind selects the local dense solver (Table II).
 type SolverKind int
 
@@ -174,6 +214,7 @@ type Config struct {
 	Scheme  Scheme
 	Threads int        // worker pool size; <= 0 means GOMAXPROCS
 	Solver  SolverKind // local solver choice
+	Octants OctantMode // octant phasing of the sweep engine
 
 	Epsi      float64 // pointwise relative convergence tolerance
 	MaxInners int     // inner (within-group source) iterations per outer
@@ -244,6 +285,9 @@ func (c Config) validate() error {
 	}
 	if c.Solver != SolverGE && c.Solver != SolverDGESV {
 		return fmt.Errorf("core: unknown solver kind %d", c.Solver)
+	}
+	if c.Octants != OctantsAuto && c.Octants != OctantsSequential && c.Octants != OctantsFused {
+		return fmt.Errorf("core: unknown octant mode %d", c.Octants)
 	}
 	for _, e := range c.Mesh.Elems {
 		if e.Material < 0 || e.Material >= xs.NumMaterials {

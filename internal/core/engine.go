@@ -23,8 +23,15 @@ import (
 //   - Angle-parallel execution: every ordinate of an octant is in flight
 //     at once (their dependency graphs are independent), multiplying the
 //     available parallelism by Quad.PerOctant on shallow-bucket meshes.
-//     Octants stay sequential, preserving the reflective-boundary and
-//     lagged-edge ordering of the legacy executor.
+//   - Octant overlap: on vacuum problems (no Boundary callback, no cycle
+//     lagging) nothing couples the octants inside one sweep, so under
+//     OctantsAuto the engine fuses all eight octants into a single
+//     counter-driven phase — task ids span (octant, ordinate, element) —
+//     removing the seven quiesce barriers and the per-octant wavefront
+//     starvation behind the paper's Figure 3 strong-scaling wall.
+//     Reflective boundaries and lagged configurations fall back to
+//     sequential octant phases, preserving the legacy mirror-ordinate
+//     ordering.
 //   - Lock-free deterministic flux reduction: tasks store only the
 //     angular flux; the scalar flux (and P1 current) is reduced from psi
 //     once per sweep in fixed ordinate order, so results are bitwise
@@ -40,8 +47,9 @@ import (
 // wsDeque is a fixed-capacity Chase-Lev work-stealing deque of task ids.
 // The owning worker pushes and pops at the bottom without contention;
 // other workers steal from the top with a CAS. The engine sizes every
-// deque to one octant's full task count, so the buffer can never
-// overflow or wrap onto live entries.
+// deque to a full phase's task count (one octant's, or the whole sweep's
+// in fused mode), so the buffer can never overflow or wrap onto live
+// entries.
 type wsDeque struct {
 	top    atomic.Int64
 	bottom atomic.Int64
@@ -113,12 +121,13 @@ func (d *wsDeque) size() int64 { return d.bottom.Load() - d.top.Load() }
 // (large) arrays. That lets the runtime cleanup registered in newEngine
 // stop the workers once the solver itself becomes unreachable.
 type enginePool struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	idle atomic.Int32 // workers parked mid-phase; updated under mu
-	job  *engineJob   // current phase; nil when quiescent (under mu)
-	seq  uint64       // bumped with every installed job (under mu)
-	stop bool         // set by the solver's cleanup (under mu)
+	mu      sync.Mutex
+	cond    *sync.Cond
+	idle    atomic.Int32 // workers parked mid-phase; updated under mu
+	job     *engineJob   // current phase; nil when quiescent (under mu)
+	seq     uint64       // bumped with every installed job (under mu)
+	stop    bool         // set by the solver's cleanup (under mu)
+	running int          // live background workers (under mu)
 }
 
 func poolWorker(p *enginePool, w int) {
@@ -132,6 +141,8 @@ func poolWorker(p *enginePool, w int) {
 			p.cond.Wait()
 		}
 		if p.stop {
+			p.running--
+			p.cond.Broadcast() // shutdown joins on running == 0
 			p.mu.Unlock()
 			return
 		}
@@ -147,8 +158,14 @@ func poolWorker(p *enginePool, w int) {
 }
 
 // engine owns the scheduling state of the engine-backed schemes for one
-// Solver: the per-ordinate task graphs, per-octant seed lists and initial
-// counters, the worker deques, and the pool of workers (created once).
+// Solver: the per-ordinate task graphs, the whole-sweep schedule (initial
+// remaining-upwind counters and seed lists over global task ids), the
+// worker deques, and the pool of workers (created once).
+//
+// Task ids are global across the whole sweep: task a*nE+e is all energy
+// groups of (ordinate a, element e). Sequential octant phases execute the
+// contiguous id slab of one octant; the fused phase executes all of them
+// at once.
 type engine struct {
 	s      *Solver
 	nw     int
@@ -156,22 +173,36 @@ type engine struct {
 	deques []*wsDeque
 	graphs []*sweep.Graph // per angle, shared across angles of one topo
 
-	// Per-octant immutable schedule data: the initial remaining-upwind
-	// counters and the initially-ready tasks of every ordinate lane.
-	octCounts [8][]int32
-	octSeeds  [8][]int32
+	// fused selects the cross-octant mode: one phase per sweep over all
+	// nA*nE tasks instead of eight quiesced per-octant phases. Decided
+	// once at build time (see Solver.octantsFusable).
+	fused bool
+
+	// Immutable whole-sweep schedule: initCounts[a*nE+e] is the initial
+	// remaining-upwind counter of task (a, e); octSeeds[o] lists octant
+	// o's initially-ready tasks; allSeeds is their concatenation in
+	// octant order (fused mode only).
+	initCounts []int32
+	octSeeds   [8][]int32
+	allSeeds   []int32
 
 	counts []int32 // working counters of the current phase
+
+	// cleanup is the GC-path stop registration for the pool; shutdown
+	// cancels it so Close/Run cycles do not accumulate cleanup records
+	// (and retained stopped pools) on the solver.
+	cleanup runtime.Cleanup
 }
 
-// engineJob is one octant phase handed to the pool.
+// engineJob is one phase (an octant slab, or the whole fused sweep)
+// handed to the pool.
 type engineJob struct {
 	eng       *engine
-	octant    int
 	seeds     []int32
 	cursor    atomic.Int64
 	remaining atomic.Int64
-	exited    int // background workers done with this job (under pool.mu)
+	stalled   atomic.Bool // a worker detected a stalled phase
+	exited    int         // background workers done with this job (under pool.mu)
 	record    func(error)
 }
 
@@ -180,37 +211,44 @@ type engineJob struct {
 // single sweep; a runtime cleanup stops them when s is collected.
 func newEngine(s *Solver) *engine {
 	per := s.cfg.Quad.PerOctant
-	nTasks := per * s.nE
-	e := &engine{s: s, nw: s.cfg.Threads}
+	total := s.nA * s.nE
+	e := &engine{s: s, nw: s.cfg.Threads, fused: s.octantsFusable()}
+	phaseTasks := per * s.nE
+	if e.fused {
+		phaseTasks = total
+	}
 	e.deques = make([]*wsDeque, e.nw)
 	for w := range e.deques {
-		e.deques[w] = newWSDeque(nTasks)
+		e.deques[w] = newWSDeque(phaseTasks)
 	}
-	e.counts = make([]int32, nTasks)
+	e.counts = make([]int32, total)
+	e.initCounts = make([]int32, total)
 	e.graphs = make([]*sweep.Graph, s.nA)
 	for a := range e.graphs {
 		e.graphs[a] = s.topos[a].graph
 	}
 	for o := 0; o < 8; o++ {
-		ic := make([]int32, nTasks)
 		var seeds []int32
 		for m := 0; m < per; m++ {
-			g := e.graphs[s.cfg.Quad.AngleIndex(o, m)]
-			copy(ic[m*s.nE:(m+1)*s.nE], g.Indeg)
+			a := s.cfg.Quad.AngleIndex(o, m)
+			g := e.graphs[a]
+			copy(e.initCounts[a*s.nE:(a+1)*s.nE], g.Indeg)
 			for _, r := range g.Roots {
-				seeds = append(seeds, int32(m*s.nE)+r)
+				seeds = append(seeds, int32(a*s.nE)+r)
 			}
 		}
-		e.octCounts[o] = ic
 		e.octSeeds[o] = seeds
+		if e.fused {
+			e.allSeeds = append(e.allSeeds, seeds...)
+		}
 	}
 	if e.nw > 1 {
-		e.pool = &enginePool{}
+		e.pool = &enginePool{running: e.nw - 1}
 		e.pool.cond = sync.NewCond(&e.pool.mu)
 		for w := 1; w < e.nw; w++ {
 			go poolWorker(e.pool, w)
 		}
-		runtime.AddCleanup(s, func(p *enginePool) {
+		e.cleanup = runtime.AddCleanup(s, func(p *enginePool) {
 			p.mu.Lock()
 			p.stop = true
 			p.cond.Broadcast()
@@ -246,31 +284,62 @@ func (s *Solver) Close() {
 	}
 }
 
-// shutdown terminates the pool's background workers. The pool is
-// quiescent between sweeps, so this never interrupts a phase.
+// shutdown terminates the pool's background workers and joins them: on
+// return every worker has observed stop and is past its last pool access
+// (the goroutines themselves retire a hair later, on their final return)
+// — the "deterministic" in Close's contract. The pool is quiescent
+// between sweeps, so this never interrupts a phase. The GC cleanup path
+// deliberately skips the join — it must not block the finalizer
+// goroutine — and just signals stop.
 func (e *engine) shutdown() {
 	if e.pool == nil {
 		return
 	}
-	e.pool.mu.Lock()
-	e.pool.stop = true
-	e.pool.cond.Broadcast()
-	e.pool.mu.Unlock()
+	e.cleanup.Stop() // explicit stop supersedes the GC-path registration
+	p := e.pool
+	p.mu.Lock()
+	p.stop = true
+	p.cond.Broadcast()
+	for p.running > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
 }
 
-// runOctant executes one octant phase to completion. The pool is
-// quiescent on entry and on return: the caller may touch counters,
-// deques and worker scratch freely in between.
-func (e *engine) runOctant(o int, record func(error)) {
-	copy(e.counts, e.octCounts[o])
+// runSweep executes one full sweep: the single fused phase in
+// cross-octant mode, or eight sequential octant phases otherwise (with
+// the fused face-matrix slab rebuilt per octant when the cache runs in
+// slab mode). A stalled phase aborts the remaining octants — the sweep
+// is already failed, so their work would be wasted. Per-element solve
+// errors do NOT abort (the legacy executors finish the sweep too).
+func (e *engine) runSweep(record func(error)) {
+	if e.fused {
+		e.runPhase(0, len(e.counts), e.allSeeds, record)
+		return
+	}
+	per := e.s.cfg.Quad.PerOctant
+	for o := 0; o < 8; o++ {
+		e.s.prepareFusedOctant(o)
+		if stalled := e.runPhase(o*per*e.s.nE, (o+1)*per*e.s.nE, e.octSeeds[o], record); stalled {
+			return
+		}
+	}
+}
+
+// runPhase executes the tasks with ids in [lo, hi) to completion (or to
+// a stall, which it reports). The pool is quiescent on entry and on
+// return: the caller may touch counters, deques and worker scratch
+// freely in between.
+func (e *engine) runPhase(lo, hi int, seeds []int32, record func(error)) (stalled bool) {
+	copy(e.counts[lo:hi], e.initCounts[lo:hi])
 	for _, d := range e.deques {
 		d.reset()
 	}
-	job := &engineJob{eng: e, octant: o, seeds: e.octSeeds[o], record: record}
-	job.remaining.Store(int64(len(e.counts)))
+	job := &engineJob{eng: e, seeds: seeds, record: record}
+	job.remaining.Store(int64(hi - lo))
 	if e.nw == 1 {
 		job.run(0)
-		return
+		return job.stalled.Load()
 	}
 	p := e.pool
 	p.mu.Lock()
@@ -287,6 +356,7 @@ func (e *engine) runOctant(o int, record func(error)) {
 	}
 	p.job = nil
 	p.mu.Unlock()
+	return job.stalled.Load()
 }
 
 // run is the per-worker phase loop: drain own deque, then the seed list,
@@ -310,6 +380,7 @@ func (j *engineJob) run(w int) {
 				// Inline mode cannot park: an empty scan with work
 				// remaining would be a scheduler bug, not contention.
 				if j.remaining.Load() > 0 && !j.hasWork() {
+					j.stalled.Store(true)
 					j.record(errEngineStalled)
 					return
 				}
@@ -319,6 +390,18 @@ func (j *engineJob) run(w int) {
 			p.mu.Lock()
 			p.idle.Add(1)
 			for !j.hasWork() && j.remaining.Load() > 0 {
+				// Every worker (including the sweeping worker 0) is
+				// parked here with tasks remaining and nothing visible:
+				// no one holds a task, so nothing can ever be pushed —
+				// the phase is stalled. Fail the sweep instead of
+				// deadlocking; zeroing remaining releases the peers.
+				if int(p.idle.Load()) == e.nw {
+					j.stalled.Store(true)
+					j.record(errEngineStalled)
+					j.remaining.Store(0)
+					p.cond.Broadcast()
+					break
+				}
 				p.cond.Wait()
 			}
 			p.idle.Add(-1)
@@ -366,17 +449,18 @@ func (j *engineJob) hasWork() bool {
 }
 
 // exec solves all groups of one task and releases its downwind tasks.
+// Task ids are global, so the decode needs no phase context: the ordinate
+// is t/nE and the element t%nE.
 func (j *engineJob) exec(w int, t int64) {
 	e := j.eng
 	s := e.s
 	nE := int64(s.nE)
-	m := int(t / nE)
+	a := int(t / nE)
 	el := int(t % nE)
-	a := s.cfg.Quad.AngleIndex(j.octant, m)
 	if err := s.solveElem(s.workers[w], a, el); err != nil {
 		j.record(err)
 	}
-	base := int64(m) * nE
+	base := int64(a) * nE
 	own := e.deques[w]
 	pushed := false
 	for _, d := range e.graphs[a].DownwindOf(el) {
@@ -428,26 +512,100 @@ func (s *Solver) reduceFluxFromPsi() {
 	})
 }
 
+// ---- octant fusion eligibility ----
+
+// octantsFusable reports whether the engine may run all eight octants as
+// one task graph. It requires:
+//
+//   - OctantsAuto or OctantsFused (OctantsSequential forces phases);
+//   - vacuum boundaries: a Boundary callback (reflective mirror reads,
+//     block Jacobi halos) may observe the in-sweep octant order, which
+//     the fused phase does not preserve;
+//   - no cycle lagging (AllowCycles off): lagged seeds read the previous
+//     iteration's flux under the legacy fixed octant order, and the
+//     paper-faithful semantics keep that order;
+//   - a fused face-matrix cache that is not running in per-octant slab
+//     mode, since a slab can only track sequential octant phases. Under
+//     OctantsAuto the slab (and sequential phases) wins at sizes where
+//     the full cache does not fit; OctantsFused makes the opposite call
+//     (buildFusedFaces skips the slab tier, so this term never bites).
+//
+// The deterministic reduceFluxFromPsi reduction makes the relaxed
+// execution order bitwise-safe for everything else.
+func (s *Solver) octantsFusable() bool {
+	return s.octantOverlapSafe() && !s.fusedSlab
+}
+
+// octantOverlapSafe holds the configuration-level terms of the fusion
+// decision (knob, boundary, lagging), shared between octantsFusable and
+// buildFusedFaces' slab-tier choice so the two cannot drift.
+func (s *Solver) octantOverlapSafe() bool {
+	return s.cfg.Octants != OctantsSequential &&
+		s.cfg.Boundary == nil &&
+		!s.cfg.AllowCycles
+}
+
+// OctantsFused reports whether the engine overlaps all eight octants in
+// one task graph (diagnostics; meaningful after the first engine sweep).
+func (s *Solver) OctantsFused() bool {
+	return s.engine != nil && s.engine.fused
+}
+
 // ---- pre-fused per-angle face matrices ----
 
 // fusedFaceCacheLimit caps the fused face-matrix cache; above it the
-// assembly falls back to fusing on the fly (the cache is an optimisation,
-// not a requirement). The paper-scale Figure 3 problem (288 ordinates,
-// 4096 elements) would need ~0.9 GiB and falls back.
+// cache drops to a per-octant slab (rebuilt at each sequential octant
+// phase), and only above eight slabs' worth of headroom per octant does
+// the assembly fall back to fusing on the fly (the cache is an
+// optimisation, not a requirement). The paper-scale Figure 3 problem
+// (288 ordinates, 4096 elements) needs ~0.9 GiB for the full cache and
+// ~113 MiB per slab, so it runs in slab mode.
 const fusedFaceCacheLimit = 512 << 20
+
+// fusedCachePlan decides the cache tier for the given problem shape:
+// full (every angle resident), a per-octant slab, or neither. block is
+// the per-face matrix size NF*NF.
+func fusedCachePlan(nA, perOctant, nE, block int) (full, slab bool) {
+	full = nA*nE*fem.NumFaces*block*8 <= fusedFaceCacheLimit
+	slab = !full && perOctant*nE*fem.NumFaces*block*8 <= fusedFaceCacheLimit
+	return full, slab
+}
 
 // buildFusedFaces precomputes om·Fx + om·Fy + om·Fz for every (angle,
 // element, face) into one flat cache, shared by matrix and RHS assembly.
+// When the full cache would exceed fusedFaceCacheLimit it allocates a
+// single-octant slab instead, filled per octant by prepareFusedOctant.
 func (s *Solver) buildFusedFaces() {
 	nf := s.re.NF
 	block := nf * nf
-	total := s.nA * s.nE * fem.NumFaces * block
-	if total*8 > fusedFaceCacheLimit {
-		return
+	per := s.cfg.Quad.PerOctant
+	full, slab := fusedCachePlan(s.nA, per, s.nE, block)
+	if s.cfg.Octants == OctantsFused && s.octantOverlapSafe() {
+		// The caller chose octant overlap over the slab cache: a slab can
+		// only track sequential phases, so it is full cache or nothing.
+		// When overlap is ineligible anyway (boundary callback, lagging)
+		// the run stays sequential and the slab remains the right call.
+		slab = false
 	}
-	s.fusedFace = make([]float64, total)
-	parallelFor(s.cfg.Threads, s.nA*s.nE, func(_, idx int) {
-		a := idx / s.nE
+	switch {
+	case full:
+		s.fusedFace = make([]float64, s.nA*s.nE*fem.NumFaces*block)
+		s.fillFusedFaces(0, s.nA)
+	case slab:
+		s.fusedFace = make([]float64, per*s.nE*fem.NumFaces*block)
+		s.fusedSlab = true
+		s.fusedOct = -1
+	}
+}
+
+// fillFusedFaces fuses the face matrices of angles [a0, a0+nAng) into the
+// cache, which starts at angle a0 (0 for the full cache, the octant base
+// for a slab).
+func (s *Solver) fillFusedFaces(a0, nAng int) {
+	nf := s.re.NF
+	block := nf * nf
+	parallelFor(s.cfg.Threads, nAng*s.nE, func(_, idx int) {
+		a := a0 + idx/s.nE
 		e := idx % s.nE
 		om := s.cfg.Quad.Angles[a].Omega
 		em := s.em[e]
@@ -458,11 +616,34 @@ func (s *Solver) buildFusedFaces() {
 	})
 }
 
+// prepareFusedOctant rebuilds the slab cache for octant o before its
+// sequential phase; a no-op for the full cache (or no cache). The rebuild
+// writes each slab once per octant per sweep, while the assembly reads
+// every block O(groups) times — at paper scale this keeps the fused-face
+// optimisation live where the old all-angles cache had to fall back.
+func (s *Solver) prepareFusedOctant(o int) {
+	if !s.fusedSlab || s.fusedOct == o {
+		return
+	}
+	per := s.cfg.Quad.PerOctant
+	s.fillFusedFaces(o*per, per)
+	s.fusedOct = o
+}
+
 // fusedFaceBlock returns the fused face matrix of (angle, elem, face), or
-// nil when the cache is disabled or not yet built.
+// nil when the cache is disabled or not yet built. In slab mode the
+// caller must only ask for angles of the octant most recently prepared by
+// prepareFusedOctant, which the sequential phase structure guarantees.
 func (s *Solver) fusedFaceBlock(a, e, f int) []float64 {
 	if s.fusedFace == nil {
 		return nil
+	}
+	if s.fusedSlab {
+		o := a / s.cfg.Quad.PerOctant
+		if o != s.fusedOct {
+			return nil // slab holds another octant (pre-assembly, diagnostics)
+		}
+		a -= o * s.cfg.Quad.PerOctant
 	}
 	nf := s.re.NF
 	block := nf * nf

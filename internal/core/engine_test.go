@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
+	"time"
 )
 
 // engineProblem builds the 4x4x4 twisted-mesh configuration the engine
@@ -16,15 +18,9 @@ func engineProblem(t *testing.T) Config {
 	}
 }
 
-func runAndSnapshot(t *testing.T, cfg Config) (phi, psi []float64) {
-	t.Helper()
-	s, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := s.Run(); err != nil {
-		t.Fatal(err)
-	}
+// snapshotSolver flattens the solver's scalar and angular flux into
+// layout-independent (e, g, node) / (a, e, g, node) ordering.
+func snapshotSolver(s *Solver) (phi, psi []float64) {
 	phi = make([]float64, 0, s.nE*s.nG*s.nN)
 	for e := 0; e < s.nE; e++ {
 		for g := 0; g < s.nG; g++ {
@@ -44,6 +40,18 @@ func runAndSnapshot(t *testing.T, cfg Config) (phi, psi []float64) {
 		}
 	}
 	return phi, psi
+}
+
+func runAndSnapshot(t *testing.T, cfg Config) (phi, psi []float64) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return snapshotSolver(s)
 }
 
 // TestEngineMatchesLegacy checks the engine path against the legacy
@@ -69,6 +77,216 @@ func TestEngineMatchesLegacy(t *testing.T) {
 			if math.Abs(psi[i]-refPsi[i]) > 1e-12*(1+math.Abs(refPsi[i])) {
 				t.Fatalf("threads=%d: psi[%d] engine %v vs legacy %v", threads, i, psi[i], refPsi[i])
 			}
+		}
+	}
+}
+
+// TestOctantOverlapMatchesLegacy checks the cross-octant fused task graph
+// (the default on this vacuum problem) against both the legacy bucket
+// executor and the sequential-octant engine, across thread counts, to
+// 1e-12. It also pins down that the fused mode actually engaged.
+func TestOctantOverlapMatchesLegacy(t *testing.T) {
+	legacy := engineProblem(t)
+	legacy.Scheme = SchemeAEg
+	legacy.Threads = 1
+	refPhi, refPsi := runAndSnapshot(t, legacy)
+
+	check := func(name string, phi, psi []float64) {
+		t.Helper()
+		for i := range refPhi {
+			if math.Abs(phi[i]-refPhi[i]) > 1e-12*(1+math.Abs(refPhi[i])) {
+				t.Fatalf("%s: phi[%d] %v vs legacy %v", name, i, phi[i], refPhi[i])
+			}
+		}
+		for i := range refPsi {
+			if math.Abs(psi[i]-refPsi[i]) > 1e-12*(1+math.Abs(refPsi[i])) {
+				t.Fatalf("%s: psi[%d] %v vs legacy %v", name, i, psi[i], refPsi[i])
+			}
+		}
+	}
+	for _, threads := range []int{1, 2, 4} {
+		cfg := engineProblem(t)
+		cfg.Scheme = SchemeEngine
+		cfg.Threads = threads
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !s.OctantsFused() {
+			t.Fatalf("threads=%d: vacuum problem should fuse octants", threads)
+		}
+		phi, psi := snapshotSolver(s)
+		check("fused", phi, psi)
+		s.Close()
+
+		seq := engineProblem(t)
+		seq.Scheme = SchemeEngine
+		seq.Threads = threads
+		seq.Octants = OctantsSequential
+		sphi, spsi := runAndSnapshot(t, seq)
+		check("sequential", sphi, spsi)
+	}
+}
+
+// TestOctantOverlapFallback checks the automatic eligibility detection:
+// the OctantsSequential knob, a boundary callback (reflective or halo),
+// and cycle lagging must all force sequential octant phases.
+func TestOctantOverlapFallback(t *testing.T) {
+	build := func(mut func(*Config)) *Solver {
+		cfg := engineProblem(t)
+		cfg.Scheme = SchemeEngine
+		cfg.Threads = 2
+		if mut != nil {
+			mut(&cfg)
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	s := build(nil)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.OctantsFused() {
+		t.Fatal("vacuum OctantsAuto run should fuse")
+	}
+	s.Close()
+
+	s = build(func(c *Config) { c.Octants = OctantsSequential })
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.OctantsFused() {
+		t.Fatal("OctantsSequential must not fuse")
+	}
+	s.Close()
+
+	s = build(func(c *Config) { c.AllowCycles = true })
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.OctantsFused() {
+		t.Fatal("AllowCycles must fall back to sequential octants")
+	}
+	s.Close()
+
+	s = build(func(c *Config) { c.Octants = OctantsFused })
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.OctantsFused() {
+		t.Fatal("OctantsFused on a vacuum problem should fuse")
+	}
+	s.Close()
+
+	s = build(func(c *Config) { c.Octants = OctantsFused; c.AllowCycles = true })
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.OctantsFused() {
+		t.Fatal("OctantsFused must still fall back when unsafe (AllowCycles)")
+	}
+	s.Close()
+
+	s = build(nil)
+	s.SetBoundary(ReflectiveBoundary(s, [3]bool{true, false, false}))
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.OctantsFused() {
+		t.Fatal("a boundary callback must fall back to sequential octants")
+	}
+	s.Close()
+}
+
+// TestEngineStallFailsCleanly corrupts a task counter so one element can
+// never fire and checks the sweep reports errEngineStalled instead of
+// hanging — in inline mode and, the regression this pins down, with a
+// pool of workers that previously parked forever on the cond var.
+func TestEngineStallFailsCleanly(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		cfg := engineProblem(t)
+		cfg.Scheme = SchemeEngine
+		cfg.Threads = threads
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := s.ensureEngine()
+		tampered := -1
+		for tid, c := range eng.initCounts {
+			if c > 0 {
+				eng.initCounts[tid]++ // one prerequisite that never resolves
+				tampered = tid
+				break
+			}
+		}
+		if tampered < 0 {
+			t.Fatal("no dependent task to tamper with")
+		}
+		s.PrepareInner()
+		done := make(chan error, 1)
+		go func() { done <- s.SweepAllAngles() }()
+		select {
+		case err := <-done:
+			if !errors.Is(err, errEngineStalled) {
+				t.Fatalf("threads=%d: got %v, want errEngineStalled", threads, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("threads=%d: stalled sweep deadlocked instead of failing", threads)
+		}
+		s.Close()
+	}
+}
+
+// TestEngineTimeDependentMatchesLegacy checks the engine (fused octants)
+// against the legacy executor in SNAP's backward-Euler time-dependent
+// mode: per-step flux integrals and the final flux must agree to 1e-12.
+func TestEngineTimeDependentMatchesLegacy(t *testing.T) {
+	run := func(scheme Scheme, threads int) ([]StepResult, []float64) {
+		cfg := engineProblem(t)
+		cfg.Scheme = scheme
+		cfg.Threads = threads
+		cfg.MaxInners = 2
+		cfg.MaxOuters = 1
+		cfg.Time = &TimeConfig{
+			Steps: 3, Dt: 0.5,
+			Velocity: DefaultVelocities(cfg.Lib.NumGroups),
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		steps, err := s.RunTimeDependent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		phi, _ := snapshotSolver(s)
+		return steps, phi
+	}
+	refSteps, refPhi := run(SchemeAEg, 1)
+	steps, phi := run(SchemeEngine, 4)
+	if len(steps) != len(refSteps) {
+		t.Fatalf("step counts differ: %d vs %d", len(steps), len(refSteps))
+	}
+	for i := range steps {
+		for g := range steps[i].FluxIntegral {
+			a, b := steps[i].FluxIntegral[g], refSteps[i].FluxIntegral[g]
+			if math.Abs(a-b) > 1e-12*(1+math.Abs(b)) {
+				t.Fatalf("step %d group %d: engine %v vs legacy %v", i, g, a, b)
+			}
+		}
+	}
+	for i := range refPhi {
+		if math.Abs(phi[i]-refPhi[i]) > 1e-12*(1+math.Abs(refPhi[i])) {
+			t.Fatalf("final phi[%d]: engine %v vs legacy %v", i, phi[i], refPhi[i])
 		}
 	}
 }
@@ -160,14 +378,7 @@ func TestEngineReflectiveMatches(t *testing.T) {
 		if _, err := s.Run(); err != nil {
 			t.Fatal(err)
 		}
-		out := make([]float64, 0, s.nE*s.nG*s.nN)
-		for e := 0; e < s.nE; e++ {
-			for g := 0; g < s.nG; g++ {
-				for i := 0; i < s.nN; i++ {
-					out = append(out, s.Phi(e, g, i))
-				}
-			}
-		}
+		out, _ := snapshotSolver(s)
 		return out
 	}
 	ref := run(SchemeAEg, 1)
@@ -227,6 +438,67 @@ func TestEngineCloseAndReuse(t *testing.T) {
 	s.Close()
 }
 
+// TestEngineSlabCacheMatches forces the fused-face cache into per-octant
+// slab mode (as it runs at paper scale, where the full cache exceeds the
+// limit) and checks the per-octant rebuilds produce the same answer as
+// the full cache.
+func TestEngineSlabCacheMatches(t *testing.T) {
+	cfg := engineProblem(t)
+	cfg.Scheme = SchemeEngine
+	cfg.Threads = 2
+	refPhi, refPsi := runAndSnapshot(t, cfg)
+
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Install a slab before the first sweep, exactly as buildFusedFaces
+	// does when the full cache would exceed the limit.
+	nf := s.re.NF
+	per := s.cfg.Quad.PerOctant
+	s.fusedFace = make([]float64, per*s.nE*6*nf*nf)
+	s.fusedSlab = true
+	s.fusedOct = -1
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.OctantsFused() {
+		t.Fatal("slab mode must force sequential octant phases")
+	}
+	phi, psi := snapshotSolver(s)
+	for i := range refPhi {
+		if math.Abs(phi[i]-refPhi[i]) > 1e-12*(1+math.Abs(refPhi[i])) {
+			t.Fatalf("slab phi[%d] %v vs full-cache %v", i, phi[i], refPhi[i])
+		}
+	}
+	for i := range refPsi {
+		if math.Abs(psi[i]-refPsi[i]) > 1e-12*(1+math.Abs(refPsi[i])) {
+			t.Fatalf("slab psi[%d] %v vs full-cache %v", i, psi[i], refPsi[i])
+		}
+	}
+}
+
+// TestFusedCachePlanPaperScale pins the acceptance criterion that the
+// paper-scale Figure 3 problem (288 ordinates, 4096 elements, linear
+// elements so 4 nodes per face) no longer falls back to uncached
+// assembly: the full cache (~0.9 GiB) is over the limit, but the
+// per-octant slab (~113 MiB) is in.
+func TestFusedCachePlanPaperScale(t *testing.T) {
+	full, slab := fusedCachePlan(288, 36, 4096, 4*4)
+	if full {
+		t.Fatal("paper-scale full cache should exceed the limit")
+	}
+	if !slab {
+		t.Fatal("paper-scale per-octant slab should fit the limit")
+	}
+	// Bench scale keeps the full cache.
+	full, slab = fusedCachePlan(32, 4, 216, 4*4)
+	if !full || slab {
+		t.Fatalf("bench scale should use the full cache (full=%v slab=%v)", full, slab)
+	}
+}
+
 // TestEngineFusedCacheDisabled checks the over-limit fallback path (no
 // fused face cache) produces the same answer.
 func TestEngineFusedCacheDisabled(t *testing.T) {
@@ -244,15 +516,10 @@ func TestEngineFusedCacheDisabled(t *testing.T) {
 	if _, err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
-	idx := 0
-	for e := 0; e < s.nE; e++ {
-		for g := 0; g < s.nG; g++ {
-			for i := 0; i < s.nN; i++ {
-				if math.Abs(s.Phi(e, g, i)-refPhi[idx]) > 1e-12*(1+math.Abs(refPhi[idx])) {
-					t.Fatalf("uncached phi[%d] %v vs cached %v", idx, s.Phi(e, g, i), refPhi[idx])
-				}
-				idx++
-			}
+	phi, _ := snapshotSolver(s)
+	for i := range refPhi {
+		if math.Abs(phi[i]-refPhi[i]) > 1e-12*(1+math.Abs(refPhi[i])) {
+			t.Fatalf("uncached phi[%d] %v vs cached %v", i, phi[i], refPhi[i])
 		}
 	}
 }

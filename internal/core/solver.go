@@ -67,8 +67,14 @@ type Solver struct {
 
 	// The persistent sweep engine (engine-backed schemes only, built on
 	// first use) and its pre-fused per-angle face matrices; see engine.go.
+	// The cache holds either every angle or, when that would exceed the
+	// cache limit, a single octant's slab (fusedSlab) rebuilt per
+	// sequential octant phase; fusedOct names the octant currently in the
+	// slab (-1 before the first rebuild).
 	engine    *engine
 	fusedFace []float64
+	fusedSlab bool
+	fusedOct  int
 
 	// pre-assembled factored matrices (PreAssembled mode):
 	// preA[(a*nE+e)*nG+g] and prePiv likewise.

@@ -311,13 +311,14 @@ func (s *Solver) solveElem(st *workerState, a, e int) error {
 	return firstErr
 }
 
-// SweepAllAngles performs one full transport sweep: all octants in turn,
-// all ordinates. Engine-backed schemes execute each octant as one
-// counter-driven task graph with every ordinate in flight and reduce the
-// scalar flux from psi afterwards; legacy schemes follow each ordinate's
-// bucketed schedule under the scheme's threading choice. The scalar flux
-// accumulates the weighted angular fluxes; callers zero it first via
-// PrepareInner.
+// SweepAllAngles performs one full transport sweep over all ordinates.
+// Engine-backed schemes run counter-driven task graphs — one fused phase
+// covering all eight octants on vacuum problems, or eight sequential
+// octant phases when a boundary callback or cycle lagging pins the octant
+// order — and reduce the scalar flux from psi afterwards; legacy schemes
+// follow each ordinate's bucketed schedule under the scheme's threading
+// choice. The scalar flux accumulates the weighted angular fluxes;
+// callers zero it first via PrepareInner.
 func (s *Solver) SweepAllAngles() error {
 	var errMu sync.Mutex
 	var firstErr error
@@ -332,9 +333,7 @@ func (s *Solver) SweepAllAngles() error {
 	}
 	if s.cfg.Scheme.engineBacked() {
 		eng := s.ensureEngine()
-		for o := 0; o < 8; o++ {
-			eng.runOctant(o, record)
-		}
+		eng.runSweep(record)
 		s.reduceFluxFromPsi()
 	} else {
 		for o := 0; o < 8; o++ {

@@ -72,7 +72,9 @@ func RunTradeoffs(cfg TradeoffConfig) ([]TradeoffRow, error) {
 				return nil, err
 			}
 			start := nowSeconds()
-			if _, err := s.Run(); err != nil {
+			_, err = s.Run()
+			s.Close()
+			if err != nil {
 				return nil, err
 			}
 			row.FEMSeconds = nowSeconds() - start
@@ -140,6 +142,7 @@ func RunJacobi(cfg JacobiConfig) ([]JacobiRow, error) {
 		}
 		start := nowSeconds()
 		res, err := d.Run()
+		d.Close()
 		if err != nil {
 			return nil, err
 		}
@@ -184,12 +187,17 @@ func RunAtomic(p unsnap.Problem, threads []int, inners int) ([]AtomicRow, error)
 		for i, scheme := range []unsnap.Scheme{unsnap.AEG, unsnap.Angles} {
 			s, err := unsnap.NewSolver(p, unsnap.Options{
 				Scheme: scheme, Threads: t,
+				// Sequential octants keep the column a pure angle-threading
+				// measurement: cross-octant fusion is a separate optimisation
+				// (the engine experiment's overlap column measures it).
+				Octants:   unsnap.OctantsSequential,
 				MaxInners: inners, MaxOuters: 1, ForceIterations: true,
 			})
 			if err != nil {
 				return nil, err
 			}
 			res, err := s.Run()
+			s.Close()
 			if err != nil {
 				return nil, err
 			}

@@ -34,21 +34,30 @@ func DefaultEngine() EngineConfig {
 		Problem: p,
 		Threads: []int{1, 2, 4},
 		Legacy:  unsnap.AEg,
-		Inners:  5,
+		// 10 forced inners per measurement: at 5 the run-to-run noise on a
+		// small box is comparable to the engine-vs-overlap gap.
+		Inners: 10,
 	}
 }
 
 // EngineRow is one measured thread count of the comparison. The ns/op
 // figures are per sweep (SweepSeconds over the forced inner count),
-// matching the go-bench BenchmarkEngine family.
+// matching the go-bench BenchmarkEngine family. Engine is the sequential
+// -octant engine (the PR-1 behaviour, forced via OctantsSequential);
+// Overlap is the cross-octant fused task graph (OctantsAuto on a vacuum
+// problem). The speedups are relative to the legacy executor.
 type EngineRow struct {
-	Threads    int     `json:"threads"`
-	LegacyNsOp float64 `json:"legacy_ns_op"`
-	EngineNsOp float64 `json:"engine_ns_op"`
-	Speedup    float64 `json:"speedup"`
+	Threads        int     `json:"threads"`
+	LegacyNsOp     float64 `json:"legacy_ns_op"`
+	EngineNsOp     float64 `json:"engine_ns_op"`
+	OverlapNsOp    float64 `json:"overlap_ns_op"`
+	Speedup        float64 `json:"speedup"`
+	OverlapSpeedup float64 `json:"overlap_speedup"`
 }
 
 // EngineReport is the serialised form of the comparison (BENCH_sweep.json).
+// Commit records the git revision the numbers were measured at, so the
+// perf trajectory stays attributable across PRs.
 type EngineReport struct {
 	Problem struct {
 		NX              int `json:"nx"`
@@ -56,34 +65,55 @@ type EngineReport struct {
 		AnglesPerOctant int `json:"angles_per_octant"`
 		Groups          int `json:"groups"`
 	} `json:"problem"`
+	Commit       string      `json:"commit,omitempty"`
 	LegacyScheme string      `json:"legacy_scheme"`
 	Inners       int         `json:"inners_per_run"`
 	Rows         []EngineRow `json:"rows"`
 }
 
-// RunEngine measures both executors at every thread count.
+// RunEngine measures all three executors at every thread count: the
+// legacy bucket scheme, the engine with sequential octant phases, and
+// the engine with the fused cross-octant graph.
 func RunEngine(cfg EngineConfig) ([]EngineRow, error) {
+	type variant struct {
+		scheme  unsnap.Scheme
+		octants unsnap.OctantMode
+	}
+	variants := []variant{
+		{cfg.Legacy, unsnap.OctantsAuto},
+		{unsnap.Engine, unsnap.OctantsSequential},
+		// OctantsFused (not Auto) so the overlap column stays a genuine
+		// cross-octant measurement even at sizes where Auto would prefer
+		// the slab cache and fall back to sequential phases.
+		{unsnap.Engine, unsnap.OctantsFused},
+	}
 	rows := make([]EngineRow, 0, len(cfg.Threads))
 	for _, threads := range cfg.Threads {
-		var nsop [2]float64
-		for i, scheme := range []unsnap.Scheme{cfg.Legacy, unsnap.Engine} {
+		var nsop [3]float64
+		for i, v := range variants {
 			s, err := unsnap.NewSolver(cfg.Problem, unsnap.Options{
-				Scheme: scheme, Threads: threads,
+				Scheme: v.scheme, Threads: threads, Octants: v.octants,
 				MaxInners: cfg.Inners, MaxOuters: 1, ForceIterations: true,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("harness: engine experiment scheme %v threads %d: %w", scheme, threads, err)
+				return nil, fmt.Errorf("harness: engine experiment scheme %v threads %d: %w", v.scheme, threads, err)
 			}
 			res, err := s.Run()
+			s.Close()
 			if err != nil {
 				return nil, err
 			}
-			s.Close()
 			nsop[i] = res.SweepSeconds * 1e9 / float64(cfg.Inners)
 		}
-		row := EngineRow{Threads: threads, LegacyNsOp: nsop[0], EngineNsOp: nsop[1]}
+		row := EngineRow{
+			Threads:    threads,
+			LegacyNsOp: nsop[0], EngineNsOp: nsop[1], OverlapNsOp: nsop[2],
+		}
 		if nsop[1] > 0 {
 			row.Speedup = nsop[0] / nsop[1]
+		}
+		if nsop[2] > 0 {
+			row.OverlapSpeedup = nsop[0] / nsop[2]
 		}
 		rows = append(rows, row)
 	}
@@ -93,21 +123,24 @@ func RunEngine(cfg EngineConfig) ([]EngineRow, error) {
 // FprintEngine writes the comparison table.
 func FprintEngine(w io.Writer, cfg EngineConfig, rows []EngineRow) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "Threads\t%s (ns/sweep)\tengine (ns/sweep)\tspeedup\n", cfg.Legacy)
+	fmt.Fprintf(tw, "Threads\t%s (ns/sweep)\tengine (ns/sweep)\toverlap (ns/sweep)\tspeedup\toverlap speedup\n", cfg.Legacy)
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%d\t%.0f\t%.0f\t%.2fx\n", r.Threads, r.LegacyNsOp, r.EngineNsOp, r.Speedup)
+		fmt.Fprintf(tw, "%d\t%.0f\t%.0f\t%.0f\t%.2fx\t%.2fx\n",
+			r.Threads, r.LegacyNsOp, r.EngineNsOp, r.OverlapNsOp, r.Speedup, r.OverlapSpeedup)
 	}
 	tw.Flush()
 }
 
 // WriteEngineJSON records the comparison for the perf trajectory
-// (scripts/bench.sh writes it to BENCH_sweep.json at the repo root).
-func WriteEngineJSON(path string, cfg EngineConfig, rows []EngineRow) error {
+// (scripts/bench.sh writes it to BENCH_sweep.json at the repo root,
+// stamping the measured git commit).
+func WriteEngineJSON(path string, cfg EngineConfig, commit string, rows []EngineRow) error {
 	var rep EngineReport
 	rep.Problem.NX = cfg.Problem.NX
 	rep.Problem.Order = cfg.Problem.Order
 	rep.Problem.AnglesPerOctant = cfg.Problem.AnglesPerOctant
 	rep.Problem.Groups = cfg.Problem.Groups
+	rep.Commit = commit
 	rep.LegacyScheme = cfg.Legacy.String()
 	rep.Inners = cfg.Inners
 	rep.Rows = rows

@@ -25,6 +25,9 @@ func TestRunEngineTiny(t *testing.T) {
 		if r.LegacyNsOp <= 0 || r.EngineNsOp <= 0 || r.Speedup <= 0 {
 			t.Fatalf("row not measured: %+v", r)
 		}
+		if r.OverlapNsOp <= 0 || r.OverlapSpeedup <= 0 {
+			t.Fatalf("octant-overlap column not measured: %+v", r)
+		}
 	}
 	var buf bytes.Buffer
 	FprintEngine(&buf, cfg, rows)
@@ -33,7 +36,7 @@ func TestRunEngineTiny(t *testing.T) {
 	}
 
 	path := filepath.Join(t.TempDir(), "bench.json")
-	if err := WriteEngineJSON(path, cfg, rows); err != nil {
+	if err := WriteEngineJSON(path, cfg, "deadbeef", rows); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -46,5 +49,8 @@ func TestRunEngineTiny(t *testing.T) {
 	}
 	if len(rep.Rows) != 2 || rep.Rows[0].Threads != 1 || rep.Problem.Groups != cfg.Problem.Groups {
 		t.Fatalf("report round trip wrong: %+v", rep)
+	}
+	if rep.Commit != "deadbeef" {
+		t.Fatalf("commit stamp lost: %+v", rep)
 	}
 }

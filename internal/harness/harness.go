@@ -184,6 +184,7 @@ func RunFig(cfg FigConfig) ([]FigRow, error) {
 				return nil, fmt.Errorf("harness: fig scheme %v threads %d: %w", scheme, threads, err)
 			}
 			res, err := s.Run()
+			s.Close()
 			if err != nil {
 				return nil, err
 			}

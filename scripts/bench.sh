@@ -1,8 +1,11 @@
 #!/bin/sh
 # bench.sh — the repo's perf-trajectory target: runs the engine-vs-legacy
-# sweep comparison and records ns/op per sweep into BENCH_sweep.json at
-# the repo root, so successive PRs can track the hot path. Extra flags
-# are passed through to cmd/unsnap-bench (e.g. -inners 10 -nx 8).
+# sweep comparison (including the cross-octant overlap mode) and records
+# ns/op per sweep into BENCH_sweep.json at the repo root, stamped with the
+# git commit so successive PRs can attribute the hot-path trajectory.
+# Extra flags are passed through to cmd/unsnap-bench (e.g. -inners 10).
 set -e
 cd "$(dirname "$0")/.."
-exec go run ./cmd/unsnap-bench -experiment engine -threads 1,2,4 -json BENCH_sweep.json "$@"
+COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+exec go run ./cmd/unsnap-bench -experiment engine -threads 1,2,4 \
+	-json BENCH_sweep.json -commit "$COMMIT" "$@"

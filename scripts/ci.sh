@@ -1,0 +1,10 @@
+#!/bin/sh
+# ci.sh — the repo's continuous-integration gate: vet, build, and the
+# race-enabled short test suite. Run it before every commit; tier-1
+# acceptance (ROADMAP.md) is `go build ./... && go test ./...`, which
+# this is a superset of modulo -short.
+set -e
+cd "$(dirname "$0")/.."
+go vet ./...
+go build ./...
+go test -race -short ./...

@@ -90,6 +90,25 @@ func AllSchemes() []Scheme {
 	return out
 }
 
+// OctantMode selects how the sweep engine orders the eight octant phases
+// of a full sweep; see the core package's OctantMode.
+type OctantMode int
+
+const (
+	// OctantsAuto (the default) overlaps all eight octants in one task
+	// graph whenever that is safe — vacuum boundaries and no cycle
+	// lagging — and falls back to sequential octant phases otherwise.
+	OctantsAuto OctantMode = iota
+	// OctantsSequential forces one quiesced engine phase per octant (the
+	// pre-overlap behaviour), kept for A/B benchmarking.
+	OctantsSequential
+	// OctantsFused prefers octant overlap over the per-octant slab of
+	// the fused face-matrix cache at sizes where the full cache does not
+	// fit (OctantsAuto makes the opposite call there). Unsafe
+	// configurations still fall back to sequential phases.
+	OctantsFused
+)
+
 // SolverKind selects the local dense solver (paper Table II).
 type SolverKind int
 
@@ -179,6 +198,10 @@ type Options struct {
 	Scheme  Scheme
 	Threads int
 	Solver  SolverKind
+	// Octants controls the engine's octant phasing: OctantsAuto overlaps
+	// all eight octants on vacuum problems, OctantsSequential forces the
+	// per-octant phases.
+	Octants OctantMode
 
 	Epsi      float64
 	MaxInners int
@@ -271,8 +294,8 @@ func coreConfig(p Problem, o Options, m *mesh.Mesh, q *quadrature.Set, lib *xs.L
 	cfg := core.Config{
 		Mesh: m, Order: p.Order, Quad: q, Lib: lib,
 		Scheme: core.Scheme(o.Scheme), Threads: o.Threads,
-		Solver: core.SolverKind(o.Solver),
-		Epsi:   o.Epsi, MaxInners: o.MaxInners, MaxOuters: o.MaxOuters,
+		Solver: core.SolverKind(o.Solver), Octants: core.OctantMode(o.Octants),
+		Epsi: o.Epsi, MaxInners: o.MaxInners, MaxOuters: o.MaxOuters,
 		ForceIterations: o.ForceIterations,
 		AllowCycles:     o.AllowCycles,
 		PreAssembled:    o.PreAssembled,

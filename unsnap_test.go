@@ -2,8 +2,58 @@ package unsnap
 
 import (
 	"math"
+	"runtime"
 	"testing"
+	"time"
 )
+
+// TestDistributedCloseStopsWorkers is the goroutine-leak regression test
+// for Distributed.Close: an engine-backed multi-rank run spawns
+// ranks x (Threads-1) persistent sweep workers, and Close must stop all
+// of them (previously they lingered until the solvers were garbage
+// collected).
+func TestDistributedCloseStopsWorkers(t *testing.T) {
+	p := smallProblem()
+	p.NX, p.NY, p.NZ = 4, 4, 4
+	// Flush GC cleanups of earlier tests' unclosed solvers so they cannot
+	// perturb the goroutine counts mid-test.
+	runtime.GC()
+	runtime.GC()
+	time.Sleep(50 * time.Millisecond)
+	before := runtime.NumGoroutine()
+	d, err := NewDistributed(p, Options{
+		Scheme: Engine, Threads: 3,
+		MaxInners: 2, MaxOuters: 1, ForceIterations: true,
+	}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 2 ranks x (3-1) workers should now be parked.
+	if got := runtime.NumGoroutine(); got < before+4 {
+		t.Fatalf("expected >= %d goroutines with live worker pools, got %d", before+4, got)
+	}
+	d.Close()
+	d.Close() // idempotent
+	// Close joins the workers on their exit counter; the runtime may
+	// need a beat more to retire the goroutines themselves, so allow a
+	// short settle before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker goroutines leaked after Close: %d before, %d now",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The driver stays usable: a later Run rebuilds the pools.
+	if _, err := d.Run(); err != nil {
+		t.Fatalf("run after Close: %v", err)
+	}
+	d.Close()
+}
 
 func smallProblem() Problem {
 	p := DefaultProblem()
@@ -99,6 +149,7 @@ func TestDistributedMatchesSingle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer d.Close()
 	if d.NumRanks() != 4 {
 		t.Fatalf("ranks = %d", d.NumRanks())
 	}
