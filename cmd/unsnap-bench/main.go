@@ -7,14 +7,16 @@
 //
 //	unsnap-bench -experiment table1
 //	unsnap-bench -experiment fig3 -threads 1,2,4
-//	unsnap-bench -experiment engine -threads 1,2,4 -json BENCH_sweep.json
+//	unsnap-bench -experiment engine,comm -threads 1,2,4 -json BENCH_sweep.json
 //	unsnap-bench -experiment all
 //
-// Experiments: table1, table2, fig3, fig4, tradeoffs, jacobi, atomic,
-// preassembled, engine, all. The engine experiment compares the
-// persistent worker-pool sweep engine against a legacy bucket executor
-// and, with -json, records ns/op per sweep for the perf trajectory
-// (scripts/bench.sh runs it and writes BENCH_sweep.json).
+// Experiments (comma-separable): table1, table2, fig3, fig4, tradeoffs,
+// jacobi, atomic, preassembled, engine, comm, all. The engine experiment
+// compares the persistent worker-pool sweep engine against a legacy
+// bucket executor; the comm experiment compares the lagged (block
+// Jacobi) and pipelined (mid-sweep streaming) halo protocols across rank
+// grids. With -json, both record their measurements for the perf
+// trajectory (scripts/bench.sh runs them and writes BENCH_sweep.json).
 package main
 
 import (
@@ -50,7 +52,7 @@ func parseThreads(s string) ([]int, error) {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("unsnap-bench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "table1|table2|fig3|fig4|tradeoffs|jacobi|atomic|preassembled|engine|all")
+	experiment := fs.String("experiment", "all", "comma-separated list of table1|table2|fig3|fig4|tradeoffs|jacobi|atomic|preassembled|engine|comm|all")
 	threadsFlag := fs.String("threads", "1,2", "comma-separated worker counts for scaling experiments")
 	jsonPath := fs.String("json", "", "write the engine experiment's comparison to this JSON file")
 	commit := fs.String("commit", "", "git revision to stamp into the engine JSON report")
@@ -85,8 +87,14 @@ func run(args []string) error {
 		}
 	}
 
-	want := func(name string) bool { return *experiment == name || *experiment == "all" }
+	wanted := make(map[string]bool)
+	for _, name := range strings.Split(*experiment, ",") {
+		wanted[strings.TrimSpace(name)] = true
+	}
+	want := func(name string) bool { return wanted[name] || wanted["all"] }
 	ran := false
+	var engSection *harness.EngineSection
+	var commSection *harness.CommSection
 
 	if want("table1") {
 		ran = true
@@ -221,15 +229,34 @@ func run(args []string) error {
 		}
 		harness.FprintEngine(os.Stdout, cfg, rows)
 		fmt.Println()
-		if *jsonPath != "" {
-			if err := harness.WriteEngineJSON(*jsonPath, cfg, *commit, rows); err != nil {
-				return err
-			}
-			fmt.Println("wrote", *jsonPath)
+		engSection = harness.EngineSectionOf(cfg, rows)
+	}
+	if want("comm") {
+		ran = true
+		cfg := harness.DefaultComm()
+		override(&cfg.Problem)
+		cfg.Threads = threads
+		if innersSet {
+			cfg.Inners = *inners
 		}
+		fmt.Printf("== Halo protocols: lagged vs pipelined (%d^3 elements, %d ang/oct, %d groups) ==\n",
+			cfg.Problem.NX, cfg.Problem.AnglesPerOctant, cfg.Problem.Groups)
+		rows, conv, err := harness.RunComm(cfg)
+		if err != nil {
+			return err
+		}
+		harness.FprintComm(os.Stdout, cfg, rows, conv)
+		fmt.Println()
+		commSection = harness.CommSectionOf(cfg, rows, conv)
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	if *jsonPath != "" && (engSection != nil || commSection != nil) {
+		if err := harness.WriteSweepJSON(*jsonPath, *commit, engSection, commSection); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *jsonPath)
 	}
 	return nil
 }

@@ -30,6 +30,18 @@ func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-experiment", "nope"}); err == nil {
 		t.Fatal("expected unknown-experiment error")
 	}
+	// A list of only unknown names is rejected too.
+	if err := run([]string{"-experiment", "nope,bogus"}); err == nil {
+		t.Fatal("expected unknown-experiment error for list")
+	}
+}
+
+func TestRunExperimentList(t *testing.T) {
+	// table1 is pure arithmetic (no solves), so a list that includes it
+	// exercises the comma-separated selection cheaply.
+	if err := run([]string{"-experiment", "table1,nope"}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestRunBadFlags(t *testing.T) {

@@ -7,20 +7,30 @@ import (
 	"unsnap/internal/core"
 )
 
-// Distributed is a block Jacobi multi-rank solver: the mesh is split over
-// a PY x PZ rank grid (KBA-style, Y and Z dimensions), every rank sweeps
-// its subdomain concurrently using lagged halo fluxes, and halos are
-// exchanged after every inner iteration. Ranks are goroutines standing in
-// for the paper's MPI processes.
+// Distributed is a multi-rank solver: the mesh is split over a PY x PZ
+// rank grid (KBA-style, Y and Z dimensions) and the ranks — goroutines
+// standing in for the paper's MPI processes — are coupled by the selected
+// Options.Protocol: lagged block Jacobi with a halo exchange after every
+// inner iteration (the paper's scheme, the default), or the pipelined
+// protocol that streams angular flux across ranks mid-sweep so the whole
+// partitioned mesh executes one cross-rank task graph per sweep.
 type Distributed struct {
 	inner *comm.Driver
 	prob  Problem
 }
 
-// NewDistributed builds a block Jacobi solver over py x pz ranks.
+// NewDistributed builds a multi-rank solver over py x pz ranks. Options
+// that cannot apply under the selected protocol are rejected up front:
+// the lagged protocol can never engage octant fusion (halo callbacks pin
+// sequential octant phases), and the pipelined protocol needs an
+// engine-backed scheme, the fused cross-octant phase and a globally
+// acyclic sweep (no AllowCycles).
 func NewDistributed(p Problem, o Options, py, pz int) (*Distributed, error) {
 	if o.Reflect != [3]bool{} {
 		return nil, fmt.Errorf("unsnap: reflective boundaries are only supported by the single-domain solver")
+	}
+	if o.TimeSteps > 0 {
+		return nil, fmt.Errorf("unsnap: time-dependent mode is only supported by the single-domain solver")
 	}
 	m, q, lib, err := buildParts(p)
 	if err != nil {
@@ -29,8 +39,10 @@ func NewDistributed(p Problem, o Options, py, pz int) (*Distributed, error) {
 	d, err := comm.New(comm.Config{
 		Mesh: m, PY: py, PZ: pz,
 		Order: p.Order, Quad: q, Lib: lib,
-		Scheme: core.Scheme(o.Scheme), ThreadsPerRank: o.Threads,
+		Protocol: comm.Protocol(o.Protocol),
+		Scheme:   core.Scheme(o.Scheme), ThreadsPerRank: o.Threads,
 		Solver: core.SolverKind(o.Solver), Octants: core.OctantMode(o.Octants),
+		AllowCycles: o.AllowCycles, PreAssembled: o.PreAssembled,
 		Epsi: o.Epsi, MaxInners: o.MaxInners, MaxOuters: o.MaxOuters,
 		ForceIterations: o.ForceIterations, Instrument: o.Instrument,
 	})
@@ -65,10 +77,12 @@ func (d *Distributed) NumRanks() int { return d.inner.NumRanks() }
 
 // Close stops every rank's background sweep workers deterministically
 // (otherwise an engine-backed run leaks ranks x (Threads-1) goroutines
-// until the solvers are garbage collected). The solver remains usable —
-// queries keep working and a later Run rebuilds the worker pools — so
-// call it once a process is done sweeping with this instance. Safe to
-// call multiple times.
+// until the solvers are garbage collected). A CommPipelined Run still in
+// flight is aborted and joined first — that Run returns an error — so
+// under that protocol Close is safe to call mid-sweep; under CommLagged
+// call Close only between runs. The solver remains usable: queries keep
+// working and a later Run rebuilds the worker pools. Safe to call
+// multiple times.
 func (d *Distributed) Close() { d.inner.Close() }
 
 // FluxIntegral sums the group-g flux integral over all ranks.

@@ -1,11 +1,35 @@
-// Package comm implements the paper's global scheduling layer: a parallel
-// block Jacobi coupling between spatial subdomains with a halo exchange
-// every inner iteration. The paper runs this over MPI with a 2D KBA-style
-// decomposition; here the ranks are goroutines inside one process, driven
-// in BSP super-steps (sweep | barrier | halo exchange | barrier), which
-// preserves the property the paper studies — every rank starts sweeping
-// its own subdomain immediately using lagged incoming fluxes, trading
-// iteration count for concurrency.
+// Package comm implements the global (cross-rank) layer of the solver:
+// the mesh is split over a KBA-style 2D rank grid and each rank — a
+// goroutine standing in for one of the paper's MPI processes — owns a
+// core.Solver for its subdomain. Two communication protocols couple the
+// ranks:
+//
+//   - Lagged (the paper's scheme): parallel block Jacobi driven in BSP
+//     super-steps — every rank sweeps its whole subdomain using the halo
+//     fluxes of the previous inner iteration, a barrier, a bulk halo
+//     exchange, another barrier. Every rank starts sweeping immediately,
+//     but the lagged coupling costs extra inner iterations as the rank
+//     count grows, and the halo boundary callback pins each rank's engine
+//     to sequential octant phases.
+//
+//   - Pipelined: the sweep itself spans the ranks. Remote upwind faces
+//     are latent dependencies of each rank's counter-driven task graph
+//     (core.Config.External); the engine publishes boundary outflow the
+//     moment the owning task completes, per-edge channels stream it to
+//     the downstream rank, and the receiver resolves the waiting tasks
+//     mid-sweep — so the whole partitioned mesh executes one cross-rank
+//     task graph per sweep in wavefront order, with no lagged data, no
+//     per-inner halo barrier, and the fused eight-octant phase intact on
+//     vacuum problems. Iteration counts and fluxes match the
+//     single-domain solver exactly. Convergence-gated runs exchange one
+//     scalar (the flux change) per inner iteration to agree on
+//     termination; forced-iteration runs need no synchronisation at all,
+//     so ranks pipeline freely across inner (and outer) boundaries under
+//     channel backpressure.
+//
+// Lagged remains the default and the paper-faithful A/B baseline; the
+// protocols share the partition metadata (mesh.RemoteFaces), the
+// deterministic per-rank flux reduction, and the balance accounting.
 package comm
 
 import (
@@ -21,6 +45,30 @@ import (
 	"unsnap/internal/xs"
 )
 
+// Protocol selects the cross-rank communication scheme.
+type Protocol int
+
+const (
+	// Lagged is the paper's BSP block Jacobi with halo fluxes lagged by
+	// one inner iteration (the default).
+	Lagged Protocol = iota
+	// Pipelined streams angular flux across ranks mid-sweep, resolving
+	// cross-rank dependencies in wavefront order.
+	Pipelined
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case Lagged:
+		return "lagged"
+	case Pipelined:
+		return "pipelined"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
 // Config describes a partitioned run. The solver settings mirror
 // core.Config and apply to every rank.
 type Config struct {
@@ -31,14 +79,25 @@ type Config struct {
 	Quad  *quadrature.Set
 	Lib   *xs.Library
 
+	// Protocol selects the halo scheme; see the package comment.
+	Protocol Protocol
+
 	Scheme         core.Scheme
 	ThreadsPerRank int
 	Solver         core.SolverKind
-	// Octants is forwarded to every rank solver. Halo boundaries force
-	// sequential octant phases regardless (octant fusion needs vacuum),
-	// so today this only affects validation; it becomes meaningful if a
-	// sweep-aware halo protocol ever allows cross-rank octant overlap.
+	// Octants is forwarded to every rank solver. Under the lagged
+	// protocol the halo boundary callback forces sequential octant phases
+	// regardless, so requesting OctantsFused there is rejected as
+	// impossible; the pipelined protocol requires the fused cross-octant
+	// phase, so OctantsSequential is rejected in turn.
 	Octants core.OctantMode
+
+	// AllowCycles uses the lagging schedule builder inside each rank
+	// (lagged protocol only: the pipelined task graph cannot honour the
+	// fixed octant order that lagged cycle seeds rely on).
+	AllowCycles bool
+	// PreAssembled pre-factorises every rank's local matrices at setup.
+	PreAssembled bool
 
 	Epsi            float64
 	MaxInners       int
@@ -47,34 +106,61 @@ type Config struct {
 	Instrument      bool
 }
 
-// halo is the incoming angular flux storage of one remote face:
-// data[(a*nG+g)*nF + k] holds the value for our face node k.
-type halo struct {
-	ref  mesh.RemoteRef
-	perm []int // our face-node k -> peer face-node index (into peer order)
-	data []float64
+// validate rejects protocol/knob combinations that could never apply.
+func (cfg Config) validate() error {
+	switch cfg.Protocol {
+	case Lagged:
+		if cfg.Octants == core.OctantsFused {
+			return fmt.Errorf("comm: octant fusion can never engage under the lagged protocol (halo callbacks force sequential octant phases); use OctantsAuto, or the pipelined protocol")
+		}
+	case Pipelined:
+		if !cfg.Scheme.EngineBacked() {
+			return fmt.Errorf("comm: the pipelined protocol requires an engine-backed scheme (%v is a bucket executor that cannot hold latent remote dependencies)", cfg.Scheme)
+		}
+		if cfg.AllowCycles {
+			return fmt.Errorf("comm: the pipelined protocol cannot lag cyclic dependencies (AllowCycles needs the sequential octant order); use the lagged protocol for cyclic meshes")
+		}
+		if cfg.Octants == core.OctantsSequential {
+			return fmt.Errorf("comm: the pipelined protocol streams resolutions into all octants at once and requires the fused cross-octant phase; OctantsSequential cannot apply")
+		}
+	default:
+		return fmt.Errorf("comm: unknown protocol %d", int(cfg.Protocol))
+	}
+	return nil
 }
 
-// Driver owns the per-rank solvers and their halo buffers.
+// Driver owns the per-rank solvers and the protocol state coupling them.
 type Driver struct {
 	cfg     Config
 	part    *mesh.Partition
 	re      *fem.RefElement
+	remote  [][]mesh.RemoteFace
 	solvers []*core.Solver
-	halos   []map[mesh.FaceKey]*halo
-	scratch [][]float64 // per-rank gather buffer (peer face ordering)
 
 	nG, nA, nF int
+
+	lag  *laggedState
+	pipe *pipelinedState
+
+	// Run/Close lifecycle of the pipelined protocol: Close during an
+	// active run aborts it and waits for the rank goroutines to unwind
+	// before stopping the solver pools.
+	mu       sync.Mutex
+	runAbort func()
+	runDone  chan struct{}
 }
 
-// New partitions the mesh and builds one core solver per rank, wiring the
-// halo buffers into each solver's boundary-flux callback.
+// New partitions the mesh and builds one core solver per rank, wired for
+// the configured protocol.
 func New(cfg Config) (*Driver, error) {
 	if cfg.Mesh == nil {
 		return nil, fmt.Errorf("comm: config needs a mesh")
 	}
 	if cfg.Epsi <= 0 {
 		cfg.Epsi = 1e-4
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	part, err := cfg.Mesh.PartitionKBA(cfg.PY, cfg.PZ)
 	if err != nil {
@@ -87,75 +173,67 @@ func New(cfg Config) (*Driver, error) {
 	if cfg.Quad == nil || cfg.Lib == nil {
 		return nil, fmt.Errorf("comm: config needs quadrature and cross sections")
 	}
+	remote, err := part.RemoteFaces(re)
+	if err != nil {
+		return nil, err
+	}
 	d := &Driver{
-		cfg:  cfg,
-		part: part,
-		re:   re,
-		nG:   cfg.Lib.NumGroups,
-		nA:   cfg.Quad.NumAngles(),
-		nF:   re.NF,
+		cfg:    cfg,
+		part:   part,
+		re:     re,
+		remote: remote,
+		nG:     cfg.Lib.NumGroups,
+		nA:     cfg.Quad.NumAngles(),
+		nF:     re.NF,
 	}
-	nRanks := len(part.Subs)
-	d.solvers = make([]*core.Solver, nRanks)
-	d.halos = make([]map[mesh.FaceKey]*halo, nRanks)
-	d.scratch = make([][]float64, nRanks)
-
-	// Halo buffers and cross-partition face matching.
-	for r, sub := range part.Subs {
-		d.halos[r] = make(map[mesh.FaceKey]*halo, len(sub.Remote))
-		d.scratch[r] = make([]float64, d.nF)
-		for key, ref := range sub.Remote {
-			ga := sub.Mesh.Elems[key.Elem].Geometry()
-			gb := part.Subs[ref.Rank].Mesh.Elems[ref.Elem].Geometry()
-			perm, err := mesh.MatchFacePair(re, ga, key.Face, gb, ref.Face)
-			if err != nil {
-				return nil, fmt.Errorf("comm: matching rank %d face %v to rank %d: %w",
-					r, key, ref.Rank, err)
-			}
-			d.halos[r][key] = &halo{
-				ref:  ref,
-				perm: perm,
-				data: make([]float64, d.nA*d.nG*d.nF),
-			}
-		}
+	d.solvers = make([]*core.Solver, len(part.Subs))
+	switch cfg.Protocol {
+	case Pipelined:
+		err = d.buildPipelined()
+	default:
+		err = d.buildLagged()
 	}
-
-	for r, sub := range part.Subs {
-		hs := d.halos[r]
-		boundary := func(a, e, f, g int, buf []float64) []float64 {
-			h, ok := hs[mesh.FaceKey{Elem: e, Face: f}]
-			if !ok {
-				return nil // true domain boundary: vacuum
-			}
-			off := (a*d.nG + g) * d.nF
-			return h.data[off : off+d.nF]
-		}
-		s, err := core.New(core.Config{
-			Mesh: sub.Mesh, Order: cfg.Order, Quad: cfg.Quad, Lib: cfg.Lib,
-			Scheme: cfg.Scheme, Threads: cfg.ThreadsPerRank, Solver: cfg.Solver,
-			Octants: cfg.Octants,
-			Epsi:    cfg.Epsi, MaxInners: cfg.MaxInners, MaxOuters: cfg.MaxOuters,
-			ForceIterations: cfg.ForceIterations, Instrument: cfg.Instrument,
-			Boundary: boundary,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("comm: building rank %d: %w", r, err)
-		}
-		d.solvers[r] = s
+	if err != nil {
+		return nil, err
 	}
 	return d, nil
+}
+
+// rankConfig assembles the shared part of one rank's solver config.
+func (d *Driver) rankConfig(r int) core.Config {
+	return core.Config{
+		Mesh: d.part.Subs[r].Mesh, Order: d.cfg.Order, Quad: d.cfg.Quad, Lib: d.cfg.Lib,
+		Scheme: d.cfg.Scheme, Threads: d.cfg.ThreadsPerRank, Solver: d.cfg.Solver,
+		Octants: d.cfg.Octants, AllowCycles: d.cfg.AllowCycles,
+		PreAssembled: d.cfg.PreAssembled,
+		Epsi:         d.cfg.Epsi, MaxInners: d.cfg.MaxInners, MaxOuters: d.cfg.MaxOuters,
+		ForceIterations: d.cfg.ForceIterations, Instrument: d.cfg.Instrument,
+	}
 }
 
 // NumRanks returns the rank count.
 func (d *Driver) NumRanks() int { return len(d.solvers) }
 
+// Protocol returns the configured communication protocol.
+func (d *Driver) Protocol() Protocol { return d.cfg.Protocol }
+
 // Close stops every rank solver's background sweep workers
 // deterministically. Without it an engine-backed driver leaks
 // ranks x (ThreadsPerRank-1) persistent worker goroutines until the
-// garbage collector notices the solvers are unreachable. The driver
-// remains fully usable: a later Run transparently rebuilds the pools.
-// Safe to call multiple times.
+// garbage collector notices the solvers are unreachable. A pipelined Run
+// still in flight is aborted first (it returns an error) and joined, so
+// for that protocol Close is safe even mid-sweep once Run has started
+// its setup; under the lagged protocol Close must only be called between
+// runs, as before. The driver remains fully usable: a later Run
+// transparently rebuilds the pools. Safe to call multiple times.
 func (d *Driver) Close() {
+	d.mu.Lock()
+	abort, done := d.runAbort, d.runDone
+	d.mu.Unlock()
+	if abort != nil {
+		abort()
+		<-done
+	}
 	for _, s := range d.solvers {
 		s.Close()
 	}
@@ -185,28 +263,6 @@ func (d *Driver) forEachRank(fn func(r int) error) error {
 	return nil
 }
 
-// exchange refreshes every halo buffer from the owning peer's current
-// angular flux. It runs between sweeps (BSP), so the peers' flux arrays
-// are stable.
-func (d *Driver) exchange() {
-	_ = d.forEachRank(func(r int) error {
-		buf := d.scratch[r]
-		for _, h := range d.halos[r] {
-			peer := d.solvers[h.ref.Rank]
-			for a := 0; a < d.nA; a++ {
-				for g := 0; g < d.nG; g++ {
-					peer.PsiFaceValues(a, h.ref.Elem, g, h.ref.Face, buf)
-					off := (a*d.nG + g) * d.nF
-					for k := 0; k < d.nF; k++ {
-						h.data[off+k] = buf[h.perm[k]]
-					}
-				}
-			}
-		}
-		return nil
-	})
-}
-
 // Result reports a partitioned run.
 type Result struct {
 	Outers    int
@@ -218,66 +274,18 @@ type Result struct {
 	Balance   core.Balance
 }
 
-// Run executes the block Jacobi iteration to convergence (or to the
-// configured iteration limits).
+// Run executes the partitioned iteration to convergence (or to the
+// configured iteration limits) under the configured protocol.
 func (d *Driver) Run() (*Result, error) {
-	res := &Result{}
-	maxOuters := d.cfg.MaxOuters
-	if maxOuters <= 0 {
-		maxOuters = 1
+	var res *Result
+	var err error
+	if d.cfg.Protocol == Pipelined {
+		res, err = d.runPipelined()
+	} else {
+		res, err = d.runLagged()
 	}
-	maxInners := d.cfg.MaxInners
-	if maxInners <= 0 {
-		maxInners = 5
-	}
-	prev := make([][]float64, len(d.solvers))
-
-	for outer := 0; outer < maxOuters; outer++ {
-		for r, s := range d.solvers {
-			prev[r] = s.PhiSnapshot(prev[r])
-		}
-		if err := d.forEachRank(func(r int) error {
-			d.solvers[r].ComputeOuterSource()
-			return nil
-		}); err != nil {
-			return nil, err
-		}
-		res.Outers++
-		for inner := 0; inner < maxInners; inner++ {
-			t0 := time.Now()
-			if err := d.forEachRank(func(r int) error {
-				d.solvers[r].PrepareInner()
-				return d.solvers[r].SweepAllAngles()
-			}); err != nil {
-				return nil, err
-			}
-			res.SweepTime += time.Since(t0)
-			d.exchange()
-			df := 0.0
-			for _, s := range d.solvers {
-				if v := s.MaxRelChange(); v > df {
-					df = v
-				}
-			}
-			res.DFHistory = append(res.DFHistory, df)
-			res.FinalDF = df
-			res.Inners++
-			if !d.cfg.ForceIterations && df < d.cfg.Epsi {
-				break
-			}
-		}
-		if !d.cfg.ForceIterations {
-			outerDF := 0.0
-			for r, s := range d.solvers {
-				if v := s.MaxRelDiff(prev[r]); v > outerDF {
-					outerDF = v
-				}
-			}
-			if outerDF <= 10*d.cfg.Epsi {
-				res.Converged = true
-				break
-			}
-		}
+	if err != nil {
+		return nil, err
 	}
 	res.Balance = d.GlobalBalance()
 	return res, nil
@@ -289,7 +297,7 @@ func (d *Driver) Run() (*Result, error) {
 func (d *Driver) GlobalBalance() core.Balance {
 	var b core.Balance
 	for r, s := range d.solvers {
-		remote := d.halos[r]
+		remote := d.part.Subs[r].Remote
 		rb := s.ComputeBalanceExcluding(func(e, f int) bool {
 			_, isRemote := remote[mesh.FaceKey{Elem: e, Face: f}]
 			return isRemote
@@ -313,4 +321,17 @@ func (d *Driver) FluxIntegral(g int) float64 {
 		total += s.FluxIntegral(g)
 	}
 	return total
+}
+
+// maxIterLimits applies the shared iteration-limit defaults.
+func (d *Driver) maxIterLimits() (maxOuters, maxInners int) {
+	maxOuters = d.cfg.MaxOuters
+	if maxOuters <= 0 {
+		maxOuters = 1
+	}
+	maxInners = d.cfg.MaxInners
+	if maxInners <= 0 {
+		maxInners = 5
+	}
+	return maxOuters, maxInners
 }

@@ -1,0 +1,146 @@
+package comm
+
+import (
+	"fmt"
+	"time"
+
+	"unsnap/internal/core"
+	"unsnap/internal/mesh"
+)
+
+// This file is the lagged (paper-faithful) protocol: parallel block
+// Jacobi in BSP super-steps — sweep | barrier | bulk halo exchange |
+// barrier — with every rank reading the previous inner iteration's halo
+// fluxes through a synchronous boundary callback.
+
+// halo is the incoming angular flux storage of one remote face:
+// data[(a*nG+g)*nF + k] holds the value for our face node k.
+type halo struct {
+	ref  mesh.RemoteRef
+	perm []int // our face-node k -> peer face-node index (into peer order)
+	data []float64
+}
+
+// laggedState holds the per-rank halo buffers of the BSP exchange.
+type laggedState struct {
+	halos   []map[mesh.FaceKey]*halo
+	scratch [][]float64 // per-rank gather buffer (peer face ordering)
+}
+
+// buildLagged wires the halo buffers into each rank solver's
+// boundary-flux callback.
+func (d *Driver) buildLagged() error {
+	lag := &laggedState{
+		halos:   make([]map[mesh.FaceKey]*halo, len(d.part.Subs)),
+		scratch: make([][]float64, len(d.part.Subs)),
+	}
+	d.lag = lag
+	for r := range d.part.Subs {
+		lag.halos[r] = make(map[mesh.FaceKey]*halo, len(d.remote[r]))
+		lag.scratch[r] = make([]float64, d.nF)
+		for _, rf := range d.remote[r] {
+			lag.halos[r][rf.Key] = &halo{
+				ref:  rf.Ref,
+				perm: rf.Perm,
+				data: make([]float64, d.nA*d.nG*d.nF),
+			}
+		}
+	}
+	for r := range d.part.Subs {
+		hs := lag.halos[r]
+		boundary := func(a, e, f, g int, buf []float64) []float64 {
+			h, ok := hs[mesh.FaceKey{Elem: e, Face: f}]
+			if !ok {
+				return nil // true domain boundary: vacuum
+			}
+			off := (a*d.nG + g) * d.nF
+			return h.data[off : off+d.nF]
+		}
+		cfg := d.rankConfig(r)
+		cfg.Boundary = boundary
+		s, err := core.New(cfg)
+		if err != nil {
+			return fmt.Errorf("comm: building rank %d: %w", r, err)
+		}
+		d.solvers[r] = s
+	}
+	return nil
+}
+
+// exchange refreshes every halo buffer from the owning peer's current
+// angular flux. It runs between sweeps (BSP), so the peers' flux arrays
+// are stable.
+func (d *Driver) exchange() {
+	_ = d.forEachRank(func(r int) error {
+		buf := d.lag.scratch[r]
+		for _, h := range d.lag.halos[r] {
+			peer := d.solvers[h.ref.Rank]
+			for a := 0; a < d.nA; a++ {
+				for g := 0; g < d.nG; g++ {
+					peer.PsiFaceValues(a, h.ref.Elem, g, h.ref.Face, buf)
+					off := (a*d.nG + g) * d.nF
+					for k := 0; k < d.nF; k++ {
+						h.data[off+k] = buf[h.perm[k]]
+					}
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// runLagged executes the block Jacobi iteration in BSP super-steps.
+func (d *Driver) runLagged() (*Result, error) {
+	res := &Result{}
+	maxOuters, maxInners := d.maxIterLimits()
+	prev := make([][]float64, len(d.solvers))
+
+	for outer := 0; outer < maxOuters; outer++ {
+		for r, s := range d.solvers {
+			prev[r] = s.PhiSnapshot(prev[r])
+		}
+		if err := d.forEachRank(func(r int) error {
+			d.solvers[r].ComputeOuterSource()
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		res.Outers++
+		for inner := 0; inner < maxInners; inner++ {
+			t0 := time.Now()
+			if err := d.forEachRank(func(r int) error {
+				d.solvers[r].PrepareInner()
+				return d.solvers[r].SweepAllAngles()
+			}); err != nil {
+				return nil, err
+			}
+			res.SweepTime += time.Since(t0)
+			d.exchange()
+			df := 0.0
+			for _, s := range d.solvers {
+				if v := s.MaxRelChange(); v > df {
+					df = v
+				}
+			}
+			res.DFHistory = append(res.DFHistory, df)
+			res.FinalDF = df
+			res.Inners++
+			if !d.cfg.ForceIterations && df < d.cfg.Epsi {
+				break
+			}
+		}
+		if !d.cfg.ForceIterations {
+			outerDF := 0.0
+			for r, s := range d.solvers {
+				if v := s.MaxRelDiff(prev[r]); v > outerDF {
+					outerDF = v
+				}
+			}
+			if outerDF <= 10*d.cfg.Epsi {
+				res.Converged = true
+				break
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,556 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"unsnap/internal/core"
+	"unsnap/internal/fem"
+	"unsnap/internal/mesh"
+	"unsnap/internal/sweep"
+)
+
+// This file is the pipelined protocol: the sweep itself spans the ranks.
+// Every cross-rank face is declared to the downstream rank's solver as an
+// external task-graph dependency (core.ExternalFace); the upstream rank's
+// engine publishes the face's angular flux the moment the owning task
+// completes, a per-edge channel carries it over, and a receiver goroutine
+// on the downstream rank writes it into the solver's inflow buffer and
+// resolves the waiting task — mid-sweep, in wavefront order. There is no
+// bulk halo exchange and no lagged data: one global counter-driven task
+// graph executes per sweep, so iteration counts and fluxes match the
+// single-domain solver exactly.
+//
+// Message accounting replaces synchronisation. For every directed rank
+// pair the per-sweep message count (quota) is fixed by the quadrature and
+// the canonical face classification, and both sides derive it from the
+// same mesh.RemoteFace metadata through core.ExternalInflow. Each edge's
+// channel is FIFO and the publisher emits exactly one message per
+// (ordinate, face) per sweep, so the receiver just consumes its quota per
+// sweep — gated on its own rank arming the sweep, which keeps a
+// fast upstream rank from overwriting inflow slots the current sweep
+// still reads while letting it run ahead into the next sweep under
+// channel backpressure.
+//
+// Termination: forced-iteration runs need no cross-rank agreement at all
+// (every rank executes the same fixed schedule and the ranks overlap
+// freely); convergence-gated runs exchange one scalar per rank per inner
+// — the flux-change all-reduce any production sweeper performs — through
+// a small coordinator that replays core.Run's exact decision sequence.
+
+// pipeEdgeDef is one directed rank pair with cross-rank transfers.
+type pipeEdgeDef struct {
+	from, to int
+	quota    int // messages per sweep
+}
+
+// pipeMsg carries one (ordinate, face) transfer: all groups' nodal flux
+// in the sender's face-node order; elem/face address the receiver's side.
+type pipeMsg struct {
+	a, elem, face int
+	data          []float64 // [group][sender face node]
+}
+
+// pipelinedState is the protocol's build-time wiring.
+type pipelinedState struct {
+	edges  []pipeEdgeDef
+	inOf   [][]int                // rank -> edge indices with to == rank
+	outIdx []map[int]int          // rank -> peer rank -> edge index
+	extIdx []map[mesh.FaceKey]int // rank -> face key -> External index
+	run    *pipeRun               // active run, nil otherwise (see runPipelined)
+}
+
+// buildPipelined validates global sweepability, builds one
+// external-coupled solver per rank and wires the publish hooks.
+func (d *Driver) buildPipelined() error {
+	if err := d.validateGlobalSweeps(); err != nil {
+		return err
+	}
+	nRanks := len(d.part.Subs)
+	ps := &pipelinedState{
+		inOf:   make([][]int, nRanks),
+		outIdx: make([]map[int]int, nRanks),
+		extIdx: make([]map[mesh.FaceKey]int, nRanks),
+	}
+	d.pipe = ps
+
+	quotas := make(map[[2]int]int) // (from, to) -> messages per sweep
+	angles := d.cfg.Quad.Angles
+	for r := range d.part.Subs {
+		ext := make([]core.ExternalFace, len(d.remote[r]))
+		ps.extIdx[r] = make(map[mesh.FaceKey]int, len(d.remote[r]))
+		for i, rf := range d.remote[r] {
+			ext[i] = core.ExternalFace{
+				Elem: rf.Key.Elem, Face: rf.Key.Face,
+				Normal: rf.Normal, Canonical: rf.Canonical,
+			}
+			ps.extIdx[r][rf.Key] = i
+			for a := range angles {
+				if core.ExternalInflow(angles[a].Omega, rf.Normal, rf.Canonical) {
+					quotas[[2]int{rf.Ref.Rank, r}]++
+				}
+			}
+		}
+		cfg := d.rankConfig(r)
+		cfg.External = ext
+		s, err := core.New(cfg)
+		if err != nil {
+			return fmt.Errorf("comm: building rank %d: %w", r, err)
+		}
+		d.solvers[r] = s
+	}
+
+	// Deterministic edge order: ascending receiver, then sender.
+	for to := 0; to < nRanks; to++ {
+		ps.outIdx[to] = make(map[int]int)
+		for from := 0; from < nRanks; from++ {
+			if q := quotas[[2]int{from, to}]; q > 0 {
+				ps.inOf[to] = append(ps.inOf[to], len(ps.edges))
+				ps.edges = append(ps.edges, pipeEdgeDef{from: from, to: to, quota: q})
+			}
+		}
+	}
+	for ei, ed := range ps.edges {
+		ps.outIdx[ed.from][ed.to] = ei
+	}
+
+	for r := range d.solvers {
+		r := r
+		d.solvers[r].SetPublish(func(a, e, f int) { d.publishFace(r, a, e, f) })
+	}
+	return nil
+}
+
+// validateGlobalSweeps rejects meshes whose whole-domain dependency graph
+// is cyclic for some ordinate: each rank's local graph would still be
+// acyclic, but the cross-rank pipeline could deadlock waiting on itself.
+// The classification replicates the single-domain rule (every interior
+// face judged from its lower-element side), so a mesh accepted here runs
+// identically to the single-domain engine.
+func (d *Driver) validateGlobalSweeps() error {
+	m := d.cfg.Mesh
+	nE := m.NumElems()
+	type pair struct {
+		e, nb int
+		n     [3]float64
+	}
+	var pairs []pair
+	for e := 0; e < nE; e++ {
+		geo := m.Elems[e].Geometry()
+		for f := 0; f < fem.NumFaces; f++ {
+			if nb := m.Elems[e].Faces[f].Neighbor; nb > e {
+				pairs = append(pairs, pair{e: e, nb: nb, n: d.re.FaceUnitNormal(geo, f)})
+			}
+		}
+	}
+	for a := 0; a < d.nA; a++ {
+		om := d.cfg.Quad.Angles[a].Omega
+		up := make([][]int, nE)
+		for _, p := range pairs {
+			if om[0]*p.n[0]+om[1]*p.n[1]+om[2]*p.n[2] < 0 {
+				up[p.e] = append(up[p.e], p.nb)
+			} else {
+				up[p.nb] = append(up[p.nb], p.e)
+			}
+		}
+		if _, err := sweep.Build(sweep.Input{NumElems: nE, Upwind: up}); err != nil {
+			return fmt.Errorf("comm: the pipelined protocol needs globally acyclic sweeps, but angle %d (omega %v) has a cross-rank cycle: %w (use the lagged protocol, with AllowCycles if needed)", a, om, err)
+		}
+	}
+	return nil
+}
+
+// publishFace is the engine's publish hook: gather the finished face flux
+// and stream it to the downstream rank. Called from worker goroutines
+// mid-sweep; a full channel applies backpressure (the downstream rank is
+// more than a sweep behind), an aborted run drops the message.
+func (d *Driver) publishFace(rank, a, e, f int) {
+	pr := d.pipe.run
+	if pr == nil {
+		return
+	}
+	ref := d.part.Subs[rank].Remote[mesh.FaceKey{Elem: e, Face: f}]
+	msg := pipeMsg{a: a, elem: ref.Elem, face: ref.Face, data: make([]float64, d.nG*d.nF)}
+	s := d.solvers[rank]
+	for g := 0; g < d.nG; g++ {
+		s.PsiFaceValues(a, e, g, f, msg.data[g*d.nF:(g+1)*d.nF])
+	}
+	select {
+	case pr.chans[d.pipe.outIdx[rank][ref.Rank]] <- msg:
+	case <-pr.abort:
+	}
+}
+
+// pipeReport and pipeDecision are the coordinator wire types of
+// convergence-gated runs.
+type pipeReport struct {
+	val float64
+	err error
+}
+
+type pipeDecision struct {
+	cont bool
+	err  error
+}
+
+// pipeRun is the state of one Run invocation.
+type pipeRun struct {
+	d     *Driver
+	n     int
+	chans []chan pipeMsg  // per edge
+	gates []chan struct{} // per edge: receiver go-ahead, one send per sweep
+	abort chan struct{}   // closed on first failure (or Close mid-run)
+	done  chan struct{}   // closed when Run is over; stops receivers/watchers
+
+	abortOnce sync.Once
+	errMu     sync.Mutex
+	firstErr  error
+
+	// Coordinator state (convergence-gated runs only).
+	reports   chan pipeReport
+	decide    []chan pipeDecision
+	converged bool
+}
+
+// fail records the first error and releases every blocked participant.
+func (pr *pipeRun) fail(err error) {
+	pr.errMu.Lock()
+	if pr.firstErr == nil {
+		pr.firstErr = err
+	}
+	pr.errMu.Unlock()
+	pr.abortOnce.Do(func() { close(pr.abort) })
+}
+
+func (pr *pipeRun) err() error {
+	pr.errMu.Lock()
+	defer pr.errMu.Unlock()
+	return pr.firstErr
+}
+
+// receiver drains one in-edge: per sweep, wait for the owning rank to arm
+// (the gate), then consume exactly the edge's quota, writing each message
+// into the solver's inflow slot and resolving the dependent task. FIFO
+// channels plus fixed quotas keep sweeps aligned without sequence
+// numbers even when the upstream rank runs ahead.
+func (pr *pipeRun) receiver(ei int) {
+	d := pr.d
+	ed := d.pipe.edges[ei]
+	s := d.solvers[ed.to]
+	for {
+		select {
+		case <-pr.gates[ei]:
+		case <-pr.done:
+			return
+		case <-pr.abort:
+			return
+		}
+		for i := 0; i < ed.quota; i++ {
+			select {
+			case m := <-pr.chans[ei]:
+				idx := d.pipe.extIdx[ed.to][mesh.FaceKey{Elem: m.elem, Face: m.face}]
+				perm := d.remote[ed.to][idx].Perm
+				buf := s.ExternalInflowBuffer(idx, m.a)
+				for g := 0; g < d.nG; g++ {
+					src := m.data[g*d.nF : (g+1)*d.nF]
+					dst := buf[g*d.nF : (g+1)*d.nF]
+					for k := range dst {
+						dst[k] = src[perm[k]]
+					}
+				}
+				s.ResolveExternal(m.a, m.elem)
+			case <-pr.abort:
+				return
+			}
+		}
+	}
+}
+
+// sweepOnce runs one armed sweep of rank r: install the phase, signal the
+// rank's receivers, join.
+func (pr *pipeRun) sweepOnce(r int) (float64, error) {
+	s := pr.d.solvers[r]
+	s.PrepareInner()
+	if err := s.ArmSweep(); err != nil {
+		return 0, err
+	}
+	for _, ei := range pr.d.pipe.inOf[r] {
+		select {
+		case pr.gates[ei] <- struct{}{}:
+		case <-pr.abort:
+			// Receivers are gone; the watcher cancels the armed sweep.
+		}
+	}
+	if err := s.FinishSweep(); err != nil {
+		return 0, err
+	}
+	return s.MaxRelChange(), nil
+}
+
+// sync reports rank r's value (inner df, or outer flux diff) and blocks
+// for the coordinator's decision.
+func (pr *pipeRun) sync(r int, val float64, err error) (bool, error) {
+	pr.reports <- pipeReport{val: val, err: err}
+	dec := <-pr.decide[r]
+	return dec.cont, dec.err
+}
+
+// collect gathers one report from every rank. A reported error aborts the
+// run immediately (before the remaining ranks are collected) so that
+// ranks blocked mid-sweep on the failed peer are cancelled and can still
+// deliver their own report.
+func (pr *pipeRun) collect() (float64, error) {
+	var val float64
+	var err error
+	for i := 0; i < pr.n; i++ {
+		m := <-pr.reports
+		if m.err != nil {
+			if err == nil {
+				err = m.err
+			}
+			pr.fail(m.err)
+		}
+		if m.val > val {
+			val = m.val
+		}
+	}
+	return val, err
+}
+
+func (pr *pipeRun) broadcast(dec pipeDecision) {
+	for r := 0; r < pr.n; r++ {
+		pr.decide[r] <- dec
+	}
+}
+
+// coordinate replays core.Run's termination logic over the global flux
+// change — the one scalar exchanged per inner iteration.
+func (pr *pipeRun) coordinate() {
+	maxOuters, maxInners := pr.d.maxIterLimits()
+	epsi := pr.d.cfg.Epsi
+	for outer := 0; outer < maxOuters; outer++ {
+		for inner := 0; inner < maxInners; inner++ {
+			df, err := pr.collect()
+			if err != nil {
+				pr.broadcast(pipeDecision{err: err})
+				return
+			}
+			stop := df < epsi || inner+1 == maxInners
+			pr.broadcast(pipeDecision{cont: !stop})
+			if stop {
+				break
+			}
+		}
+		odf, err := pr.collect()
+		if err != nil {
+			pr.broadcast(pipeDecision{err: err})
+			return
+		}
+		conv := odf <= 10*epsi
+		stop := conv || outer+1 == maxOuters
+		if conv {
+			// Written before the broadcast: the rank loops' decision
+			// receives (and their join) order this store before the
+			// driver reads it.
+			pr.converged = true
+		}
+		pr.broadcast(pipeDecision{cont: !stop})
+		if stop {
+			return
+		}
+	}
+}
+
+// rankResult is one rank loop's record: the per-inner flux changes, the
+// outer count, the wall time spent inside the rank's sweeps (armed to
+// joined — which includes waiting on upstream data, the honest per-rank
+// sweep cost of a pipelined run), and the terminating error.
+type rankResult struct {
+	hist   []float64
+	outers int
+	sweep  time.Duration
+	err    error
+}
+
+// rankLoop is one rank's iteration driver. In forced mode it executes the
+// fixed schedule with no cross-rank agreement — the rank is free to run
+// into the next inner (or outer) the moment its own sweep completes, and
+// the dependency structure alone paces the pipeline. In convergence-gated
+// mode every decision comes from the coordinator, so all ranks take
+// exactly the iteration path the single-domain solver would.
+func (pr *pipeRun) rankLoop(r int) (res rankResult) {
+	d := pr.d
+	s := d.solvers[r]
+	maxOuters, maxInners := d.maxIterLimits()
+	sweep := func() (float64, error) {
+		t0 := time.Now()
+		df, err := pr.sweepOnce(r)
+		res.sweep += time.Since(t0)
+		return df, err
+	}
+
+	if d.cfg.ForceIterations {
+		for outer := 0; outer < maxOuters; outer++ {
+			s.ComputeOuterSource()
+			res.outers++
+			for inner := 0; inner < maxInners; inner++ {
+				df, serr := sweep()
+				if serr != nil {
+					pr.fail(serr)
+					res.err = serr
+					return res
+				}
+				res.hist = append(res.hist, df)
+			}
+			select {
+			case <-pr.abort:
+				res.err = pr.err()
+				return res
+			default:
+			}
+		}
+		return res
+	}
+
+	var prev []float64
+	for {
+		prev = s.PhiSnapshot(prev)
+		s.ComputeOuterSource()
+		res.outers++
+		for {
+			df, serr := sweep()
+			cont, derr := pr.sync(r, df, serr)
+			if derr != nil {
+				res.err = derr
+				return res
+			}
+			res.hist = append(res.hist, df)
+			if !cont {
+				break
+			}
+		}
+		cont, derr := pr.sync(r, s.MaxRelDiff(prev), nil)
+		if derr != nil {
+			res.err = derr
+			return res
+		}
+		if !cont {
+			return res
+		}
+	}
+}
+
+// runPipelined executes one pipelined iteration.
+func (d *Driver) runPipelined() (*Result, error) {
+	pr := &pipeRun{
+		d: d, n: len(d.solvers),
+		abort: make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	// The whole setup — abort registration, channel allocation, engine
+	// construction — runs under the driver mutex: a Close arriving while
+	// the run is starting up blocks until the registration exists and
+	// then aborts it, instead of racing the engine builds and stopping
+	// pools the run would immediately rebuild. (A Close that wins the
+	// mutex before Run starts still closes an idle driver, as under the
+	// lagged protocol.)
+	d.mu.Lock()
+	d.runAbort = func() { pr.fail(fmt.Errorf("comm: driver closed mid-run")) }
+	d.runDone = pr.done
+	pr.chans = make([]chan pipeMsg, len(d.pipe.edges))
+	pr.gates = make([]chan struct{}, len(d.pipe.edges))
+	for ei, ed := range d.pipe.edges {
+		// Two sweeps of buffering: the upstream rank can complete a full
+		// sweep ahead before publishes start to block.
+		pr.chans[ei] = make(chan pipeMsg, 2*ed.quota)
+		pr.gates[ei] = make(chan struct{}, 1)
+	}
+	for _, s := range d.solvers {
+		s.ResetSweepCancel()
+		// Build the engines on this goroutine: the watchers and receivers
+		// spawned below touch them concurrently with the rank loops, so
+		// the lazy first-sweep construction would race.
+		s.InitSweepEngine()
+	}
+	d.pipe.run = pr
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		d.runAbort, d.runDone = nil, nil
+		d.mu.Unlock()
+		d.pipe.run = nil
+	}()
+
+	for _, s := range d.solvers {
+		go func(s *core.Solver) {
+			select {
+			case <-pr.abort:
+				s.CancelSweep()
+			case <-pr.done:
+			}
+		}(s)
+	}
+	for ei := range d.pipe.edges {
+		go pr.receiver(ei)
+	}
+	if !d.cfg.ForceIterations {
+		pr.reports = make(chan pipeReport, pr.n)
+		pr.decide = make([]chan pipeDecision, pr.n)
+		for r := range pr.decide {
+			pr.decide[r] = make(chan pipeDecision, 1)
+		}
+		go pr.coordinate()
+	}
+
+	ranks := make([]rankResult, pr.n)
+	var wg sync.WaitGroup
+	for r := 0; r < pr.n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ranks[r] = pr.rankLoop(r)
+		}(r)
+	}
+	wg.Wait()
+	close(pr.done)
+
+	err := pr.err()
+	for _, rr := range ranks {
+		if err == nil && rr.err != nil {
+			err = rr.err
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Outers:    ranks[0].outers,
+		Converged: pr.converged,
+	}
+	// The ranks' sweeps overlap, so the slowest rank's in-sweep time is
+	// the comparable analogue of the lagged protocol's per-inner wall
+	// accumulation.
+	for _, rr := range ranks {
+		if rr.sweep > res.SweepTime {
+			res.SweepTime = rr.sweep
+		}
+	}
+	// Per-inner global flux change: elementwise max over the rank
+	// histories (all ranks execute the same inner sequence).
+	for _, rr := range ranks {
+		for i, v := range rr.hist {
+			if i == len(res.DFHistory) {
+				res.DFHistory = append(res.DFHistory, v)
+			} else if v > res.DFHistory[i] {
+				res.DFHistory[i] = v
+			}
+		}
+	}
+	res.Inners = len(res.DFHistory)
+	if res.Inners > 0 {
+		res.FinalDF = res.DFHistory[res.Inners-1]
+	}
+	return res, nil
+}

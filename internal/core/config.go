@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"unsnap/internal/fem"
 	"unsnap/internal/mesh"
 	"unsnap/internal/quadrature"
 	"unsnap/internal/xs"
@@ -135,6 +136,13 @@ func (s Scheme) engineBacked() bool {
 	return s == SchemeEngine || s == SchemeAngles
 }
 
+// EngineBacked reports whether the scheme executes on the persistent sweep
+// engine. The pipelined halo protocol requires an engine-backed scheme:
+// only the counter-driven task graph can hold remote upwind faces as
+// latent dependencies (the bucket executors would block a whole wavefront
+// level on them).
+func (s Scheme) EngineBacked() bool { return s.engineBacked() }
+
 // OctantMode selects how the sweep engine orders the eight octant
 // phases of a full sweep.
 type OctantMode int
@@ -240,6 +248,18 @@ type Config struct {
 	// nil means vacuum everywhere.
 	Boundary BoundaryFlux
 
+	// External declares subdomain-boundary faces whose upwind angular flux
+	// is streamed in mid-sweep (the pipelined halo protocol) instead of
+	// read synchronously through Boundary. Each listed face becomes a
+	// latent dependency of the sweep engine's task graph for the ordinates
+	// it is upwind of, resolved by ResolveExternal as the data arrives;
+	// for the ordinates it is downwind of, the engine publishes the
+	// outgoing flux through the SetPublish hook the moment the owning task
+	// completes. Mutually exclusive with Boundary; requires an
+	// engine-backed Scheme and forces the fused cross-octant phase (so
+	// OctantsSequential and AllowCycles are rejected). See external.go.
+	External []ExternalFace
+
 	// Time enables SNAP's time-dependent mode (backward-Euler stepping);
 	// nil solves the steady equation.
 	Time *TimeConfig
@@ -302,6 +322,48 @@ func (c Config) validate() error {
 		}
 	default:
 		return fmt.Errorf("core: scattering order %d not supported (0 or 1)", c.ScatOrder)
+	}
+	if c.External != nil {
+		if err := c.validateExternal(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateExternal rejects configurations the streamed-inflow sweep cannot
+// honour. External dependencies live inside one fused whole-sweep task
+// graph, so everything that pins the legacy octant order is incompatible.
+func (c Config) validateExternal() error {
+	if !c.Scheme.engineBacked() {
+		return fmt.Errorf("core: External faces require an engine-backed scheme, not %v", c.Scheme)
+	}
+	if c.Boundary != nil {
+		return fmt.Errorf("core: External faces and a Boundary callback are mutually exclusive")
+	}
+	if c.AllowCycles {
+		return fmt.Errorf("core: External faces are incompatible with AllowCycles (lagged cycle seeds need the sequential octant order)")
+	}
+	if c.Octants == OctantsSequential {
+		return fmt.Errorf("core: External faces require the fused cross-octant phase; OctantsSequential cannot apply")
+	}
+	if c.Time != nil {
+		return fmt.Errorf("core: External faces do not support time-dependent mode")
+	}
+	seen := make(map[int]bool, len(c.External))
+	nE := c.Mesh.NumElems()
+	for i, ef := range c.External {
+		if ef.Elem < 0 || ef.Elem >= nE || ef.Face < 0 || ef.Face >= fem.NumFaces {
+			return fmt.Errorf("core: External[%d] references invalid face (elem %d, face %d)", i, ef.Elem, ef.Face)
+		}
+		if c.Mesh.Elems[ef.Elem].Faces[ef.Face].Neighbor >= 0 {
+			return fmt.Errorf("core: External[%d] (elem %d, face %d) is an interior face", i, ef.Elem, ef.Face)
+		}
+		key := ef.Elem*fem.NumFaces + ef.Face
+		if seen[key] {
+			return fmt.Errorf("core: External lists (elem %d, face %d) twice", ef.Elem, ef.Face)
+		}
+		seen[key] = true
 	}
 	return nil
 }

@@ -175,8 +175,22 @@ type engine struct {
 
 	// fused selects the cross-octant mode: one phase per sweep over all
 	// nA*nE tasks instead of eight quiesced per-octant phases. Decided
-	// once at build time (see Solver.octantsFusable).
+	// once at build time (see Solver.octantsFusable). External (streamed
+	// halo) solvers always fuse: their arriving resolutions address tasks
+	// of any octant, so the whole sweep must be armed as one phase.
 	fused bool
+
+	// External-coupling schedule (Config.External only): extDeg[t] is the
+	// number of streamed upwind faces folded into task t's initial
+	// counter, totalExt their sum (one sweep's expected ResolveExternal
+	// calls), and pubOff/pubFace the CSR lists of external faces each
+	// task publishes on completion. armed is the job installed by
+	// ArmSweep and not yet joined by FinishSweep (driver goroutine only).
+	extDeg   []int32
+	pubOff   []int32
+	pubFace  []int32
+	totalExt int64
+	armed    *engineJob
 
 	// Immutable whole-sweep schedule: initCounts[a*nE+e] is the initial
 	// remaining-upwind counter of task (a, e); octSeeds[o] lists octant
@@ -204,6 +218,30 @@ type engineJob struct {
 	stalled   atomic.Bool // a worker detected a stalled phase
 	exited    int         // background workers done with this job (under pool.mu)
 	record    func(error)
+
+	// External-sweep state: inbox holds tasks made ready by
+	// ResolveExternal (workers cannot be pushed to another worker's deque,
+	// so injections queue here, under pool.mu), extPending counts the
+	// sweep's still-unresolved external dependencies (the stall detector
+	// must not fire while data is still in flight), and err collects the
+	// job-owned error for FinishSweep (sweeps driven through runSweep
+	// record into the caller's closure instead).
+	inbox      []int64
+	extPending atomic.Int64
+	errMu      sync.Mutex
+	err        error
+}
+
+// recordErr is the record sink of externally-driven jobs.
+func (j *engineJob) recordErr(err error) {
+	if err == nil {
+		return
+	}
+	j.errMu.Lock()
+	if j.err == nil {
+		j.err = err
+	}
+	j.errMu.Unlock()
 }
 
 // newEngine builds the engine for s and starts its Threads-1 background
@@ -227,13 +265,27 @@ func newEngine(s *Solver) *engine {
 	for a := range e.graphs {
 		e.graphs[a] = s.topos[a].graph
 	}
+	if s.ext != nil {
+		e.buildExternalSchedule(s)
+	}
 	for o := 0; o < 8; o++ {
 		var seeds []int32
 		for m := 0; m < per; m++ {
 			a := s.cfg.Quad.AngleIndex(o, m)
 			g := e.graphs[a]
 			copy(e.initCounts[a*s.nE:(a+1)*s.nE], g.Indeg)
+			if e.extDeg != nil {
+				// Streamed upwind faces join the counters; tasks holding any
+				// are not ready until ResolveExternal drains them.
+				slab := e.initCounts[a*s.nE : (a+1)*s.nE]
+				for i, d := range e.extDeg[a*s.nE : (a+1)*s.nE] {
+					slab[i] += d
+				}
+			}
 			for _, r := range g.Roots {
+				if e.extDeg != nil && e.extDeg[a*s.nE+int(r)] > 0 {
+					continue
+				}
 				seeds = append(seeds, int32(a*s.nE)+r)
 			}
 		}
@@ -242,7 +294,11 @@ func newEngine(s *Solver) *engine {
 			e.allSeeds = append(e.allSeeds, seeds...)
 		}
 	}
-	if e.nw > 1 {
+	if e.nw > 1 || s.ext != nil {
+		// External solvers need the pool's park/wake machinery even with a
+		// single worker: worker 0 must be able to sleep awaiting streamed
+		// resolutions instead of spinning (with nw == 1 no background
+		// goroutines are started, only the condition variable is used).
 		e.pool = &enginePool{running: e.nw - 1}
 		e.pool.cond = sync.NewCond(&e.pool.mu)
 		for w := 1; w < e.nw; w++ {
@@ -360,12 +416,13 @@ func (e *engine) runPhase(lo, hi int, seeds []int32, record func(error)) (stalle
 }
 
 // run is the per-worker phase loop: drain own deque, then the seed list,
-// then steal; park when nothing is ready and not done.
+// then steal, then the external inbox; park when nothing is ready and not
+// done.
 func (j *engineJob) run(w int) {
 	e := j.eng
 	own := e.deques[w]
 	for {
-		if j.remaining.Load() == 0 {
+		if j.remaining.Load() <= 0 {
 			return
 		}
 		t, ok := own.pop()
@@ -376,7 +433,7 @@ func (j *engineJob) run(w int) {
 			t, ok = j.stealFrom(w)
 		}
 		if !ok {
-			if e.nw == 1 {
+			if e.pool == nil {
 				// Inline mode cannot park: an empty scan with work
 				// remaining would be a scheduler bug, not contention.
 				if j.remaining.Load() > 0 && !j.hasWork() {
@@ -388,14 +445,22 @@ func (j *engineJob) run(w int) {
 			}
 			p := e.pool
 			p.mu.Lock()
+			if t, ok = j.takeInbox(); ok {
+				p.mu.Unlock()
+				j.exec(w, t)
+				continue
+			}
 			p.idle.Add(1)
 			for !j.hasWork() && j.remaining.Load() > 0 {
 				// Every worker (including the sweeping worker 0) is
-				// parked here with tasks remaining and nothing visible:
-				// no one holds a task, so nothing can ever be pushed —
-				// the phase is stalled. Fail the sweep instead of
-				// deadlocking; zeroing remaining releases the peers.
-				if int(p.idle.Load()) == e.nw {
+				// parked here with tasks remaining and nothing visible.
+				// If no external resolutions are in flight either, no one
+				// holds a task, so nothing can ever be pushed — the phase
+				// is stalled. Fail the sweep instead of deadlocking;
+				// zeroing remaining releases the peers. With external
+				// dependencies pending the workers simply sleep until the
+				// comm layer injects the next resolved task.
+				if int(p.idle.Load()) == e.nw && j.extPending.Load() == 0 {
 					j.stalled.Store(true)
 					j.record(errEngineStalled)
 					j.remaining.Store(0)
@@ -410,6 +475,17 @@ func (j *engineJob) run(w int) {
 		}
 		j.exec(w, t)
 	}
+}
+
+// takeInbox pops one externally-resolved task; caller holds pool.mu.
+func (j *engineJob) takeInbox() (int64, bool) {
+	n := len(j.inbox)
+	if n == 0 {
+		return 0, false
+	}
+	t := j.inbox[n-1]
+	j.inbox = j.inbox[:n-1]
+	return t, true
 }
 
 func (j *engineJob) takeSeed() (int64, bool) {
@@ -433,11 +509,16 @@ func (j *engineJob) stealFrom(w int) (int64, bool) {
 	return 0, false
 }
 
-// hasWork reports whether any task is visible in the seed list or any
-// deque. Parked workers re-check it under the pool mutex, which pairs
-// with pushers taking the mutex to broadcast, so no wakeup is lost.
+// hasWork reports whether any task is visible in the seed list, the
+// external inbox or any deque. Parked workers re-check it under the pool
+// mutex, which pairs with pushers taking the mutex to broadcast, so no
+// wakeup is lost (the inbox is only ever read and written under that same
+// mutex).
 func (j *engineJob) hasWork() bool {
 	if j.cursor.Load() < int64(len(j.seeds)) {
+		return true
+	}
+	if len(j.inbox) > 0 {
 		return true
 	}
 	for _, d := range j.eng.deques {
@@ -459,6 +540,16 @@ func (j *engineJob) exec(w int, t int64) {
 	el := int(t % nE)
 	if err := s.solveElem(s.workers[w], a, el); err != nil {
 		j.record(err)
+	}
+	if e.pubOff != nil && s.ext.publish != nil {
+		// Stream the finished boundary outflow to downstream ranks before
+		// releasing local downwind work: the cross-rank edge is the
+		// pipeline's critical path. The task's psi is final (written by
+		// this worker just above), and publishes happen even after a solve
+		// error so peer message accounting stays intact.
+		for _, fi := range e.pubFace[e.pubOff[t]:e.pubOff[t+1]] {
+			s.ext.publish(a, el, s.ext.faces[fi].Face)
+		}
 	}
 	base := int64(a) * nE
 	own := e.deques[w]
@@ -580,11 +671,13 @@ func (s *Solver) buildFusedFaces() {
 	block := nf * nf
 	per := s.cfg.Quad.PerOctant
 	full, slab := fusedCachePlan(s.nA, per, s.nE, block)
-	if s.cfg.Octants == OctantsFused && s.octantOverlapSafe() {
+	if (s.cfg.Octants == OctantsFused || s.ext != nil) && s.octantOverlapSafe() {
 		// The caller chose octant overlap over the slab cache: a slab can
 		// only track sequential phases, so it is full cache or nothing.
 		// When overlap is ineligible anyway (boundary callback, lagging)
 		// the run stays sequential and the slab remains the right call.
+		// External (streamed halo) solvers must overlap — resolutions
+		// address tasks of any octant — so they make the same choice.
 		slab = false
 	}
 	switch {

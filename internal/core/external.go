@@ -1,0 +1,291 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"unsnap/internal/fem"
+)
+
+// This file implements the solver side of the pipelined halo protocol:
+// subdomain-boundary faces declared in Config.External become latent
+// dependencies of the sweep engine's task graph instead of synchronous
+// Boundary-callback reads. The comm driver streams upwind angular flux
+// into per-face buffers (ExternalInflowBuffer) and resolves the matching
+// task counters (ResolveExternal) as peer ranks publish it mid-sweep; the
+// engine in turn publishes this rank's boundary outflow through the
+// SetPublish hook the moment the owning task completes. The sweep itself
+// is driven in two halves — ArmSweep installs the phase so resolutions can
+// land while the caller wires up its receivers, FinishSweep joins it — so
+// a whole partitioned mesh runs as one cross-rank task graph with no
+// bulk-synchronous exchange step.
+
+// ExternalFace declares one subdomain-boundary face fed by streamed halo
+// data. Normal and Canonical carry the pair's shared classification (see
+// mesh.RemoteFace): both sides evaluate ExternalInflow on the same
+// canonical normal, so for every ordinate exactly one side treats the face
+// as upwind (a task-graph dependency) and the other as downwind (a
+// publish), mirroring the single-domain rule that classifies every
+// interior face from its lower-element side.
+type ExternalFace struct {
+	Elem, Face int
+	Normal     [3]float64
+	Canonical  bool
+}
+
+// ExternalInflow is the shared upwind classification of an external face:
+// it reports whether the side described by canonical is downwind of the
+// face (receives inflow) for ordinate direction om. The comm layer uses
+// the same function to size its per-edge message quotas, so driver and
+// engine can never disagree about which transfers exist.
+func ExternalInflow(om, normal [3]float64, canonical bool) bool {
+	dot := om[0]*normal[0] + om[1]*normal[1] + om[2]*normal[2]
+	if canonical {
+		return dot < 0
+	}
+	return dot >= 0
+}
+
+// errSweepCancelled reports a sweep torn down by CancelSweep before all
+// tasks completed (the comm driver aborting a partitioned run).
+var errSweepCancelled = errors.New("core: sweep cancelled")
+
+// IsSweepCancelled reports whether err is the CancelSweep abort error.
+func IsSweepCancelled(err error) bool { return errors.Is(err, errSweepCancelled) }
+
+// extState is the solver-side storage of the streamed halo coupling.
+type extState struct {
+	faces   []ExternalFace
+	faceIdx []int32 // elem*NumFaces+face -> index into faces, or -1
+	// data holds the streamed inflow, laid out
+	// [face][(angle*nG+group)*NF + faceNode] like the lagged halo buffers.
+	// Each (face, angle) slot has exactly one writer per sweep (the comm
+	// receiver) and is read only by the task that depends on it, after its
+	// counter resolves.
+	data    []float64
+	publish func(angle, elem, face int)
+}
+
+// buildExternal indexes Config.External; called from New before the sweep
+// topologies are classified (classification consults faceIdx).
+func (s *Solver) buildExternal() {
+	if s.cfg.External == nil {
+		return
+	}
+	ext := &extState{
+		faces:   s.cfg.External,
+		faceIdx: make([]int32, s.nE*fem.NumFaces),
+	}
+	for i := range ext.faceIdx {
+		ext.faceIdx[i] = -1
+	}
+	for i, ef := range ext.faces {
+		ext.faceIdx[ef.Elem*fem.NumFaces+ef.Face] = int32(i)
+	}
+	ext.data = make([]float64, len(ext.faces)*s.nA*s.nG*s.re.NF)
+	s.ext = ext
+}
+
+// SetPublish installs the boundary-outflow hook: fn is called from worker
+// goroutines, mid-sweep, once per (ordinate, external face) the moment the
+// task owning the face completes — the face's nodal angular flux is final
+// and may be read via PsiFaceValues. A nil hook drops the publishes
+// (useful in tests); partitioned runs must install one before the first
+// sweep, and must not change it while a sweep is armed.
+func (s *Solver) SetPublish(fn func(angle, elem, face int)) {
+	if s.ext != nil {
+		s.ext.publish = fn
+	}
+}
+
+// ExternalInflowBuffer returns the inflow slot of (external face index,
+// angle): nG*NF values ordered group-major, face nodes like
+// fem.RefElement.FaceNodes[face]. The caller fills it with the upwind
+// nodal flux (already permuted into this side's face-node order) before
+// resolving the dependency.
+func (s *Solver) ExternalInflowBuffer(face, angle int) []float64 {
+	nf := s.re.NF
+	off := (face*s.nA + angle) * s.nG * nf
+	return s.ext.data[off : off+s.nG*nf]
+}
+
+// ResolveExternal marks one external upwind face of task (angle, elem)
+// resolved: its streamed inflow is in place and will not change for the
+// rest of the sweep. When the last dependency of the task (external or
+// in-rank upwind) resolves, the task is injected into the running engine
+// and a parked worker is woken. Must only be called between ArmSweep and
+// the completion of FinishSweep, after the matching ExternalInflowBuffer
+// was filled; it is safe to call from any goroutine.
+func (s *Solver) ResolveExternal(angle, elem int) {
+	eng := s.engine
+	t := int64(angle)*int64(s.nE) + int64(elem)
+	ready := atomic.AddInt32(&eng.counts[t], -1) == 0
+	p := eng.pool
+	p.mu.Lock()
+	if j := p.job; j != nil {
+		if ready {
+			j.inbox = append(j.inbox, t)
+		}
+		j.extPending.Add(-1)
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// ArmSweep installs one whole-sweep engine phase over the fused
+// cross-octant task graph and returns immediately: background workers
+// start on the internally-ready tasks at once, and ResolveExternal calls
+// may land from other goroutines from this point on. The caller signals
+// its receivers after ArmSweep returns and then joins the sweep with
+// FinishSweep. Only valid with Config.External.
+func (s *Solver) ArmSweep() error {
+	if s.ext == nil {
+		return fmt.Errorf("core: ArmSweep requires Config.External (use SweepAllAngles)")
+	}
+	if s.cancelled.Load() {
+		return errSweepCancelled
+	}
+	eng := s.ensureEngine()
+	if eng.armed != nil {
+		return fmt.Errorf("core: ArmSweep called with a sweep already armed")
+	}
+	copy(eng.counts, eng.initCounts)
+	for _, d := range eng.deques {
+		d.reset()
+	}
+	job := &engineJob{eng: eng, seeds: eng.allSeeds}
+	job.record = job.recordErr
+	job.remaining.Store(int64(len(eng.counts)))
+	job.extPending.Store(eng.totalExt)
+	p := eng.pool
+	p.mu.Lock()
+	p.job = job
+	p.seq++
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	eng.armed = job
+	if s.cancelled.Load() {
+		// CancelSweep raced with the install and may have missed the job;
+		// cancel it ourselves so FinishSweep cannot wait on peers that are
+		// already gone.
+		eng.cancelJob()
+	}
+	return nil
+}
+
+// FinishSweep joins the sweep armed by ArmSweep: the calling goroutine
+// works as worker 0 until every task has completed (or the sweep is
+// cancelled), quiesces the pool and reduces the scalar flux from psi. It
+// returns the first per-element solve error, errSweepCancelled after
+// CancelSweep, or the stall error if the cross-rank dependencies can never
+// resolve.
+func (s *Solver) FinishSweep() error {
+	eng := s.engine
+	if eng == nil || eng.armed == nil {
+		return fmt.Errorf("core: FinishSweep without a matching ArmSweep")
+	}
+	job := eng.armed
+	eng.armed = nil
+	job.run(0)
+	p := eng.pool
+	p.mu.Lock()
+	for job.exited < eng.nw-1 {
+		p.cond.Wait()
+	}
+	p.job = nil
+	p.mu.Unlock()
+	s.reduceFluxFromPsi()
+	for _, st := range s.workers {
+		s.asmNS += st.asmNS
+		s.solveNS += st.solveNS
+		st.asmNS, st.solveNS = 0, 0
+	}
+	job.errMu.Lock()
+	err := job.err
+	job.errMu.Unlock()
+	return err
+}
+
+// CancelSweep aborts the armed sweep (if any) and makes every future
+// ArmSweep fail with errSweepCancelled until ResetSweepCancel: workers
+// abandon the remaining tasks, parked workers wake, and FinishSweep
+// returns promptly. The comm driver uses it to unwind all ranks of a
+// partitioned run once one rank fails — without it, peers would wait
+// forever on publishes that will never arrive. Safe to call from any
+// goroutine, any number of times, in any sweep state.
+func (s *Solver) CancelSweep() {
+	s.cancelled.Store(true)
+	if eng := s.engine; eng != nil && eng.pool != nil {
+		eng.cancelJob()
+	}
+}
+
+// ResetSweepCancel re-arms a solver after CancelSweep (the start of a
+// fresh partitioned run).
+func (s *Solver) ResetSweepCancel() { s.cancelled.Store(false) }
+
+// InitSweepEngine eagerly builds the engine (normally built lazily on the
+// first sweep). The pipelined driver calls it before spawning a run's
+// goroutines so that CancelSweep and ResolveExternal — which run on
+// watcher and receiver goroutines — never observe the engine mid-
+// construction. A no-op for non-engine schemes or an already-built engine.
+func (s *Solver) InitSweepEngine() {
+	if s.cfg.Scheme.engineBacked() {
+		s.ensureEngine()
+	}
+}
+
+// cancelJob fails the currently-installed job, releasing all workers.
+func (e *engine) cancelJob() {
+	p := e.pool
+	p.mu.Lock()
+	if j := p.job; j != nil {
+		j.record(errSweepCancelled)
+		j.remaining.Store(0)
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// buildExternalSchedule derives the engine-side coupling tables from the
+// per-ordinate classifications: extDeg[t] counts the external upwind faces
+// of task t (folded into the initial remaining-upwind counters, so
+// externally-blocked tasks are simply not ready until ResolveExternal
+// says so), and pubOff/pubFace list, per task, the external faces to
+// publish on completion.
+func (e *engine) buildExternalSchedule(s *Solver) {
+	nT := s.nA * s.nE
+	e.extDeg = make([]int32, nT)
+	pubCount := make([]int32, nT)
+	for a := 0; a < s.nA; a++ {
+		t := s.topos[a]
+		base := a * s.nE
+		for _, ef := range s.ext.faces {
+			if t.isInflow(ef.Elem, ef.Face) {
+				e.extDeg[base+ef.Elem]++
+				e.totalExt++
+			} else {
+				pubCount[base+ef.Elem]++
+			}
+		}
+	}
+	e.pubOff = make([]int32, nT+1)
+	for i := 0; i < nT; i++ {
+		e.pubOff[i+1] = e.pubOff[i] + pubCount[i]
+	}
+	e.pubFace = make([]int32, e.pubOff[nT])
+	fill := make([]int32, nT)
+	copy(fill, e.pubOff[:nT])
+	for a := 0; a < s.nA; a++ {
+		t := s.topos[a]
+		base := a * s.nE
+		for i, ef := range s.ext.faces {
+			if !t.isInflow(ef.Elem, ef.Face) {
+				tid := base + ef.Elem
+				e.pubFace[fill[tid]] = int32(i)
+				fill[tid]++
+			}
+		}
+	}
+}

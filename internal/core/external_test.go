@@ -1,0 +1,274 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"unsnap/internal/fem"
+	"unsnap/internal/mesh"
+	"unsnap/internal/quadrature"
+	"unsnap/internal/xs"
+)
+
+func externalParts(t *testing.T, n int, twist float64) (*mesh.Mesh, *quadrature.Set, *xs.Library) {
+	t.Helper()
+	m, err := mesh.New(mesh.Config{NX: n, NY: n, NZ: n, LX: 1, LY: 1, LZ: 1,
+		Twist: twist, MatOpt: xs.MatOptCentre, SrcOpt: xs.SrcOptEverywhere})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := quadrature.NewSNAP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := xs.NewLibrary(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, q, lib
+}
+
+// boundaryExternals declares every +y boundary face of the mesh external,
+// classified canonically from our own side (so the classification matches
+// the plain vacuum solver's).
+func boundaryExternals(m *mesh.Mesh, re *fem.RefElement) []ExternalFace {
+	var out []ExternalFace
+	for e := range m.Elems {
+		if m.Elems[e].Faces[fem.FaceYHi].Neighbor < 0 {
+			out = append(out, ExternalFace{
+				Elem: e, Face: fem.FaceYHi,
+				Normal:    re.FaceUnitNormal(m.Elems[e].Geometry(), fem.FaceYHi),
+				Canonical: true,
+			})
+		}
+	}
+	return out
+}
+
+// TestExternalVacuumEquivalence drives an external-coupled solver by hand:
+// resolving every streamed dependency with (untouched, zero) inflow must
+// reproduce the plain vacuum sweep exactly, and the publish hook must fire
+// once per (ordinate, downwind external face).
+func TestExternalVacuumEquivalence(t *testing.T) {
+	for _, threads := range []int{1, 3} {
+		m, q, lib := externalParts(t, 3, 0.002)
+		re, err := fem.NewRefElement(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ext := boundaryExternals(m, re)
+		if len(ext) == 0 {
+			t.Fatal("no boundary faces found")
+		}
+		s, err := New(Config{Mesh: m, Order: 1, Quad: q, Lib: lib,
+			Scheme: SchemeEngine, Threads: threads, External: ext,
+			MaxInners: 1, MaxOuters: 1, ForceIterations: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+
+		var published atomic.Int64
+		s.SetPublish(func(a, e, f int) { published.Add(1) })
+
+		// Expected dependency/publish split from the shared classification.
+		wantDeps, wantPubs := 0, 0
+		type dep struct{ a, e int }
+		var deps []dep
+		for a := 0; a < q.NumAngles(); a++ {
+			om := q.Angles[a].Omega
+			for _, ef := range ext {
+				if ExternalInflow(om, ef.Normal, ef.Canonical) {
+					wantDeps++
+					deps = append(deps, dep{a, ef.Elem})
+				} else {
+					wantPubs++
+				}
+			}
+		}
+		if wantDeps == 0 || wantPubs == 0 {
+			t.Fatal("expected both dependencies and publishes")
+		}
+
+		s.ComputeOuterSource()
+		s.PrepareInner()
+		if err := s.ArmSweep(); err != nil {
+			t.Fatal(err)
+		}
+		// Resolve from a separate goroutine, as the comm receiver would.
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, d := range deps {
+				s.ResolveExternal(d.a, d.e)
+			}
+		}()
+		if err := s.FinishSweep(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		if got := published.Load(); got != int64(wantPubs) {
+			t.Fatalf("threads=%d: %d publishes, want %d", threads, got, wantPubs)
+		}
+
+		// Reference: the same problem as a plain vacuum engine sweep.
+		m2, q2, lib2 := externalParts(t, 3, 0.002)
+		ref, err := New(Config{Mesh: m2, Order: 1, Quad: q2, Lib: lib2,
+			Scheme: SchemeEngine, Threads: threads,
+			MaxInners: 1, MaxOuters: 1, ForceIterations: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ref.Close()
+		ref.ComputeOuterSource()
+		ref.PrepareInner()
+		if err := ref.SweepAllAngles(); err != nil {
+			t.Fatal(err)
+		}
+		for g := 0; g < 2; g++ {
+			a, b := s.FluxIntegral(g), ref.FluxIntegral(g)
+			if math.Abs(a-b) > 1e-13*(1+math.Abs(b)) {
+				t.Fatalf("threads=%d group %d: external %v vs vacuum %v", threads, g, a, b)
+			}
+		}
+	}
+}
+
+// TestExternalSweepAPIErrors pins the misuse guards of the streamed-sweep
+// API.
+func TestExternalSweepAPIErrors(t *testing.T) {
+	m, q, lib := externalParts(t, 3, 0)
+	plain, err := New(Config{Mesh: m, Order: 1, Quad: q, Lib: lib, Scheme: SchemeEngine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if err := plain.ArmSweep(); err == nil {
+		t.Fatal("ArmSweep without External should fail")
+	}
+	if err := plain.FinishSweep(); err == nil {
+		t.Fatal("FinishSweep without ArmSweep should fail")
+	}
+
+	re, err := fem.NewRefElement(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, q2, lib2 := externalParts(t, 3, 0)
+	ext := boundaryExternals(m2, re)
+	s, err := New(Config{Mesh: m2, Order: 1, Quad: q2, Lib: lib2,
+		Scheme: SchemeEngine, Threads: 2, External: ext})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.SweepAllAngles(); err == nil {
+		t.Fatal("SweepAllAngles with External should fail")
+	}
+	if _, err := s.Run(); err == nil {
+		t.Fatal("Run with External should fail (SweepAllAngles is guarded)")
+	}
+}
+
+// TestExternalConfigValidation covers the config-level rejections.
+func TestExternalConfigValidation(t *testing.T) {
+	m, q, lib := externalParts(t, 3, 0)
+	re, err := fem.NewRefElement(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := boundaryExternals(m, re)
+	base := Config{Mesh: m, Order: 1, Quad: q, Lib: lib, Scheme: SchemeEngine, External: ext}
+
+	bad := base
+	bad.Scheme = SchemeAEG
+	if _, err := New(bad); err == nil {
+		t.Fatal("External + bucket scheme should be rejected")
+	}
+	bad = base
+	bad.AllowCycles = true
+	if _, err := New(bad); err == nil {
+		t.Fatal("External + AllowCycles should be rejected")
+	}
+	bad = base
+	bad.Octants = OctantsSequential
+	if _, err := New(bad); err == nil {
+		t.Fatal("External + OctantsSequential should be rejected")
+	}
+	bad = base
+	bad.Boundary = func(a, e, f, g int, buf []float64) []float64 { return nil }
+	if _, err := New(bad); err == nil {
+		t.Fatal("External + Boundary should be rejected")
+	}
+	bad = base
+	bad.External = []ExternalFace{{Elem: 0, Face: 99}}
+	if _, err := New(bad); err == nil {
+		t.Fatal("out-of-range face should be rejected")
+	}
+	bad = base
+	bad.External = []ExternalFace{{Elem: 13, Face: fem.FaceYLo}} // centre elem: interior face
+	if _, err := New(bad); err == nil {
+		t.Fatal("interior face should be rejected")
+	}
+	bad = base
+	bad.External = append(append([]ExternalFace(nil), ext...), ext[0])
+	if _, err := New(bad); err == nil {
+		t.Fatal("duplicate face should be rejected")
+	}
+}
+
+// TestCancelSweep aborts an armed sweep whose dependencies are never
+// resolved: FinishSweep must return promptly with the cancel error, the
+// cancel must stick until reset, and a reset solver must sweep normally.
+func TestCancelSweep(t *testing.T) {
+	for _, threads := range []int{1, 3} {
+		m, q, lib := externalParts(t, 3, 0)
+		re, err := fem.NewRefElement(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ext := boundaryExternals(m, re)
+		s, err := New(Config{Mesh: m, Order: 1, Quad: q, Lib: lib,
+			Scheme: SchemeEngine, Threads: threads, External: ext,
+			MaxInners: 1, MaxOuters: 1, ForceIterations: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		s.ComputeOuterSource()
+		s.PrepareInner()
+		if err := s.ArmSweep(); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- s.FinishSweep() }()
+		s.CancelSweep()
+		if err := <-done; !IsSweepCancelled(err) {
+			t.Fatalf("threads=%d: FinishSweep after cancel: %v", threads, err)
+		}
+		if err := s.ArmSweep(); !IsSweepCancelled(err) {
+			t.Fatalf("threads=%d: cancel should be sticky, got %v", threads, err)
+		}
+		s.ResetSweepCancel()
+		if err := s.ArmSweep(); err != nil {
+			t.Fatalf("threads=%d: ArmSweep after reset: %v", threads, err)
+		}
+		// Resolve everything so the sweep can finish cleanly.
+		go func() {
+			for a := 0; a < q.NumAngles(); a++ {
+				om := q.Angles[a].Omega
+				for _, ef := range ext {
+					if ExternalInflow(om, ef.Normal, ef.Canonical) {
+						s.ResolveExternal(a, ef.Elem)
+					}
+				}
+			}
+		}()
+		if err := s.FinishSweep(); err != nil {
+			t.Fatalf("threads=%d: FinishSweep after reset: %v", threads, err)
+		}
+	}
+}

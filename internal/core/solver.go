@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"unsnap/internal/fem"
@@ -76,6 +77,11 @@ type Solver struct {
 	fusedSlab bool
 	fusedOct  int
 
+	// Streamed halo coupling (Config.External) and the sticky cancel flag
+	// of the externally-driven sweep API; see external.go.
+	ext       *extState
+	cancelled atomic.Bool
+
 	// pre-assembled factored matrices (PreAssembled mode):
 	// preA[(a*nE+e)*nG+g] and prePiv likewise.
 	preA   []la.Matrix
@@ -138,6 +144,10 @@ func New(cfg Config) (*Solver, error) {
 	if emErr != nil {
 		return nil, emErr
 	}
+
+	// The external-face index must exist before classification: topologies
+	// classify streamed faces by their canonical pair normal.
+	s.buildExternal()
 
 	if err := s.buildTopologies(); err != nil {
 		return nil, err
@@ -208,6 +218,19 @@ func (s *Solver) buildTopologies() error {
 				nrm := s.em[e].Normal[f]
 				on := om[0]*nrm[0] + om[1]*nrm[1] + om[2]*nrm[2]
 				if fc.Neighbor < 0 {
+					if s.ext != nil {
+						if fi := s.ext.faceIdx[e*fem.NumFaces+f]; fi >= 0 {
+							// Streamed cross-rank face: classify by the pair's
+							// canonical normal so both sides agree exactly (and
+							// match the single-domain lower-element-side rule)
+							// even when the direction is nearly tangent.
+							ef := &s.ext.faces[fi]
+							if ExternalInflow(om, ef.Normal, ef.Canonical) {
+								t.setInflow(e, f)
+							}
+							continue
+						}
+					}
 					if on < 0 {
 						t.setInflow(e, f)
 					}

@@ -163,6 +163,13 @@ func (s *Solver) assembleRHS(st *workerState, a, e, g int) {
 			for l := 0; l < nf; l++ {
 				up[l] = s.psi[base+nbNodes[perm[l]]]
 			}
+		} else if s.ext != nil {
+			if fi := s.ext.faceIdx[e*fem.NumFaces+f]; fi >= 0 {
+				// Streamed halo inflow: the slot was filled and published
+				// by ResolveExternal before this task became ready.
+				off := ((int(fi)*s.nA+a)*s.nG + g) * nf
+				up = s.ext.data[off : off+nf]
+			}
 		} else if s.cfg.Boundary != nil {
 			up = s.cfg.Boundary(a, e, f, g, st.up)
 		}
@@ -320,6 +327,12 @@ func (s *Solver) solveElem(st *workerState, a, e int) error {
 // choice. The scalar flux accumulates the weighted angular fluxes;
 // callers zero it first via PrepareInner.
 func (s *Solver) SweepAllAngles() error {
+	if s.ext != nil {
+		// A self-driven sweep would wait forever on streamed dependencies
+		// nobody resolves; external solvers are driven by ArmSweep +
+		// FinishSweep with a comm layer feeding the resolutions.
+		return fmt.Errorf("core: solver has External faces; drive sweeps with ArmSweep/FinishSweep")
+	}
 	var errMu sync.Mutex
 	var firstErr error
 	record := func(err error) {

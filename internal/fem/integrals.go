@@ -250,6 +250,26 @@ func (re *RefElement) generalMatrices(geo *Geometry) (*ElementMatrices, error) {
 	return em, nil
 }
 
+// FaceUnitNormal returns the unit outward normal at the centre of face f,
+// exactly as ComputeMatrices records it in ElementMatrices.Normal: the
+// exact axis direction for an axis-aligned box, the face-centre normal of
+// the trilinear geometry otherwise. Callers that classify sweep directions
+// without building the full element matrices (the cross-rank coupling
+// metadata of mesh.Partition) use it so their classification agrees
+// bitwise with the solver's.
+func (re *RefElement) FaceUnitNormal(geo *Geometry, f int) [3]float64 {
+	if _, _, ok := geo.IsAxisAlignedBox(); ok {
+		var n [3]float64
+		sign := -1.0
+		if FaceSide(f) == 1 {
+			sign = 1.0
+		}
+		n[FaceDim(f)] = sign
+		return n
+	}
+	return re.faceCentreNormal(geo, f)
+}
+
 // faceCentreNormal returns the unit outward normal at the centre of face f.
 func (re *RefElement) faceCentreNormal(geo *Geometry, f int) [3]float64 {
 	t1, t2 := FaceTangents(f)

@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"unsnap"
+)
+
+// CommConfig drives the lagged-vs-pipelined protocol comparison: the same
+// partitioned problem under the BSP block Jacobi baseline and the
+// sweep-aware pipelined halo protocol, across rank grids and per-rank
+// thread counts.
+type CommConfig struct {
+	Problem unsnap.Problem
+	Grids   [][2]int // (PY, PZ) rank grids
+	Threads []int    // per-rank worker counts
+	Inners  int      // forced inners per timing run
+	Epsi    float64  // tolerance of the convergence comparison
+}
+
+// DefaultComm compares on the engine benchmark's workload: the pipelined
+// protocol has the most to offer exactly where the lagged one loses — the
+// per-inner BSP barrier and the sequential octant phases its halo
+// callbacks force.
+func DefaultComm() CommConfig {
+	p := unsnap.DefaultProblem()
+	p.NX, p.NY, p.NZ = 6, 6, 6
+	p.AnglesPerOctant = 4
+	p.Groups = 8
+	return CommConfig{
+		Problem: p,
+		Grids:   [][2]int{{1, 2}, {2, 2}},
+		Threads: []int{1, 2, 4},
+		Inners:  10,
+		Epsi:    1e-6,
+	}
+}
+
+// CommRow is one measured (rank grid, threads) timing point: wall
+// nanoseconds per sweep of the whole partitioned run, per protocol, under
+// forced iterations (the pipelined free-running path with zero per-inner
+// coordination).
+type CommRow struct {
+	Grid          string  `json:"grid"`
+	Threads       int     `json:"threads_per_rank"`
+	LaggedNsOp    float64 `json:"lagged_ns_op"`
+	PipelinedNsOp float64 `json:"pipelined_ns_op"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// CommConvRow records the iteration cost of the lagged coupling at one
+// rank grid: inners to convergence for the single-domain solver, the
+// lagged protocol, and the pipelined protocol (which must match the
+// single domain exactly).
+type CommConvRow struct {
+	Grid            string `json:"grid"`
+	SingleInners    int    `json:"single_inners"`
+	LaggedInners    int    `json:"lagged_inners"`
+	PipelinedInners int    `json:"pipelined_inners"`
+}
+
+// CommSection is the serialised protocol comparison of BENCH_sweep.json.
+type CommSection struct {
+	Problem     ProblemShape  `json:"problem"`
+	Inners      int           `json:"inners_per_run"`
+	Epsi        float64       `json:"epsi"`
+	Rows        []CommRow     `json:"rows"`
+	Convergence []CommConvRow `json:"convergence"`
+}
+
+// RunComm measures both protocols at every (grid, threads) point and the
+// convergence iteration counts at every grid.
+func RunComm(cfg CommConfig) ([]CommRow, []CommConvRow, error) {
+	runWall := func(grid [2]int, threads int, proto unsnap.CommProtocol, o unsnap.Options) (*unsnap.Result, float64, error) {
+		o.Scheme = unsnap.Engine
+		o.Threads = threads
+		o.Protocol = proto
+		d, err := unsnap.NewDistributed(cfg.Problem, o, grid[0], grid[1])
+		if err != nil {
+			return nil, 0, fmt.Errorf("harness: comm experiment %dx%d %v: %w", grid[0], grid[1], proto, err)
+		}
+		defer d.Close()
+		t0 := time.Now()
+		res, err := d.Run()
+		wall := time.Since(t0)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, wall.Seconds(), nil
+	}
+
+	var rows []CommRow
+	for _, grid := range cfg.Grids {
+		for _, threads := range cfg.Threads {
+			forced := unsnap.Options{MaxInners: cfg.Inners, MaxOuters: 1, ForceIterations: true}
+			var nsop [2]float64
+			for i, proto := range []unsnap.CommProtocol{unsnap.CommLagged, unsnap.CommPipelined} {
+				_, wall, err := runWall(grid, threads, proto, forced)
+				if err != nil {
+					return nil, nil, err
+				}
+				nsop[i] = wall * 1e9 / float64(cfg.Inners)
+			}
+			row := CommRow{
+				Grid:       fmt.Sprintf("%dx%d", grid[0], grid[1]),
+				Threads:    threads,
+				LaggedNsOp: nsop[0], PipelinedNsOp: nsop[1],
+			}
+			if nsop[1] > 0 {
+				row.Speedup = nsop[0] / nsop[1]
+			}
+			rows = append(rows, row)
+		}
+	}
+
+	// Iteration-count comparison: the lagged protocol pays extra inners
+	// for its one-iteration-old halo data; the pipelined protocol must
+	// match the single-domain count exactly.
+	conv := make([]CommConvRow, 0, len(cfg.Grids))
+	convOpts := unsnap.Options{Epsi: cfg.Epsi, MaxInners: 500, MaxOuters: 1, Threads: 2, Scheme: unsnap.Engine}
+	s, err := unsnap.NewSolver(cfg.Problem, convOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	sres, err := s.Run()
+	s.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, grid := range cfg.Grids {
+		row := CommConvRow{Grid: fmt.Sprintf("%dx%d", grid[0], grid[1]), SingleInners: sres.Inners}
+		lres, _, err := runWall(grid, 2, unsnap.CommLagged, convOpts)
+		if err != nil {
+			return nil, nil, err
+		}
+		row.LaggedInners = lres.Inners
+		pres, _, err := runWall(grid, 2, unsnap.CommPipelined, convOpts)
+		if err != nil {
+			return nil, nil, err
+		}
+		row.PipelinedInners = pres.Inners
+		conv = append(conv, row)
+	}
+	return rows, conv, nil
+}
+
+// CommSectionOf packages a comm run for WriteSweepJSON.
+func CommSectionOf(cfg CommConfig, rows []CommRow, conv []CommConvRow) *CommSection {
+	return &CommSection{
+		Problem:     shapeOf(cfg.Problem),
+		Inners:      cfg.Inners,
+		Epsi:        cfg.Epsi,
+		Rows:        rows,
+		Convergence: conv,
+	}
+}
+
+// FprintComm writes the comparison tables.
+func FprintComm(w io.Writer, cfg CommConfig, rows []CommRow, conv []CommConvRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Ranks\tThreads/rank\tlagged (ns/sweep)\tpipelined (ns/sweep)\tspeedup\n")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.0f\t%.2fx\n",
+			r.Grid, r.Threads, r.LaggedNsOp, r.PipelinedNsOp, r.Speedup)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "\nInners to df < %g:\n", cfg.Epsi)
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Ranks\tsingle domain\tlagged\tpipelined\n")
+	for _, r := range conv {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\n", r.Grid, r.SingleInners, r.LaggedInners, r.PipelinedInners)
+	}
+	tw.Flush()
+}

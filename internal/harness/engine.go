@@ -55,20 +55,44 @@ type EngineRow struct {
 	OverlapSpeedup float64 `json:"overlap_speedup"`
 }
 
-// EngineReport is the serialised form of the comparison (BENCH_sweep.json).
-// Commit records the git revision the numbers were measured at, so the
-// perf trajectory stays attributable across PRs.
-type EngineReport struct {
-	Problem struct {
-		NX              int `json:"nx"`
-		Order           int `json:"order"`
-		AnglesPerOctant int `json:"angles_per_octant"`
-		Groups          int `json:"groups"`
-	} `json:"problem"`
-	Commit       string      `json:"commit,omitempty"`
-	LegacyScheme string      `json:"legacy_scheme"`
-	Inners       int         `json:"inners_per_run"`
-	Rows         []EngineRow `json:"rows"`
+// ProblemShape is the serialised problem identification of a bench
+// section.
+type ProblemShape struct {
+	NX              int `json:"nx"`
+	Order           int `json:"order"`
+	AnglesPerOctant int `json:"angles_per_octant"`
+	Groups          int `json:"groups"`
+}
+
+func shapeOf(p unsnap.Problem) ProblemShape {
+	return ProblemShape{NX: p.NX, Order: p.Order, AnglesPerOctant: p.AnglesPerOctant, Groups: p.Groups}
+}
+
+// EngineSection is the serialised engine-vs-legacy comparison.
+type EngineSection struct {
+	Problem      ProblemShape `json:"problem"`
+	LegacyScheme string       `json:"legacy_scheme"`
+	Inners       int          `json:"inners_per_run"`
+	Rows         []EngineRow  `json:"rows"`
+}
+
+// EngineSectionOf packages an engine run for WriteSweepJSON.
+func EngineSectionOf(cfg EngineConfig, rows []EngineRow) *EngineSection {
+	return &EngineSection{
+		Problem:      shapeOf(cfg.Problem),
+		LegacyScheme: cfg.Legacy.String(),
+		Inners:       cfg.Inners,
+		Rows:         rows,
+	}
+}
+
+// SweepReport is BENCH_sweep.json: the sections of whichever sweep
+// experiments ran, stamped with the measured git commit so the perf
+// trajectory stays attributable across PRs.
+type SweepReport struct {
+	Commit string         `json:"commit,omitempty"`
+	Engine *EngineSection `json:"engine,omitempty"`
+	Comm   *CommSection   `json:"comm,omitempty"`
 }
 
 // RunEngine measures all three executors at every thread count: the
@@ -131,19 +155,11 @@ func FprintEngine(w io.Writer, cfg EngineConfig, rows []EngineRow) {
 	tw.Flush()
 }
 
-// WriteEngineJSON records the comparison for the perf trajectory
-// (scripts/bench.sh writes it to BENCH_sweep.json at the repo root,
-// stamping the measured git commit).
-func WriteEngineJSON(path string, cfg EngineConfig, commit string, rows []EngineRow) error {
-	var rep EngineReport
-	rep.Problem.NX = cfg.Problem.NX
-	rep.Problem.Order = cfg.Problem.Order
-	rep.Problem.AnglesPerOctant = cfg.Problem.AnglesPerOctant
-	rep.Problem.Groups = cfg.Problem.Groups
-	rep.Commit = commit
-	rep.LegacyScheme = cfg.Legacy.String()
-	rep.Inners = cfg.Inners
-	rep.Rows = rows
+// WriteSweepJSON records the sweep benchmark sections for the perf
+// trajectory (scripts/bench.sh writes it to BENCH_sweep.json at the repo
+// root, stamping the measured git commit). Nil sections are omitted.
+func WriteSweepJSON(path, commit string, eng *EngineSection, comm *CommSection) error {
+	rep := SweepReport{Commit: commit, Engine: eng, Comm: comm}
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err

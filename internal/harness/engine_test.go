@@ -36,21 +36,58 @@ func TestRunEngineTiny(t *testing.T) {
 	}
 
 	path := filepath.Join(t.TempDir(), "bench.json")
-	if err := WriteEngineJSON(path, cfg, "deadbeef", rows); err != nil {
+	if err := WriteSweepJSON(path, "deadbeef", EngineSectionOf(cfg, rows), nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var rep EngineReport
+	var rep SweepReport
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Rows) != 2 || rep.Rows[0].Threads != 1 || rep.Problem.Groups != cfg.Problem.Groups {
+	if rep.Engine == nil || len(rep.Engine.Rows) != 2 || rep.Engine.Rows[0].Threads != 1 ||
+		rep.Engine.Problem.Groups != cfg.Problem.Groups {
 		t.Fatalf("report round trip wrong: %+v", rep)
 	}
 	if rep.Commit != "deadbeef" {
 		t.Fatalf("commit stamp lost: %+v", rep)
+	}
+	if rep.Comm != nil {
+		t.Fatalf("comm section should be omitted when nil: %+v", rep)
+	}
+}
+
+func TestRunCommTiny(t *testing.T) {
+	cfg := DefaultComm()
+	cfg.Problem = tinyProblem()
+	cfg.Problem.NY, cfg.Problem.NZ = 2, 2
+	cfg.Grids = [][2]int{{1, 2}}
+	cfg.Threads = []int{1}
+	cfg.Inners = 2
+	cfg.Epsi = 1e-4
+	rows, conv, err := RunComm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || len(conv) != 1 {
+		t.Fatalf("got %d rows, %d conv rows", len(rows), len(conv))
+	}
+	if rows[0].LaggedNsOp <= 0 || rows[0].PipelinedNsOp <= 0 || rows[0].Speedup <= 0 {
+		t.Fatalf("row not measured: %+v", rows[0])
+	}
+	// The pipelined protocol's defining property: it never takes more
+	// inners than the single-domain solver; the lagged protocol may.
+	if conv[0].PipelinedInners != conv[0].SingleInners {
+		t.Fatalf("pipelined inners %d != single-domain %d", conv[0].PipelinedInners, conv[0].SingleInners)
+	}
+	if conv[0].LaggedInners < conv[0].SingleInners {
+		t.Fatalf("lagged inners %d below single-domain %d", conv[0].LaggedInners, conv[0].SingleInners)
+	}
+	var buf bytes.Buffer
+	FprintComm(&buf, cfg, rows, conv)
+	if !strings.Contains(buf.String(), "pipelined (ns/sweep)") {
+		t.Fatalf("table output malformed: %s", buf.String())
 	}
 }

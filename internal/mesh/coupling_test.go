@@ -1,0 +1,81 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"unsnap/internal/fem"
+)
+
+// TestRemoteFacesMetadata checks the cross-rank coupling invariants the
+// pipelined protocol builds on: deterministic ordering, exactly one
+// canonical side per face pair, a shared canonical normal, and inverse
+// node permutations.
+func TestRemoteFacesMetadata(t *testing.T) {
+	m, _ := New(testConfig(4, 0.002))
+	p, err := m.PartitionKBA(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := fem.NewRefElement(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := p.RemoteFaces(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	index := make([]map[FaceKey]*RemoteFace, len(p.Subs))
+	for r := range remote {
+		index[r] = make(map[FaceKey]*RemoteFace, len(remote[r]))
+		if len(remote[r]) != len(p.Subs[r].Remote) {
+			t.Fatalf("rank %d: %d metadata faces, want %d", r, len(remote[r]), len(p.Subs[r].Remote))
+		}
+		for i := range remote[r] {
+			rf := &remote[r][i]
+			index[r][rf.Key] = rf
+			if i > 0 {
+				prev := remote[r][i-1].Key
+				if prev.Elem > rf.Key.Elem || (prev.Elem == rf.Key.Elem && prev.Face >= rf.Key.Face) {
+					t.Fatalf("rank %d: metadata not ordered at %d", r, i)
+				}
+			}
+		}
+	}
+
+	for r := range remote {
+		for i := range remote[r] {
+			rf := &remote[r][i]
+			peer := index[rf.Ref.Rank][FaceKey{Elem: rf.Ref.Elem, Face: rf.Ref.Face}]
+			if peer == nil {
+				t.Fatalf("rank %d face %v: no peer metadata", r, rf.Key)
+			}
+			if rf.Canonical == peer.Canonical {
+				t.Fatalf("rank %d face %v: both sides canonical=%v", r, rf.Key, rf.Canonical)
+			}
+			if rf.Normal != peer.Normal {
+				t.Fatalf("rank %d face %v: normals differ: %v vs %v", r, rf.Key, rf.Normal, peer.Normal)
+			}
+			// The canonical flag must follow the global element order.
+			ours := p.Subs[r].Global[rf.Key.Elem]
+			theirs := p.Subs[rf.Ref.Rank].Global[rf.Ref.Elem]
+			if rf.Canonical != (ours < theirs) {
+				t.Fatalf("rank %d face %v: canonical=%v but global ids %d vs %d", r, rf.Key, rf.Canonical, ours, theirs)
+			}
+			// Node permutations are mutual inverses.
+			for k, pk := range rf.Perm {
+				if peer.Perm[pk] != k {
+					t.Fatalf("rank %d face %v: perm not inverse at %d", r, rf.Key, k)
+				}
+			}
+			// The canonical normal is a unit vector along the owning side's
+			// outward direction (its dot with the local outward normal is
+			// +-1 up to the twist).
+			norm := math.Sqrt(rf.Normal[0]*rf.Normal[0] + rf.Normal[1]*rf.Normal[1] + rf.Normal[2]*rf.Normal[2])
+			if math.Abs(norm-1) > 1e-12 {
+				t.Fatalf("rank %d face %v: |normal| = %v", r, rf.Key, norm)
+			}
+		}
+	}
+}

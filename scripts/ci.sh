@@ -1,10 +1,18 @@
 #!/bin/sh
-# ci.sh — the repo's continuous-integration gate: vet, build, and the
-# race-enabled short test suite. Run it before every commit; tier-1
-# acceptance (ROADMAP.md) is `go build ./... && go test ./...`, which
-# this is a superset of modulo -short.
+# ci.sh — the repo's continuous-integration gate: formatting, vet, build
+# (library, tools and examples) and the race-enabled short test suite.
+# Run it before every commit; tier-1 acceptance (ROADMAP.md) is
+# `go build ./... && go test ./...`, which this is a superset of modulo
+# -short.
 set -e
 cd "$(dirname "$0")/.."
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$UNFORMATTED" >&2
+	exit 1
+fi
 go vet ./...
 go build ./...
+go build ./examples/...
 go test -race -short ./...

@@ -23,6 +23,7 @@ package unsnap
 import (
 	"fmt"
 
+	"unsnap/internal/comm"
 	"unsnap/internal/core"
 	"unsnap/internal/mesh"
 	"unsnap/internal/quadrature"
@@ -108,6 +109,29 @@ const (
 	// configurations still fall back to sequential phases.
 	OctantsFused
 )
+
+// CommProtocol selects how NewDistributed couples its ranks; see the
+// internal/comm package comment for the full protocol descriptions.
+type CommProtocol int
+
+const (
+	// CommLagged (the default) is the paper's parallel block Jacobi: BSP
+	// super-steps with halo fluxes lagged by one inner iteration. Every
+	// rank sweeps concurrently from the start, paying for that concurrency
+	// with extra inner iterations as the rank count grows.
+	CommLagged CommProtocol = iota
+	// CommPipelined streams angular flux across ranks mid-sweep: remote
+	// upwind faces are latent dependencies of each rank's task graph,
+	// resolved in wavefront order as upstream ranks publish them. No
+	// lagged data and no per-inner halo barrier — iteration counts and
+	// fluxes match the single-domain solver exactly, and vacuum problems
+	// keep the fused eight-octant phase across ranks. Requires an
+	// engine-backed Scheme and a globally acyclic sweep (no AllowCycles).
+	CommPipelined
+)
+
+// String names the protocol.
+func (p CommProtocol) String() string { return comm.Protocol(p).String() }
 
 // SolverKind selects the local dense solver (paper Table II).
 type SolverKind int
@@ -202,6 +226,12 @@ type Options struct {
 	// all eight octants on vacuum problems, OctantsSequential forces the
 	// per-octant phases.
 	Octants OctantMode
+
+	// Protocol selects the cross-rank communication scheme of
+	// NewDistributed (ignored by the single-domain solver): CommLagged is
+	// the paper's BSP block Jacobi, CommPipelined streams angular flux
+	// across ranks mid-sweep.
+	Protocol CommProtocol
 
 	Epsi      float64
 	MaxInners int

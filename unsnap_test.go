@@ -55,6 +55,125 @@ func TestDistributedCloseStopsWorkers(t *testing.T) {
 	d.Close()
 }
 
+// TestDistributedCloseMidPipelinedSweep extends the goroutine-leak
+// regression to the pipelined protocol's hardest case: Close while a
+// cross-rank sweep is in flight must abort the run (Run returns an
+// error), join the rank goroutines, receivers and watchers, and stop the
+// worker pools — leaving nothing behind.
+func TestDistributedCloseMidPipelinedSweep(t *testing.T) {
+	p := smallProblem()
+	p.NX, p.NY, p.NZ = 6, 6, 6
+	p.AnglesPerOctant = 4
+	runtime.GC()
+	runtime.GC()
+	time.Sleep(50 * time.Millisecond)
+	before := runtime.NumGoroutine()
+	d, err := NewDistributed(p, Options{
+		Scheme: Engine, Threads: 2, Protocol: CommPipelined,
+		MaxInners: 500, MaxOuters: 1, ForceIterations: true,
+	}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := d.Run()
+		errCh <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // let the pipeline get mid-sweep
+	d.Close()
+	d.Close() // idempotent
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Run aborted by Close should report an error")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run did not return after mid-sweep Close")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after mid-sweep Close: %d before, %d now",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestNewDistributedValidatesOptions covers the per-protocol knob routing
+// of NewDistributed: impossible combinations fail with clear errors
+// instead of being silently ignored.
+func TestNewDistributedValidatesOptions(t *testing.T) {
+	p := smallProblem()
+	p.NX, p.NY, p.NZ = 4, 4, 4
+	if _, err := NewDistributed(p, Options{Protocol: CommPipelined, AllowCycles: true}, 2, 1); err == nil {
+		t.Fatal("pipelined + AllowCycles should be rejected")
+	}
+	if _, err := NewDistributed(p, Options{Protocol: CommPipelined, Octants: OctantsSequential}, 2, 1); err == nil {
+		t.Fatal("pipelined + OctantsSequential should be rejected")
+	}
+	if _, err := NewDistributed(p, Options{Protocol: CommPipelined, Scheme: AEG}, 2, 1); err == nil {
+		t.Fatal("pipelined + bucket scheme should be rejected")
+	}
+	if _, err := NewDistributed(p, Options{Octants: OctantsFused}, 2, 1); err == nil {
+		t.Fatal("lagged + OctantsFused should be rejected (fusion can never engage)")
+	}
+	if _, err := NewDistributed(p, Options{TimeSteps: 2, TimeDt: 0.1}, 2, 1); err == nil {
+		t.Fatal("distributed + time-dependent should be rejected")
+	}
+	// The previously silently-dropped knobs now route through: a lagged
+	// run with AllowCycles and PreAssembled must build and run.
+	d, err := NewDistributed(p, Options{AllowCycles: true, PreAssembled: true,
+		MaxInners: 1, MaxOuters: 1, ForceIterations: true}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistributedPipelinedMatchesSingle is the facade-level parity check:
+// a pipelined distributed run reproduces the single-domain solver's
+// iteration counts exactly and its flux to 1e-12.
+func TestDistributedPipelinedMatchesSingle(t *testing.T) {
+	p := smallProblem()
+	p.NX, p.NY, p.NZ = 4, 4, 4
+	o := Options{Epsi: 1e-7, MaxInners: 100, MaxOuters: 10}
+	s, err := NewSolver(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sres, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := o
+	op.Protocol = CommPipelined
+	d, err := NewDistributed(p, op, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	dres, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Inners != sres.Inners || dres.Outers != sres.Outers {
+		t.Fatalf("pipelined %d inners / %d outers, single %d / %d",
+			dres.Inners, dres.Outers, sres.Inners, sres.Outers)
+	}
+	for g := 0; g < p.Groups; g++ {
+		a, b := s.FluxIntegral(g), d.FluxIntegral(g)
+		if math.Abs(a-b) > 1e-12*(1+math.Abs(a)) {
+			t.Fatalf("group %d: pipelined %v vs single %v", g, b, a)
+		}
+	}
+}
+
 func smallProblem() Problem {
 	p := DefaultProblem()
 	p.NX, p.NY, p.NZ = 3, 3, 3
