@@ -1,13 +1,22 @@
 // Command meshgen builds, inspects and exports UnSNAP meshes without
 // running a transport solve. It reports the unstructured-mesh statistics
-// that drive the sweep's parallelism (buckets per ordinate, bucket sizes)
-// and can export the mesh, with its explicit connectivity, to JSON.
+// that drive the sweep's parallelism (buckets per ordinate, bucket sizes,
+// cyclic dependency structure) and can export the mesh, with its explicit
+// connectivity, to JSON.
 //
 // Usage:
 //
 //	meshgen -nx 8 -twist 0.001 stats
 //	meshgen -nx 4 export > mesh.json
 //	meshgen -nx 4 -twist 0.01 -order 2 check
+//	meshgen -nx 6 -twist 0.35 -periods 2 -cyclic export > cyclic.json
+//
+// The -periods flag switches the twist profile to an oscillation
+// (theta(z) = twist*sin(2 pi periods z/LZ)), the generator mode that
+// produces genuinely cyclic upwind dependency graphs at modest distortion;
+// -cyclic verifies the cycles actually exist for the chosen quadrature and
+// fails loudly otherwise, so scripted pipelines can never silently bench
+// an acyclic "cyclic" mesh.
 package main
 
 import (
@@ -34,8 +43,10 @@ func run(args []string) error {
 	ny := fs.Int("ny", 0, "elements in y (default nx)")
 	nz := fs.Int("nz", 0, "elements in z (default nx)")
 	twist := fs.Float64("twist", 0.001, "mesh twist in radians")
+	periods := fs.Float64("periods", 0, "oscillating-twist periods (0 = the paper's monotone ramp)")
+	cyclic := fs.Bool("cyclic", false, "require cyclic upwind dependencies for at least one ordinate; fail if the mesh is acyclic")
 	order := fs.Int("order", 1, "element order (for check/stats)")
-	nang := fs.Int("nang", 4, "angles per octant (for schedule stats)")
+	nang := fs.Int("nang", 4, "angles per octant (for schedule and cycle stats)")
 	matOpt := fs.Int("mat_opt", 1, "material layout option")
 	srcOpt := fs.Int("src_opt", 0, "source layout option")
 	if err := fs.Parse(args); err != nil {
@@ -53,10 +64,16 @@ func run(args []string) error {
 	}
 	m, err := mesh.New(mesh.Config{
 		NX: *nx, NY: *ny, NZ: *nz, LX: 1, LY: 1, LZ: 1,
-		Twist: *twist, MatOpt: *matOpt, SrcOpt: *srcOpt,
+		Twist: *twist, TwistPeriods: *periods,
+		MatOpt: *matOpt, SrcOpt: *srcOpt,
 	})
 	if err != nil {
 		return err
+	}
+	if *cyclic {
+		if err := requireCyclic(m, *order, *nang); err != nil {
+			return err
+		}
 	}
 
 	switch cmd {
@@ -69,6 +86,105 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown subcommand %q (stats|export|check)", cmd)
 	}
+}
+
+// upwindPairs precomputes the interior face pairs with their
+// lower-element-side normals, the classification every ordinate shares.
+type upwindPair struct {
+	e, nb int
+	n     [3]float64
+}
+
+func buildPairs(m *mesh.Mesh, re *fem.RefElement) ([]upwindPair, error) {
+	var pairs []upwindPair
+	for e := range m.Elems {
+		geo := m.Elems[e].Geometry()
+		for f := 0; f < fem.NumFaces; f++ {
+			if nb := m.Elems[e].Faces[f].Neighbor; nb > e {
+				// FaceUnitNormal matches em.Normal's direction exactly (the
+				// invariant the pipelined protocol pins) without paying the
+				// full element-matrix integration per element.
+				pairs = append(pairs, upwindPair{e: e, nb: nb, n: re.FaceUnitNormal(geo, f)})
+			}
+		}
+	}
+	return pairs, nil
+}
+
+func upwindInput(m *mesh.Mesh, pairs []upwindPair, om [3]float64) sweep.Input {
+	up := make([][]int, m.NumElems())
+	for _, p := range pairs {
+		if om[0]*p.n[0]+om[1]*p.n[1]+om[2]*p.n[2] < 0 {
+			up[p.e] = append(up[p.e], p.nb)
+		} else {
+			up[p.nb] = append(up[p.nb], p.e)
+		}
+	}
+	return sweep.Input{NumElems: m.NumElems(), Upwind: up}
+}
+
+// cycleStats condenses every ordinate's upwind graph (deduplicated over
+// identical classifications) and accumulates the cycle summary.
+func cycleStats(m *mesh.Mesh, re *fem.RefElement, q *quadrature.Set) (cyclicAngles, laggedEdges, maxSCC int, err error) {
+	pairs, err := buildPairs(m, re)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	words := (len(pairs) + 63) / 64
+	dedup := sweep.NewBitmapDedup()
+	var distinct []*sweep.Condensation
+	for a := 0; a < q.NumAngles(); a++ {
+		om := q.Angles[a].Omega
+		bits := make([]uint64, words)
+		for p, pr := range pairs {
+			if om[0]*pr.n[0]+om[1]*pr.n[1]+om[2]*pr.n[2] < 0 {
+				bits[p/64] |= 1 << (p % 64)
+			}
+		}
+		var cond *sweep.Condensation
+		if idx := dedup.Lookup(bits); idx >= 0 {
+			cond = distinct[idx]
+		} else {
+			cond, err = sweep.Condense(upwindInput(m, pairs, om))
+			if err != nil {
+				return 0, 0, 0, fmt.Errorf("angle %d (omega %v): %w", a, om, err)
+			}
+			dedup.Insert(bits, len(distinct))
+			distinct = append(distinct, cond)
+		}
+		if len(cond.Lagged) > 0 {
+			cyclicAngles++
+			laggedEdges += len(cond.Lagged)
+		}
+		if cond.MaxComp > maxSCC {
+			maxSCC = cond.MaxComp
+		}
+	}
+	return cyclicAngles, laggedEdges, maxSCC, nil
+}
+
+// requireCyclic fails loudly when the requested twist does not actually
+// produce a cyclic upwind graph for any ordinate of the quadrature.
+func requireCyclic(m *mesh.Mesh, order, nang int) error {
+	re, err := fem.NewRefElement(order)
+	if err != nil {
+		return err
+	}
+	q, err := quadrature.NewSNAP(nang)
+	if err != nil {
+		return err
+	}
+	cyc, lagged, maxSCC, err := cycleStats(m, re, q)
+	if err != nil {
+		return err
+	}
+	if cyc == 0 {
+		return fmt.Errorf("-cyclic: twist %g (periods %g) yields an ACYCLIC upwind graph for all %d ordinates; raise -twist or -periods (e.g. -twist 0.35 -periods 2 on a 6^3 grid)",
+			m.Twist, m.TwistPeriods, q.NumAngles())
+	}
+	fmt.Fprintf(os.Stderr, "meshgen: cyclic verified: %d/%d ordinates cyclic, %d lagged couplings, largest SCC %d elements\n",
+		cyc, q.NumAngles(), lagged, maxSCC)
+	return nil
 }
 
 func stats(m *mesh.Mesh, order, nang int) error {
@@ -88,53 +204,51 @@ func stats(m *mesh.Mesh, order, nang int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("mesh: %d elements (%dx%dx%d), twist %g rad\n",
+	fmt.Printf("mesh: %d elements (%dx%dx%d), twist %g rad",
 		m.NumElems(), m.NX, m.NY, m.NZ, m.Twist)
+	if m.TwistPeriods > 0 {
+		fmt.Printf(" oscillating over %g periods", m.TwistPeriods)
+	}
+	fmt.Println()
 	fmt.Printf("  boundary faces %d, total volume %.6f\n", boundary, vol)
 	fmt.Printf("  element order %d: %d nodes/element, %d DoF/group/angle\n",
 		order, re.N, re.N*m.NumElems())
 
-	// Schedule statistics per octant for the first angle of each octant.
 	q, err := quadrature.NewSNAP(nang)
 	if err != nil {
 		return err
 	}
+	pairs, err := buildPairs(m, re)
+	if err != nil {
+		return err
+	}
+	// Schedule statistics per octant for the first angle of each octant
+	// (cycle-broken via the condensation where needed).
 	fmt.Println("  sweep schedules (first angle of each octant):")
 	for o := 0; o < 8; o++ {
 		ang := q.Angles[q.AngleIndex(o, 0)]
-		sched, err := buildSchedule(m, re, ang.Omega)
+		sched, err := sweep.BuildWithLagging(upwindInput(m, pairs, ang.Omega))
 		if err != nil {
 			return fmt.Errorf("octant %d: %w", o, err)
 		}
-		fmt.Printf("    octant %d: %d buckets, max %d elements, mean %.1f\n",
-			o, len(sched.Buckets), sched.MaxBucket(), sched.AvgBucket())
+		lag := ""
+		if n := len(sched.Lagged); n > 0 {
+			lag = fmt.Sprintf(", %d lagged couplings", n)
+		}
+		fmt.Printf("    octant %d: %d buckets, max %d elements, mean %.1f%s\n",
+			o, len(sched.Buckets), sched.MaxBucket(), sched.AvgBucket(), lag)
+	}
+	cyc, lagged, maxSCC, err := cycleStats(m, re, q)
+	if err != nil {
+		return err
+	}
+	if cyc > 0 {
+		fmt.Printf("  cyclic: %d/%d ordinates, %d lagged couplings total, largest SCC %d elements (requires AllowCycles)\n",
+			cyc, q.NumAngles(), lagged, maxSCC)
+	} else {
+		fmt.Printf("  cyclic: none (all %d ordinates acyclic)\n", q.NumAngles())
 	}
 	return nil
-}
-
-// buildSchedule computes the upwind schedule of one direction, the same
-// classification the solver uses (face-centre normals).
-func buildSchedule(m *mesh.Mesh, re *fem.RefElement, om [3]float64) (*sweep.Schedule, error) {
-	up := make([][]int, m.NumElems())
-	for e := range m.Elems {
-		em, err := re.ComputeMatrices(m.Elems[e].Geometry())
-		if err != nil {
-			return nil, err
-		}
-		for f := 0; f < fem.NumFaces; f++ {
-			fc := m.Elems[e].Faces[f]
-			if fc.Neighbor < 0 || fc.Neighbor < e {
-				continue
-			}
-			n := em.Normal[f]
-			if om[0]*n[0]+om[1]*n[1]+om[2]*n[2] < 0 {
-				up[e] = append(up[e], fc.Neighbor)
-			} else {
-				up[fc.Neighbor] = append(up[fc.Neighbor], e)
-			}
-		}
-	}
-	return sweep.Build(sweep.Input{NumElems: m.NumElems(), Upwind: up})
 }
 
 func check(m *mesh.Mesh, order int) error {

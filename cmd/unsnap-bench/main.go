@@ -11,12 +11,15 @@
 //	unsnap-bench -experiment all
 //
 // Experiments (comma-separable): table1, table2, fig3, fig4, tradeoffs,
-// jacobi, atomic, preassembled, engine, comm, all. The engine experiment
-// compares the persistent worker-pool sweep engine against a legacy
-// bucket executor; the comm experiment compares the lagged (block
+// jacobi, atomic, preassembled, engine, comm, cycles, all. The engine
+// experiment compares the persistent worker-pool sweep engine against a
+// legacy bucket executor; the comm experiment compares the lagged (block
 // Jacobi) and pipelined (mid-sweep streaming) halo protocols across rank
-// grids. With -json, both record their measurements for the perf
-// trajectory (scripts/bench.sh runs them and writes BENCH_sweep.json).
+// grids; the cycles experiment runs a genuinely cyclic twisted mesh
+// (AllowCycles) through the legacy lagged bucket path, the cycle-aware
+// engine and the engine behind the pipelined protocol. With -json, all
+// record their measurements for the perf trajectory (scripts/bench.sh
+// runs them and writes BENCH_sweep.json).
 package main
 
 import (
@@ -52,7 +55,7 @@ func parseThreads(s string) ([]int, error) {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("unsnap-bench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "comma-separated list of table1|table2|fig3|fig4|tradeoffs|jacobi|atomic|preassembled|engine|comm|all")
+	experiment := fs.String("experiment", "all", "comma-separated list of table1|table2|fig3|fig4|tradeoffs|jacobi|atomic|preassembled|engine|comm|cycles|all")
 	threadsFlag := fs.String("threads", "1,2", "comma-separated worker counts for scaling experiments")
 	jsonPath := fs.String("json", "", "write the engine experiment's comparison to this JSON file")
 	commit := fs.String("commit", "", "git revision to stamp into the engine JSON report")
@@ -95,6 +98,7 @@ func run(args []string) error {
 	ran := false
 	var engSection *harness.EngineSection
 	var commSection *harness.CommSection
+	var cyclesSection *harness.CyclesSection
 
 	if want("table1") {
 		ran = true
@@ -249,11 +253,30 @@ func run(args []string) error {
 		fmt.Println()
 		commSection = harness.CommSectionOf(cfg, rows, conv)
 	}
+	if want("cycles") {
+		ran = true
+		cfg := harness.DefaultCycles()
+		override(&cfg.Problem)
+		cfg.Threads = threads
+		if innersSet {
+			cfg.Inners = *inners
+		}
+		fmt.Printf("== Cyclic meshes: legacy lagged vs cycle-aware engine vs engine+pipelined (%d^3 elements, twist %g over %g periods, %d ang/oct, %d groups) ==\n",
+			cfg.Problem.NX, cfg.Problem.Twist, cfg.Problem.TwistPeriods,
+			cfg.Problem.AnglesPerOctant, cfg.Problem.Groups)
+		rows, lagged, err := harness.RunCycles(cfg)
+		if err != nil {
+			return err
+		}
+		harness.FprintCycles(os.Stdout, cfg, rows, lagged)
+		fmt.Println()
+		cyclesSection = harness.CyclesSectionOf(cfg, rows, lagged)
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
-	if *jsonPath != "" && (engSection != nil || commSection != nil) {
-		if err := harness.WriteSweepJSON(*jsonPath, *commit, engSection, commSection); err != nil {
+	if *jsonPath != "" && (engSection != nil || commSection != nil || cyclesSection != nil) {
+		if err := harness.WriteSweepJSON(*jsonPath, *commit, engSection, commSection, cyclesSection); err != nil {
 			return err
 		}
 		fmt.Println("wrote", *jsonPath)

@@ -35,6 +35,9 @@ func run(args []string) error {
 	ng := fs.Int("ng", 0, "energy groups")
 	order := fs.Int("order", 0, "finite element order")
 	twist := fs.Float64("twist", -1, "mesh twist in radians")
+	periods := fs.Float64("periods", 0, "oscillating-twist periods (0 = monotone ramp; cyclic meshes need -allow-cycles)")
+	allowCycles := fs.Bool("allow-cycles", false, "accept cyclic upwind graphs (cycle-aware sweep topologies)")
+	protocol := fs.String("protocol", "", "halo protocol for multi-rank runs: lagged or pipelined")
 	epsi := fs.Float64("epsi", 0, "convergence tolerance")
 	iitm := fs.Int("iitm", 0, "max inner iterations per outer")
 	oitm := fs.Int("oitm", 0, "max outer iterations")
@@ -104,7 +107,8 @@ func run(args []string) error {
 	prob := unsnap.Problem{
 		NX: deck.NX, NY: deck.NY, NZ: deck.NZ,
 		LX: deck.LX, LY: deck.LY, LZ: deck.LZ,
-		Twist: deck.Twist, MatOpt: deck.MatOpt, SrcOpt: deck.SrcOpt,
+		Twist: deck.Twist, TwistPeriods: *periods,
+		MatOpt: deck.MatOpt, SrcOpt: deck.SrcOpt,
 		Order: deck.Order, AnglesPerOctant: deck.NAng, Groups: deck.NG,
 		PGCPolar: deck.PGCPolar, PGCAzi: deck.PGCAzi,
 		ScatOrder: deck.ScatOrder,
@@ -121,12 +125,24 @@ func run(args []string) error {
 		Scheme: schemeVal, Threads: deck.Threads, Solver: solverVal,
 		Epsi: deck.Epsi, MaxInners: deck.IITM, MaxOuters: deck.OITM,
 		ForceIterations: *force, Instrument: true,
-		Reflect: [3]bool{deck.ReflX, deck.ReflY, deck.ReflZ},
+		AllowCycles: *allowCycles,
+		Reflect:     [3]bool{deck.ReflX, deck.ReflY, deck.ReflZ},
+	}
+	switch *protocol {
+	case "", "lagged":
+	case "pipelined":
+		opts.Protocol = unsnap.CommPipelined
+	default:
+		return fmt.Errorf("unknown protocol %q (lagged|pipelined)", *protocol)
 	}
 
 	fmt.Println("UnSNAP — discontinuous Galerkin Sn transport on unstructured meshes")
-	fmt.Printf("  grid %dx%dx%d  extents %gx%gx%g  twist %g rad\n",
-		prob.NX, prob.NY, prob.NZ, prob.LX, prob.LY, prob.LZ, prob.Twist)
+	twistDesc := ""
+	if prob.TwistPeriods > 0 {
+		twistDesc = fmt.Sprintf(" oscillating over %g periods", prob.TwistPeriods)
+	}
+	fmt.Printf("  grid %dx%dx%d  extents %gx%gx%g  twist %g rad%s\n",
+		prob.NX, prob.NY, prob.NZ, prob.LX, prob.LY, prob.LZ, prob.Twist, twistDesc)
 	fmt.Printf("  order %d (%d nodes/element)  %d angles/octant (%d total)  %d groups\n",
 		prob.Order, (prob.Order+1)*(prob.Order+1)*(prob.Order+1),
 		prob.AnglesPerOctant, 8*prob.AnglesPerOctant, prob.Groups)
@@ -182,7 +198,7 @@ func runDistributed(prob unsnap.Problem, opts unsnap.Options, py, pz int) error 
 		return err
 	}
 	defer d.Close()
-	fmt.Printf("block Jacobi: %d ranks (%dx%d KBA grid)\n", d.NumRanks(), py, pz)
+	fmt.Printf("distributed (%s protocol): %d ranks (%dx%d KBA grid)\n", opts.Protocol, d.NumRanks(), py, pz)
 	res, err := d.Run()
 	if err != nil {
 		return err

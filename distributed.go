@@ -23,8 +23,10 @@ type Distributed struct {
 // that cannot apply under the selected protocol are rejected up front:
 // the lagged protocol can never engage octant fusion (halo callbacks pin
 // sequential octant phases), and the pipelined protocol needs an
-// engine-backed scheme, the fused cross-octant phase and a globally
-// acyclic sweep (no AllowCycles).
+// engine-backed scheme and the fused cross-octant phase. Cyclic meshes
+// need AllowCycles under either protocol; the pipelined one then
+// distributes a single global cycle condensation so its flux still
+// matches the single-domain solver exactly.
 func NewDistributed(p Problem, o Options, py, pz int) (*Distributed, error) {
 	if o.Reflect != [3]bool{} {
 		return nil, fmt.Errorf("unsnap: reflective boundaries are only supported by the single-domain solver")

@@ -18,9 +18,14 @@
 //     moment the owning task completes, per-edge channels stream it to
 //     the downstream rank, and the receiver resolves the waiting tasks
 //     mid-sweep — so the whole partitioned mesh executes one cross-rank
-//     task graph per sweep in wavefront order, with no lagged data, no
-//     per-inner halo barrier, and the fused eight-octant phase intact on
-//     vacuum problems. Iteration counts and fluxes match the
+//     task graph per sweep in wavefront order, with no halo barrier and
+//     the fused eight-octant phase intact on vacuum problems. Cyclic
+//     meshes ride the same path (AllowCycles): a single global SCC
+//     condensation decides, identically to the single-domain solver,
+//     which couplings are lagged to the previous iterate — intra-rank
+//     ones read the rank's psi snapshot, cross-rank ones are consumed one
+//     sweep late on a dedicated channel — while everything off-cycle
+//     still streams mid-sweep. Iteration counts and fluxes match the
 //     single-domain solver exactly. Convergence-gated runs exchange one
 //     scalar (the flux change) per inner iteration to agree on
 //     termination; forced-iteration runs need no synchronisation at all,
@@ -92,9 +97,14 @@ type Config struct {
 	// phase, so OctantsSequential is rejected in turn.
 	Octants core.OctantMode
 
-	// AllowCycles uses the lagging schedule builder inside each rank
-	// (lagged protocol only: the pipelined task graph cannot honour the
-	// fixed octant order that lagged cycle seeds rely on).
+	// AllowCycles enables cycle-aware sweep topologies on cyclic meshes.
+	// Under the lagged protocol each rank condenses its own subdomain
+	// (block Jacobi needs no global agreement); under the pipelined
+	// protocol one global SCC condensation is computed up front and
+	// distributed — intra-rank lagged couplings read each rank's
+	// previous-iterate snapshot, cross-rank lagged couplings are consumed
+	// one sweep late on a dedicated channel, and everything else still
+	// streams mid-sweep, preserving the single-domain flux parity.
 	AllowCycles bool
 	// PreAssembled pre-factorises every rank's local matrices at setup.
 	PreAssembled bool
@@ -116,9 +126,6 @@ func (cfg Config) validate() error {
 	case Pipelined:
 		if !cfg.Scheme.EngineBacked() {
 			return fmt.Errorf("comm: the pipelined protocol requires an engine-backed scheme (%v is a bucket executor that cannot hold latent remote dependencies)", cfg.Scheme)
-		}
-		if cfg.AllowCycles {
-			return fmt.Errorf("comm: the pipelined protocol cannot lag cyclic dependencies (AllowCycles needs the sequential octant order); use the lagged protocol for cyclic meshes")
 		}
 		if cfg.Octants == core.OctantsSequential {
 			return fmt.Errorf("comm: the pipelined protocol streams resolutions into all octants at once and requires the fused cross-octant phase; OctantsSequential cannot apply")

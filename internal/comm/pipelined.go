@@ -33,6 +33,26 @@ import (
 // still reads while letting it run ahead into the next sweep under
 // channel backpressure.
 //
+// Cyclic meshes (AllowCycles): the same SCC condensation the
+// single-domain solver runs (sweep.Condense, deduplicated over the bitmap
+// classification) is computed once for the whole global mesh, and its lag
+// set is distributed: intra-rank lagged couplings reach each rank solver
+// through core.Config.CycleLag (they read the local previous-iterate psi
+// snapshot), while cross-rank lagged couplings travel on a second per-edge
+// channel whose consumption is shifted by one sweep — sweep n reads the
+// values the upstream rank published during sweep n-1 (zero on the first
+// sweep, matching the zero initial flux), which is exactly what the
+// single-domain snapshot read sees. Everything not on a cycle still
+// streams mid-sweep, so cyclic meshes keep the fused cross-octant graph
+// and rank overlap; because the condensation is a pure function of SCC
+// membership and global element ids, no rank can break a cycle
+// differently than the single-domain solver, and the 1e-12 flux parity
+// carries over. (The 1e-12 parity statement is for a Run from fresh
+// state. On a repeat Run every lagged coupling — cross-rank slot and
+// per-rank psi snapshot alike — deterministically restarts from the zero
+// iterate, while a single-domain repeat Run reads its own final psi;
+// both converge to the same fixed point, but the iterates differ.)
+//
 // Termination: forced-iteration runs need no cross-rank agreement at all
 // (every rank executes the same fixed schedule and the ranks overlap
 // freely); convergence-gated runs exchange one scalar per rank per inner
@@ -42,14 +62,24 @@ import (
 // pipeEdgeDef is one directed rank pair with cross-rank transfers.
 type pipeEdgeDef struct {
 	from, to int
-	quota    int // messages per sweep
+	stream   int // streamed messages per sweep (resolved mid-sweep)
+	lag      int // lagged messages per sweep (consumed one sweep later)
 }
 
 // pipeMsg carries one (ordinate, face) transfer: all groups' nodal flux
 // in the sender's face-node order; elem/face address the receiver's side.
+// The data buffer comes from the driver's message pool and is returned by
+// the consuming receiver.
 type pipeMsg struct {
 	a, elem, face int
 	data          []float64 // [group][sender face node]
+}
+
+// lagDep is one lagged cross-rank dependency on the downstream rank:
+// external face index, local element and ordinate (the receiver resolves
+// it from zeroed slots on the first sweep of a run).
+type lagDep struct {
+	face, elem, a int
 }
 
 // pipelinedState is the protocol's build-time wiring.
@@ -58,13 +88,49 @@ type pipelinedState struct {
 	inOf   [][]int                // rank -> edge indices with to == rank
 	outIdx []map[int]int          // rank -> peer rank -> edge index
 	extIdx []map[mesh.FaceKey]int // rank -> face key -> External index
-	run    *pipeRun               // active run, nil otherwise (see runPipelined)
+
+	// Cycle-aware routing (AllowCycles on a cyclic mesh; nil otherwise):
+	// lagOut[r][i] is a per-ordinate bitset marking the publishes of
+	// external face i of rank r that go to the lagged channel, and
+	// lagResolve[ei] lists edge ei's downstream lagged dependencies.
+	lagOut     [][][]uint64
+	lagResolve [][]lagDep
+
+	// pool recycles publish message buffers (nG*nF floats each): the
+	// engine publishes one per (ordinate, face) per sweep, which at paper
+	// scale is tens of thousands of short-lived allocations per inner
+	// without it.
+	pool   sync.Pool
+	msgLen int
+
+	run *pipeRun // active run, nil otherwise (see runPipelined)
 }
 
-// buildPipelined validates global sweepability, builds one
-// external-coupled solver per rank and wires the publish hooks.
+func (ps *pipelinedState) getBuf() []float64 {
+	if v := ps.pool.Get(); v != nil {
+		return v.([]float64)
+	}
+	return make([]float64, ps.msgLen)
+}
+
+func (ps *pipelinedState) putBuf(b []float64) { ps.pool.Put(b) }
+
+// isLagOut reports whether the publish of (external face i, ordinate a)
+// by rank r is routed to the lagged channel.
+func (ps *pipelinedState) isLagOut(r, i, a int) bool {
+	lo := ps.lagOut
+	if lo == nil || lo[r] == nil || lo[r][i] == nil {
+		return false
+	}
+	return lo[r][i][a/64]&(1<<(a%64)) != 0
+}
+
+// buildPipelined condenses the global sweep topology, builds one
+// external-coupled solver per rank (distributing the global lag decisions)
+// and wires the publish hooks.
 func (d *Driver) buildPipelined() error {
-	if err := d.validateGlobalSweeps(); err != nil {
+	lagOf, anyLag, err := d.buildGlobalLagSets()
+	if err != nil {
 		return err
 	}
 	nRanks := len(d.part.Subs)
@@ -72,12 +138,24 @@ func (d *Driver) buildPipelined() error {
 		inOf:   make([][]int, nRanks),
 		outIdx: make([]map[int]int, nRanks),
 		extIdx: make([]map[mesh.FaceKey]int, nRanks),
+		msgLen: d.nG * d.nF,
+	}
+	if anyLag {
+		ps.lagOut = make([][][]uint64, nRanks)
 	}
 	d.pipe = ps
 
-	quotas := make(map[[2]int]int) // (from, to) -> messages per sweep
+	type rawLag struct {
+		from, to int
+		dep      lagDep
+	}
+	var rawLags []rawLag
+	streamQ := make(map[[2]int]int) // (from, to) -> streamed messages per sweep
+	lagQ := make(map[[2]int]int)    // (from, to) -> lagged messages per sweep
 	angles := d.cfg.Quad.Angles
+	aw := (d.nA + 63) / 64
 	for r := range d.part.Subs {
+		sub := d.part.Subs[r]
 		ext := make([]core.ExternalFace, len(d.remote[r]))
 		ps.extIdx[r] = make(map[mesh.FaceKey]int, len(d.remote[r]))
 		for i, rf := range d.remote[r] {
@@ -86,14 +164,44 @@ func (d *Driver) buildPipelined() error {
 				Normal: rf.Normal, Canonical: rf.Canonical,
 			}
 			ps.extIdx[r][rf.Key] = i
+			peer := d.part.Subs[rf.Ref.Rank]
+			gMine := sub.Global[rf.Key.Elem]
+			gPeer := peer.Global[rf.Ref.Elem]
 			for a := range angles {
 				if core.ExternalInflow(angles[a].Omega, rf.Normal, rf.Canonical) {
-					quotas[[2]int{rf.Ref.Rank, r}]++
+					// This rank is downstream of the face for ordinate a.
+					if lagOf[a] != nil && lagOf[a][sweep.Edge{From: gPeer, To: gMine}] {
+						lagQ[[2]int{rf.Ref.Rank, r}]++
+						rawLags = append(rawLags, rawLag{from: rf.Ref.Rank, to: r,
+							dep: lagDep{face: i, elem: rf.Key.Elem, a: a}})
+					} else {
+						streamQ[[2]int{rf.Ref.Rank, r}]++
+					}
+				} else if lagOf[a] != nil && lagOf[a][sweep.Edge{From: gMine, To: gPeer}] {
+					// Upstream side of a lagged coupling: route the publish
+					// to the lagged channel.
+					if ps.lagOut[r] == nil {
+						ps.lagOut[r] = make([][]uint64, len(d.remote[r]))
+					}
+					if ps.lagOut[r][i] == nil {
+						ps.lagOut[r][i] = make([]uint64, aw)
+					}
+					ps.lagOut[r][i][a/64] |= 1 << (a % 64)
 				}
 			}
 		}
 		cfg := d.rankConfig(r)
 		cfg.External = ext
+		if d.cfg.AllowCycles {
+			// Distribute the global condensation: a rank lags exactly the
+			// intra-rank edges the single-domain solver would, looked up by
+			// global element ids.
+			subG := sub.Global
+			cfg.CycleLag = func(a, from, to int) bool {
+				ls := lagOf[a]
+				return ls != nil && ls[sweep.Edge{From: subG[from], To: subG[to]}]
+			}
+		}
 		s, err := core.New(cfg)
 		if err != nil {
 			return fmt.Errorf("comm: building rank %d: %w", r, err)
@@ -105,14 +213,21 @@ func (d *Driver) buildPipelined() error {
 	for to := 0; to < nRanks; to++ {
 		ps.outIdx[to] = make(map[int]int)
 		for from := 0; from < nRanks; from++ {
-			if q := quotas[[2]int{from, to}]; q > 0 {
+			key := [2]int{from, to}
+			if streamQ[key]+lagQ[key] > 0 {
 				ps.inOf[to] = append(ps.inOf[to], len(ps.edges))
-				ps.edges = append(ps.edges, pipeEdgeDef{from: from, to: to, quota: q})
+				ps.edges = append(ps.edges, pipeEdgeDef{from: from, to: to,
+					stream: streamQ[key], lag: lagQ[key]})
 			}
 		}
 	}
 	for ei, ed := range ps.edges {
 		ps.outIdx[ed.from][ed.to] = ei
+	}
+	ps.lagResolve = make([][]lagDep, len(ps.edges))
+	for _, rl := range rawLags {
+		ei := ps.outIdx[rl.from][rl.to]
+		ps.lagResolve[ei] = append(ps.lagResolve[ei], rl.dep)
 	}
 
 	for r := range d.solvers {
@@ -122,13 +237,17 @@ func (d *Driver) buildPipelined() error {
 	return nil
 }
 
-// validateGlobalSweeps rejects meshes whose whole-domain dependency graph
-// is cyclic for some ordinate: each rank's local graph would still be
-// acyclic, but the cross-rank pipeline could deadlock waiting on itself.
+// buildGlobalLagSets classifies every ordinate over the whole-domain mesh
+// — deduplicated through the same bitmap mechanism core.buildTopologies
+// uses, so identical-topology ordinates are condensed once — and runs the
+// shared SCC condensation on each distinct classification. The returned
+// per-angle lag sets (nil for acyclic ordinates) use global element ids;
+// anyLag reports whether any ordinate needed lagging. Without AllowCycles
+// a cyclic ordinate is rejected, preserving the old build-time guarantee.
 // The classification replicates the single-domain rule (every interior
-// face judged from its lower-element side), so a mesh accepted here runs
-// identically to the single-domain engine.
-func (d *Driver) validateGlobalSweeps() error {
+// face judged from its lower-element side), so a mesh condensed here lags
+// exactly the edges the single-domain engine lags.
+func (d *Driver) buildGlobalLagSets() (lagOf []map[sweep.Edge]bool, anyLag bool, err error) {
 	m := d.cfg.Mesh
 	nE := m.NumElems()
 	type pair struct {
@@ -144,40 +263,82 @@ func (d *Driver) validateGlobalSweeps() error {
 			}
 		}
 	}
+	words := (len(pairs) + 63) / 64
+	dedup := sweep.NewBitmapDedup()
+	var distinct []map[sweep.Edge]bool
+	lagOf = make([]map[sweep.Edge]bool, d.nA)
 	for a := 0; a < d.nA; a++ {
 		om := d.cfg.Quad.Angles[a].Omega
-		up := make([][]int, nE)
-		for _, p := range pairs {
-			if om[0]*p.n[0]+om[1]*p.n[1]+om[2]*p.n[2] < 0 {
-				up[p.e] = append(up[p.e], p.nb)
-			} else {
-				up[p.nb] = append(up[p.nb], p.e)
+		bits := make([]uint64, words)
+		for p, pr := range pairs {
+			if om[0]*pr.n[0]+om[1]*pr.n[1]+om[2]*pr.n[2] < 0 {
+				bits[p/64] |= 1 << (p % 64)
 			}
 		}
-		if _, err := sweep.Build(sweep.Input{NumElems: nE, Upwind: up}); err != nil {
-			return fmt.Errorf("comm: the pipelined protocol needs globally acyclic sweeps, but angle %d (omega %v) has a cross-rank cycle: %w (use the lagged protocol, with AllowCycles if needed)", a, om, err)
+		if idx := dedup.Lookup(bits); idx >= 0 {
+			lagOf[a] = distinct[idx]
+			if lagOf[a] != nil {
+				anyLag = true
+			}
+			continue
 		}
+		up := make([][]int, nE)
+		for p, pr := range pairs {
+			if bits[p/64]&(1<<(p%64)) != 0 {
+				up[pr.e] = append(up[pr.e], pr.nb)
+			} else {
+				up[pr.nb] = append(up[pr.nb], pr.e)
+			}
+		}
+		cond, err := sweep.Condense(sweep.Input{NumElems: nE, Upwind: up})
+		if err != nil {
+			return nil, false, fmt.Errorf("comm: condensing angle %d (omega %v): %w", a, om, err)
+		}
+		var ls map[sweep.Edge]bool
+		if len(cond.Lagged) > 0 {
+			if !d.cfg.AllowCycles {
+				return nil, false, fmt.Errorf("comm: angle %d (omega %v) has a cyclic sweep (largest SCC %d elements): %w (enable AllowCycles to lag the cycle-closing couplings)",
+					a, om, cond.MaxComp, sweep.ErrCycle)
+			}
+			ls = make(map[sweep.Edge]bool, len(cond.Lagged))
+			for _, l := range cond.Lagged {
+				ls[l] = true
+			}
+			anyLag = true
+		}
+		dedup.Insert(bits, len(distinct))
+		distinct = append(distinct, ls)
+		lagOf[a] = ls
 	}
-	return nil
+	return lagOf, anyLag, nil
 }
 
 // publishFace is the engine's publish hook: gather the finished face flux
-// and stream it to the downstream rank. Called from worker goroutines
-// mid-sweep; a full channel applies backpressure (the downstream rank is
-// more than a sweep behind), an aborted run drops the message.
+// and stream it to the downstream rank — on the edge's streamed channel,
+// or on its lagged channel when the coupling was demoted by the global
+// condensation (the downstream rank consumes those one sweep later).
+// Called from worker goroutines mid-sweep; a full channel applies
+// backpressure (the downstream rank is more than a sweep behind), an
+// aborted run drops the message.
 func (d *Driver) publishFace(rank, a, e, f int) {
 	pr := d.pipe.run
 	if pr == nil {
 		return
 	}
-	ref := d.part.Subs[rank].Remote[mesh.FaceKey{Elem: e, Face: f}]
-	msg := pipeMsg{a: a, elem: ref.Elem, face: ref.Face, data: make([]float64, d.nG*d.nF)}
+	key := mesh.FaceKey{Elem: e, Face: f}
+	ref := d.part.Subs[rank].Remote[key]
+	msg := pipeMsg{a: a, elem: ref.Elem, face: ref.Face, data: d.pipe.getBuf()}
 	s := d.solvers[rank]
 	for g := 0; g < d.nG; g++ {
 		s.PsiFaceValues(a, e, g, f, msg.data[g*d.nF:(g+1)*d.nF])
 	}
+	ei := d.pipe.outIdx[rank][ref.Rank]
+	ch := pr.chans[ei]
+	if d.pipe.isLagOut(rank, d.pipe.extIdx[rank][key], a) {
+		ch = pr.lagChans[ei]
+	}
 	select {
-	case pr.chans[d.pipe.outIdx[rank][ref.Rank]] <- msg:
+	case ch <- msg:
 	case <-pr.abort:
 	}
 }
@@ -196,12 +357,14 @@ type pipeDecision struct {
 
 // pipeRun is the state of one Run invocation.
 type pipeRun struct {
-	d     *Driver
-	n     int
-	chans []chan pipeMsg  // per edge
-	gates []chan struct{} // per edge: receiver go-ahead, one send per sweep
-	abort chan struct{}   // closed on first failure (or Close mid-run)
-	done  chan struct{}   // closed when Run is over; stops receivers/watchers
+	d        *Driver
+	n        int
+	chans    []chan pipeMsg  // per edge: streamed transfers (nil when stream == 0)
+	lagChans []chan pipeMsg  // per edge: lagged transfers (nil when lag == 0)
+	gates    []chan struct{} // per edge: streamed-receiver go-ahead, one send per sweep
+	lagGates []chan struct{} // per edge: lagged-receiver go-ahead, one send per sweep
+	abort    chan struct{}   // closed on first failure (or Close mid-run)
+	done     chan struct{}   // closed when Run is over; stops receivers/watchers
 
 	abortOnce sync.Once
 	errMu     sync.Mutex
@@ -229,15 +392,36 @@ func (pr *pipeRun) err() error {
 	return pr.firstErr
 }
 
-// receiver drains one in-edge: per sweep, wait for the owning rank to arm
-// (the gate), then consume exactly the edge's quota, writing each message
-// into the solver's inflow slot and resolving the dependent task. FIFO
-// channels plus fixed quotas keep sweeps aligned without sequence
-// numbers even when the upstream rank runs ahead.
-func (pr *pipeRun) receiver(ei int) {
+// applyMsg writes one received transfer into the solver's inflow slot
+// (permuted into the receiving side's face-node order), recycles the
+// buffer and resolves the dependent task.
+func (pr *pipeRun) applyMsg(ei int, m pipeMsg) {
 	d := pr.d
 	ed := d.pipe.edges[ei]
 	s := d.solvers[ed.to]
+	idx := d.pipe.extIdx[ed.to][mesh.FaceKey{Elem: m.elem, Face: m.face}]
+	perm := d.remote[ed.to][idx].Perm
+	buf := s.ExternalInflowBuffer(idx, m.a)
+	for g := 0; g < d.nG; g++ {
+		src := m.data[g*d.nF : (g+1)*d.nF]
+		dst := buf[g*d.nF : (g+1)*d.nF]
+		for k := range dst {
+			dst[k] = src[perm[k]]
+		}
+	}
+	d.pipe.putBuf(m.data)
+	s.ResolveExternal(m.a, m.elem)
+}
+
+// receiver drains one in-edge's streamed transfers: per sweep, wait for
+// the owning rank to arm (the gate), then consume exactly the edge's
+// stream quota, writing each message into the solver's inflow slot and
+// resolving the dependent task. FIFO channels plus fixed quotas keep
+// sweeps aligned without sequence numbers even when the upstream rank
+// runs ahead.
+func (pr *pipeRun) receiver(ei int) {
+	d := pr.d
+	ed := d.pipe.edges[ei]
 	for {
 		select {
 		case <-pr.gates[ei]:
@@ -246,20 +430,49 @@ func (pr *pipeRun) receiver(ei int) {
 		case <-pr.abort:
 			return
 		}
-		for i := 0; i < ed.quota; i++ {
+		for i := 0; i < ed.stream; i++ {
 			select {
 			case m := <-pr.chans[ei]:
-				idx := d.pipe.extIdx[ed.to][mesh.FaceKey{Elem: m.elem, Face: m.face}]
-				perm := d.remote[ed.to][idx].Perm
-				buf := s.ExternalInflowBuffer(idx, m.a)
-				for g := 0; g < d.nG; g++ {
-					src := m.data[g*d.nF : (g+1)*d.nF]
-					dst := buf[g*d.nF : (g+1)*d.nF]
-					for k := range dst {
-						dst[k] = src[perm[k]]
-					}
-				}
-				s.ResolveExternal(m.a, m.elem)
+				pr.applyMsg(ei, m)
+			case <-pr.abort:
+				return
+			}
+		}
+	}
+}
+
+// lagReceiver drains one in-edge's lagged transfers with a one-sweep
+// shift: during sweep n it consumes the lag quota the upstream rank
+// published in its sweep n-1, which is exactly the previous-iterate value
+// the single-domain snapshot read sees. On the first sweep of a run the
+// previous iterate is the zero initial flux — the slots were zeroed at
+// run start — so the dependencies resolve immediately. The final sweep's
+// lagged batch is intentionally never consumed (it has no next sweep);
+// the 2x-quota channel buffer absorbs it.
+func (pr *pipeRun) lagReceiver(ei int) {
+	d := pr.d
+	ed := d.pipe.edges[ei]
+	s := d.solvers[ed.to]
+	first := true
+	for {
+		select {
+		case <-pr.lagGates[ei]:
+		case <-pr.done:
+			return
+		case <-pr.abort:
+			return
+		}
+		if first {
+			first = false
+			for _, ld := range d.pipe.lagResolve[ei] {
+				s.ResolveExternal(ld.a, ld.elem)
+			}
+			continue
+		}
+		for i := 0; i < ed.lag; i++ {
+			select {
+			case m := <-pr.lagChans[ei]:
+				pr.applyMsg(ei, m)
 			case <-pr.abort:
 				return
 			}
@@ -276,10 +489,18 @@ func (pr *pipeRun) sweepOnce(r int) (float64, error) {
 		return 0, err
 	}
 	for _, ei := range pr.d.pipe.inOf[r] {
-		select {
-		case pr.gates[ei] <- struct{}{}:
-		case <-pr.abort:
-			// Receivers are gone; the watcher cancels the armed sweep.
+		if pr.gates[ei] != nil {
+			select {
+			case pr.gates[ei] <- struct{}{}:
+			case <-pr.abort:
+				// Receivers are gone; the watcher cancels the armed sweep.
+			}
+		}
+		if pr.lagGates[ei] != nil {
+			select {
+			case pr.lagGates[ei] <- struct{}{}:
+			case <-pr.abort:
+			}
 		}
 	}
 	if err := s.FinishSweep(); err != nil {
@@ -459,14 +680,37 @@ func (d *Driver) runPipelined() (*Result, error) {
 	d.runAbort = func() { pr.fail(fmt.Errorf("comm: driver closed mid-run")) }
 	d.runDone = pr.done
 	pr.chans = make([]chan pipeMsg, len(d.pipe.edges))
+	pr.lagChans = make([]chan pipeMsg, len(d.pipe.edges))
 	pr.gates = make([]chan struct{}, len(d.pipe.edges))
+	pr.lagGates = make([]chan struct{}, len(d.pipe.edges))
 	for ei, ed := range d.pipe.edges {
 		// Two sweeps of buffering: the upstream rank can complete a full
-		// sweep ahead before publishes start to block.
-		pr.chans[ei] = make(chan pipeMsg, 2*ed.quota)
-		pr.gates[ei] = make(chan struct{}, 1)
+		// sweep ahead before publishes start to block (for the lagged
+		// channel that headroom also absorbs the final sweep's batch,
+		// which has no consumer).
+		if ed.stream > 0 {
+			pr.chans[ei] = make(chan pipeMsg, 2*ed.stream)
+			pr.gates[ei] = make(chan struct{}, 1)
+		}
+		if ed.lag > 0 {
+			pr.lagChans[ei] = make(chan pipeMsg, 2*ed.lag)
+			pr.lagGates[ei] = make(chan struct{}, 1)
+		}
+	}
+	for ei, ed := range d.pipe.edges {
+		// Lagged slots restart every run from the zero initial iterate,
+		// the state a fresh solver's psi snapshot holds.
+		for _, ld := range d.pipe.lagResolve[ei] {
+			buf := d.solvers[ed.to].ExternalInflowBuffer(ld.face, ld.a)
+			for i := range buf {
+				buf[i] = 0
+			}
+		}
 	}
 	for _, s := range d.solvers {
+		// Keep intra-rank lagged couplings on the same per-Run restart
+		// semantics as the cross-rank slots above (no-op when acyclic).
+		s.ResetLagSnapshot()
 		s.ResetSweepCancel()
 		// Build the engines on this goroutine: the watchers and receivers
 		// spawned below touch them concurrently with the rank loops, so
@@ -491,8 +735,13 @@ func (d *Driver) runPipelined() (*Result, error) {
 			}
 		}(s)
 	}
-	for ei := range d.pipe.edges {
-		go pr.receiver(ei)
+	for ei, ed := range d.pipe.edges {
+		if ed.stream > 0 {
+			go pr.receiver(ei)
+		}
+		if ed.lag > 0 {
+			go pr.lagReceiver(ei)
+		}
 	}
 	if !d.cfg.ForceIterations {
 		pr.reports = make(chan pipeReport, pr.n)

@@ -191,8 +191,10 @@ func TestProtocolValidation(t *testing.T) {
 	cfg := base
 	cfg.Protocol = Pipelined
 	cfg.AllowCycles = true
-	if _, err := New(cfg); err == nil {
-		t.Fatal("pipelined + AllowCycles should be rejected")
+	if d, err := New(cfg); err != nil {
+		t.Fatalf("pipelined + AllowCycles should be accepted (cycle-aware protocol): %v", err)
+	} else {
+		d.Close()
 	}
 	cfg = base
 	cfg.Protocol = Pipelined

@@ -231,9 +231,30 @@ type Config struct {
 	// exactly MaxOuters x MaxInners sweeps, as the paper does for timing.
 	ForceIterations bool
 
-	// AllowCycles uses the lagging schedule builder instead of failing on
-	// cyclic dependencies (the paper's future-work extension).
+	// AllowCycles enables cycle-aware sweep topologies (the paper's
+	// future-work extension): each ordinate's upwind graph is condensed
+	// into its strongly connected components once, up front
+	// (sweep.Condense), and the intra-SCC back edges are demoted to lagged
+	// couplings that read a double-buffered previous-iterate angular-flux
+	// snapshot instead of imposing an ordering. Lagged edges therefore
+	// cost no scheduling at all: cyclic meshes keep the counter-driven
+	// engine, the fused eight-octant phase on vacuum problems, and the
+	// deterministic ordered flux reduction; the legacy bucket executors
+	// share the identical lag set and snapshot reads, so both paths agree
+	// to machine precision iteration by iteration. Without this flag a
+	// cyclic mesh fails at setup with sweep.ErrCycle.
 	AllowCycles bool
+
+	// CycleLag overrides the solver's own cycle analysis with externally
+	// computed lag decisions (AllowCycles must be set): it reports whether
+	// the dependency of local element to on local element from — an
+	// interior upwind edge for some ordinate angle — is lagged. The
+	// partitioned pipelined protocol uses it to distribute one global SCC
+	// condensation across ranks, so a rank never breaks a cross-rank cycle
+	// differently than the single-domain solver would; the supplied
+	// decisions must leave every ordinate's remaining local graph acyclic.
+	// Nil means the solver condenses its own (sub)mesh.
+	CycleLag func(angle, from, to int) bool
 
 	// PreAssembled pre-assembles and pre-factorises every local matrix at
 	// setup (section IV-B1's proposed optimisation); sweeps then only
@@ -257,7 +278,10 @@ type Config struct {
 	// outgoing flux through the SetPublish hook the moment the owning task
 	// completes. Mutually exclusive with Boundary; requires an
 	// engine-backed Scheme and forces the fused cross-octant phase (so
-	// OctantsSequential and AllowCycles are rejected). See external.go.
+	// OctantsSequential is rejected). Combines with AllowCycles: lagged
+	// local couplings read the previous-iterate snapshot, and the comm
+	// layer shifts lagged cross-rank resolutions by one sweep. See
+	// external.go.
 	External []ExternalFace
 
 	// Time enables SNAP's time-dependent mode (backward-Euler stepping);
@@ -314,6 +338,9 @@ func (c Config) validate() error {
 			return fmt.Errorf("core: element references unknown material %d", e.Material)
 		}
 	}
+	if c.CycleLag != nil && !c.AllowCycles {
+		return fmt.Errorf("core: CycleLag decisions are only meaningful with AllowCycles")
+	}
 	switch c.ScatOrder {
 	case 0:
 	case 1:
@@ -340,9 +367,6 @@ func (c Config) validateExternal() error {
 	}
 	if c.Boundary != nil {
 		return fmt.Errorf("core: External faces and a Boundary callback are mutually exclusive")
-	}
-	if c.AllowCycles {
-		return fmt.Errorf("core: External faces are incompatible with AllowCycles (lagged cycle seeds need the sequential octant order)")
 	}
 	if c.Octants == OctantsSequential {
 		return fmt.Errorf("core: External faces require the fused cross-octant phase; OctantsSequential cannot apply")

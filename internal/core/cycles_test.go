@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"unsnap/internal/mesh"
+	"unsnap/internal/quadrature"
+	"unsnap/internal/sweep"
+	"unsnap/internal/xs"
+)
+
+// cyclicProblem builds a genuinely cyclic twisted problem: the
+// oscillating twist (3 periods at 0.8 rad on a 4^3 grid) tilts the z-face
+// normals back and forth so half the SNAP ordinates' upwind graphs close
+// cycles (verified by TestCyclicProblemIsCyclic).
+func cyclicProblem(t *testing.T) Config {
+	t.Helper()
+	m, err := mesh.New(mesh.Config{NX: 4, NY: 4, NZ: 4, LX: 1, LY: 1, LZ: 1,
+		Twist: 0.8, TwistPeriods: 3, MatOpt: xs.MatOptCentre, SrcOpt: xs.SrcOptEverywhere})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := quadrature.NewSNAP(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := xs.NewLibrary(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Mesh: m, Order: 1, Quad: q, Lib: lib,
+		MaxInners: 3, MaxOuters: 2, ForceIterations: true,
+		AllowCycles: true,
+	}
+}
+
+// TestCyclicProblemIsCyclic pins the test mesh's defining property: some
+// ordinate's upwind graph has a cycle, so without AllowCycles the build
+// fails with sweep.ErrCycle and with it the solver reports lagged edges.
+func TestCyclicProblemIsCyclic(t *testing.T) {
+	cfg := cyclicProblem(t)
+	cfg.AllowCycles = false
+	cfg.Scheme = SchemeEngine
+	if _, err := New(cfg); !errors.Is(err, sweep.ErrCycle) {
+		t.Fatalf("cyclic mesh without AllowCycles should fail with ErrCycle, got %v", err)
+	}
+
+	cfg = cyclicProblem(t)
+	cfg.Scheme = SchemeEngine
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Lagged() == 0 {
+		t.Fatal("cyclic mesh must report lagged (cycle-broken) edges")
+	}
+}
+
+// TestEngineMatchesLegacyOnCyclicMesh is the cycle-aware engine's
+// acceptance test: on a cyclic twisted mesh, the counter-driven engine
+// (which keeps the fused eight-octant phase) must match the legacy
+// BuildWithLagging bucket path to 1e-12, iteration by iteration, at
+// 1/2/4 threads — both executors lag the identical condensation edge set
+// and read it from the same previous-iterate snapshot.
+func TestEngineMatchesLegacyOnCyclicMesh(t *testing.T) {
+	legacy := cyclicProblem(t)
+	legacy.Scheme = SchemeAEg
+	legacy.Threads = 1
+	refPhi, refPsi := runAndSnapshot(t, legacy)
+
+	for _, threads := range []int{1, 2, 4} {
+		eng := cyclicProblem(t)
+		eng.Scheme = SchemeEngine
+		eng.Threads = threads
+		s, err := New(eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !s.OctantsFused() {
+			t.Fatalf("threads=%d: cyclic vacuum run must keep the fused octant phase", threads)
+		}
+		phi, psi := snapshotSolver(s)
+		s.Close()
+		for i := range refPhi {
+			if math.Abs(phi[i]-refPhi[i]) > 1e-12*(1+math.Abs(refPhi[i])) {
+				t.Fatalf("threads=%d: phi[%d] engine %v vs legacy %v", threads, i, phi[i], refPhi[i])
+			}
+		}
+		for i := range refPsi {
+			if math.Abs(psi[i]-refPsi[i]) > 1e-12*(1+math.Abs(refPsi[i])) {
+				t.Fatalf("threads=%d: psi[%d] engine %v vs legacy %v", threads, i, psi[i], refPsi[i])
+			}
+		}
+	}
+}
+
+// TestCyclicEngineBitwiseDeterminism runs the cyclic engine twice at 4
+// threads: the ordered reduction and snapshot-based lagged reads must make
+// the result bitwise reproducible despite the relaxed execution order.
+func TestCyclicEngineBitwiseDeterminism(t *testing.T) {
+	run := func() ([]float64, []float64) {
+		cfg := cyclicProblem(t)
+		cfg.Scheme = SchemeEngine
+		cfg.Threads = 4
+		return runAndSnapshot(t, cfg)
+	}
+	phi1, psi1 := run()
+	phi2, psi2 := run()
+	for i := range phi1 {
+		if phi1[i] != phi2[i] {
+			t.Fatalf("phi[%d] not bitwise reproducible: %v vs %v", i, phi1[i], phi2[i])
+		}
+	}
+	for i := range psi1 {
+		if psi1[i] != psi2[i] {
+			t.Fatalf("psi[%d] not bitwise reproducible: %v vs %v", i, psi1[i], psi2[i])
+		}
+	}
+}
+
+// TestCyclicSequentialOctantsMatch pins that the sequential-octant engine
+// agrees with the fused one on cyclic meshes (the snapshot semantics make
+// octant order irrelevant for lagged reads).
+func TestCyclicSequentialOctantsMatch(t *testing.T) {
+	fused := cyclicProblem(t)
+	fused.Scheme = SchemeEngine
+	fused.Threads = 2
+	refPhi, refPsi := runAndSnapshot(t, fused)
+
+	seq := cyclicProblem(t)
+	seq.Scheme = SchemeEngine
+	seq.Threads = 2
+	seq.Octants = OctantsSequential
+	phi, psi := runAndSnapshot(t, seq)
+	for i := range refPhi {
+		if math.Abs(phi[i]-refPhi[i]) > 1e-12*(1+math.Abs(refPhi[i])) {
+			t.Fatalf("phi[%d] sequential %v vs fused %v", i, phi[i], refPhi[i])
+		}
+	}
+	for i := range refPsi {
+		if math.Abs(psi[i]-refPsi[i]) > 1e-12*(1+math.Abs(refPsi[i])) {
+			t.Fatalf("psi[%d] sequential %v vs fused %v", i, psi[i], refPsi[i])
+		}
+	}
+}
+
+// TestCyclicConvergence converges a cyclic problem (no forced
+// iterations): cycle lagging is a fixed-point iteration, so the converged
+// flux must be physical (positive, balanced).
+func TestCyclicConvergence(t *testing.T) {
+	cfg := cyclicProblem(t)
+	cfg.Scheme = SchemeEngine
+	cfg.Threads = 2
+	cfg.ForceIterations = false
+	cfg.Epsi = 1e-6
+	cfg.MaxInners = 200
+	cfg.MaxOuters = 8
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("cyclic problem failed to converge: %+v", res)
+	}
+	if res.Balance.Residual > 1e-5 {
+		t.Fatalf("converged balance residual too large: %+v", res.Balance)
+	}
+	if s.FluxIntegral(0) <= 0 {
+		t.Fatal("converged flux integral must be positive")
+	}
+}

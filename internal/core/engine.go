@@ -23,15 +23,15 @@ import (
 //   - Angle-parallel execution: every ordinate of an octant is in flight
 //     at once (their dependency graphs are independent), multiplying the
 //     available parallelism by Quad.PerOctant on shallow-bucket meshes.
-//   - Octant overlap: on vacuum problems (no Boundary callback, no cycle
-//     lagging) nothing couples the octants inside one sweep, so under
-//     OctantsAuto the engine fuses all eight octants into a single
-//     counter-driven phase — task ids span (octant, ordinate, element) —
-//     removing the seven quiesce barriers and the per-octant wavefront
-//     starvation behind the paper's Figure 3 strong-scaling wall.
-//     Reflective boundaries and lagged configurations fall back to
-//     sequential octant phases, preserving the legacy mirror-ordinate
-//     ordering.
+//   - Octant overlap: on vacuum problems (no Boundary callback) nothing
+//     couples the octants inside one sweep, so under OctantsAuto the
+//     engine fuses all eight octants into a single counter-driven phase —
+//     task ids span (octant, ordinate, element) — removing the seven
+//     quiesce barriers and the per-octant wavefront starvation behind the
+//     paper's Figure 3 strong-scaling wall. Cyclic meshes stay fused:
+//     their lagged couplings read the previous-iterate psi snapshot, not
+//     an in-sweep ordering. Reflective boundaries fall back to sequential
+//     octant phases, preserving the legacy mirror-ordinate ordering.
 //   - Lock-free deterministic flux reduction: tasks store only the
 //     angular flux; the scalar flux (and P1 current) is reduced from psi
 //     once per sweep in fixed ordinate order, so results are bitwise
@@ -612,28 +612,28 @@ func (s *Solver) reduceFluxFromPsi() {
 //   - vacuum boundaries: a Boundary callback (reflective mirror reads,
 //     block Jacobi halos) may observe the in-sweep octant order, which
 //     the fused phase does not preserve;
-//   - no cycle lagging (AllowCycles off): lagged seeds read the previous
-//     iteration's flux under the legacy fixed octant order, and the
-//     paper-faithful semantics keep that order;
 //   - a fused face-matrix cache that is not running in per-octant slab
 //     mode, since a slab can only track sequential octant phases. Under
 //     OctantsAuto the slab (and sequential phases) wins at sizes where
 //     the full cache does not fit; OctantsFused makes the opposite call
 //     (buildFusedFaces skips the slab tier, so this term never bites).
 //
-// The deterministic reduceFluxFromPsi reduction makes the relaxed
-// execution order bitwise-safe for everything else.
+// Cycle lagging (AllowCycles) does NOT pin the octant order: lagged
+// couplings read the immutable previous-iterate psi snapshot, so their
+// values are the same whichever octant runs first — cyclic vacuum
+// problems keep the fused eight-octant phase. The deterministic
+// reduceFluxFromPsi reduction makes the relaxed execution order
+// bitwise-safe for everything else.
 func (s *Solver) octantsFusable() bool {
 	return s.octantOverlapSafe() && !s.fusedSlab
 }
 
 // octantOverlapSafe holds the configuration-level terms of the fusion
-// decision (knob, boundary, lagging), shared between octantsFusable and
+// decision (knob, boundary), shared between octantsFusable and
 // buildFusedFaces' slab-tier choice so the two cannot drift.
 func (s *Solver) octantOverlapSafe() bool {
 	return s.cfg.Octants != OctantsSequential &&
-		s.cfg.Boundary == nil &&
-		!s.cfg.AllowCycles
+		s.cfg.Boundary == nil
 }
 
 // OctantsFused reports whether the engine overlaps all eight octants in
@@ -674,8 +674,8 @@ func (s *Solver) buildFusedFaces() {
 	if (s.cfg.Octants == OctantsFused || s.ext != nil) && s.octantOverlapSafe() {
 		// The caller chose octant overlap over the slab cache: a slab can
 		// only track sequential phases, so it is full cache or nothing.
-		// When overlap is ineligible anyway (boundary callback, lagging)
-		// the run stays sequential and the slab remains the right call.
+		// When overlap is ineligible anyway (boundary callback) the run
+		// stays sequential and the slab remains the right call.
 		// External (streamed halo) solvers must overlap — resolutions
 		// address tasks of any octant — so they make the same choice.
 		slab = false

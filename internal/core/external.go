@@ -150,6 +150,9 @@ func (s *Solver) ArmSweep() error {
 	if eng.armed != nil {
 		return fmt.Errorf("core: ArmSweep called with a sweep already armed")
 	}
+	// Cyclic topologies: expose the just-finished sweep to lagged local
+	// couplings before any task of the new sweep can run.
+	s.rotateLagSnapshot()
 	copy(eng.counts, eng.initCounts)
 	for _, d := range eng.deques {
 		d.reset()

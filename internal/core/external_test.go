@@ -188,10 +188,17 @@ func TestExternalConfigValidation(t *testing.T) {
 	if _, err := New(bad); err == nil {
 		t.Fatal("External + bucket scheme should be rejected")
 	}
+	ok := base
+	ok.AllowCycles = true
+	if s, err := New(ok); err != nil {
+		t.Fatalf("External + AllowCycles should be accepted (cycle-aware engine): %v", err)
+	} else {
+		s.Close()
+	}
 	bad = base
-	bad.AllowCycles = true
+	bad.CycleLag = func(a, from, to int) bool { return false }
 	if _, err := New(bad); err == nil {
-		t.Fatal("External + AllowCycles should be rejected")
+		t.Fatal("CycleLag without AllowCycles should be rejected")
 	}
 	bad = base
 	bad.Octants = OctantsSequential

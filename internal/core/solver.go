@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,11 +13,17 @@ import (
 )
 
 // topo is the per-ordinate sweep topology: the inflow classification of
-// every element face and the bucketed schedule it induces. Ordinates whose
-// classifications coincide (all angles of an octant, on mildly twisted
-// meshes) share one topo.
+// every element face, the lagged (cycle-broken) couplings, and the
+// bucketed schedule they induce. Ordinates whose classifications coincide
+// (all angles of an octant, on mildly twisted meshes) share one topo.
 type topo struct {
 	inflow []uint64 // bitset over elem*6+face
+	// lagged marks the inflow faces whose coupling was demoted by the
+	// cycle condensation: both executors read them from the
+	// previous-iterate psi snapshot (psiLag) instead of the live flux.
+	// Nil when the ordinate's graph is acyclic (the common case), keeping
+	// the hot path free of the extra test.
+	lagged []uint64
 	sched  *sweep.Schedule
 	graph  *sweep.Graph // counter-driven view of the same dependencies
 }
@@ -33,6 +38,16 @@ func (t *topo) setInflow(e, f int) {
 	t.inflow[bit/64] |= 1 << (bit % 64)
 }
 
+func (t *topo) isLagged(e, f int) bool {
+	bit := uint(e*fem.NumFaces + f)
+	return t.lagged[bit/64]&(1<<(bit%64)) != 0
+}
+
+func setFaceBit(bits []uint64, e, f int) {
+	bit := uint(e*fem.NumFaces + f)
+	bits[bit/64] |= 1 << (bit % 64)
+}
+
 // Solver is a configured UnSNAP transport solver over one spatial domain
 // (the whole mesh, or one rank's subdomain under the block Jacobi driver).
 type Solver struct {
@@ -45,7 +60,12 @@ type Solver struct {
 
 	topos []*topo // per angle (deduplicated pointers)
 
-	psi    []float64 // angular flux, layout per scheme
+	psi []float64 // angular flux, layout per scheme
+	// psiLag is the previous sweep's angular flux (cyclic meshes only):
+	// rotateLagSnapshot swaps it with psi at the start of every sweep, so
+	// lagged couplings read an immutable previous-iterate snapshot while
+	// the sweep overwrites psi. Nil when no topology has lagged edges.
+	psiLag []float64
 	phi    []float64 // scalar flux
 	phiOld []float64
 	qOuter []float64 // fixed + group-to-group source (per outer)
@@ -155,6 +175,11 @@ func New(cfg Config) (*Solver, error) {
 
 	size := s.nE * s.nG * s.nN
 	s.psi = make([]float64, s.nA*size)
+	if s.hasLaggedTopo() {
+		// Cyclic topology: double-buffer the angular flux so lagged
+		// couplings read the previous sweep through rotateLagSnapshot.
+		s.psiLag = make([]float64, s.nA*size)
+	}
 	s.phi = make([]float64, size)
 	s.phiOld = make([]float64, size)
 	s.qOuter = make([]float64, size)
@@ -201,17 +226,41 @@ func New(cfg Config) (*Solver, error) {
 }
 
 // buildTopologies classifies every face for every ordinate and builds (or
-// reuses) the bucketed sweep schedule for each distinct classification.
+// reuses) the sweep schedule, cycle condensation and counter graph for
+// each distinct classification, deduplicated through the shared bitmap
+// mechanism (sweep.BitmapDedup). With AllowCycles the lag set comes from
+// the solver's own SCC condensation (sweep.BuildWithLagging), or — in a
+// partitioned pipelined run — from the globally computed decisions in
+// Config.CycleLag, which then join the deduplication key (two ordinates
+// with identical local inflow may still differ in which cross-rank cycles
+// pass through them).
 func (s *Solver) buildTopologies() error {
 	m := s.cfg.Mesh
 	words := (s.nE*fem.NumFaces + 63) / 64
-	cache := make(map[uint64][]*topo) // FNV hash -> candidates
+	dedup := sweep.NewBitmapDedup()
+	var distinct []*topo
 	s.topos = make([]*topo, s.nA)
+	lagCB := s.cfg.CycleLag
 
 	for a := 0; a < s.nA; a++ {
 		om := s.cfg.Quad.Angles[a].Omega
 		t := &topo{inflow: make([]uint64, words)}
+		var lagBits []uint64
+		var lagEdges []sweep.Edge
 		up := make([][]int, s.nE)
+		// addDep records the dependency of element e on upwind neighbour u
+		// through face f of e, consulting the external lag decisions when
+		// a partitioned run supplies them.
+		addDep := func(u, e, f int) {
+			up[e] = append(up[e], u)
+			if lagCB != nil && lagCB(a, u, e) {
+				if lagBits == nil {
+					lagBits = make([]uint64, words)
+				}
+				setFaceBit(lagBits, e, f)
+				lagEdges = append(lagEdges, sweep.Edge{From: u, To: e})
+			}
+		}
 		for e := 0; e < s.nE; e++ {
 			for f := 0; f < fem.NumFaces; f++ {
 				fc := m.Elems[e].Faces[f]
@@ -242,50 +291,53 @@ func (s *Solver) buildTopologies() error {
 				if fc.Neighbor > e {
 					if on < 0 {
 						t.setInflow(e, f)
-						up[e] = append(up[e], fc.Neighbor)
+						addDep(fc.Neighbor, e, f)
 					} else {
 						t.setInflow(fc.Neighbor, fc.NeighborFace)
-						up[fc.Neighbor] = append(up[fc.Neighbor], e)
+						addDep(e, fc.Neighbor, fc.NeighborFace)
 					}
 				}
 			}
 		}
-		// Fix the dependency direction seen from the higher-index side: the
-		// loop above already added both directions' sets; dependencies for
-		// the higher side were recorded when visiting the lower side.
-		// Deduplicate by hashing the classification bitmap.
-		h := fnv.New64a()
-		for _, wrd := range t.inflow {
-			var b [8]byte
-			for i := 0; i < 8; i++ {
-				b[i] = byte(wrd >> (8 * i))
-			}
-			h.Write(b[:])
+		// Deduplicate on the classification bitmap; externally supplied
+		// lag decisions join the key (with the solver's own condensation
+		// the lag set is a pure function of the inflow bits).
+		key := t.inflow
+		if lagBits != nil {
+			key = append(append(make([]uint64, 0, 2*words), t.inflow...), lagBits...)
 		}
-		key := h.Sum64()
-		var found *topo
-		for _, cand := range cache[key] {
-			if equalWords(cand.inflow, t.inflow) {
-				found = cand
-				break
-			}
-		}
-		if found != nil {
-			s.topos[a] = found
+		if idx := dedup.Lookup(key); idx >= 0 {
+			s.topos[a] = distinct[idx]
 			continue
 		}
 		in := sweep.Input{NumElems: s.nE, Upwind: up}
 		var sched *sweep.Schedule
 		var err error
-		if s.cfg.AllowCycles {
-			sched, err = sweep.BuildWithLagging(in)
-		} else {
+		switch {
+		case !s.cfg.AllowCycles:
 			sched, err = sweep.Build(in)
+		case lagCB != nil:
+			sched, err = sweep.BuildCut(in, lagEdges)
+		default:
+			sched, err = sweep.BuildWithLagging(in)
 		}
 		if err != nil {
 			return fmt.Errorf("core: scheduling angle %d (omega %v): %w", a, om, err)
 		}
 		t.sched = sched
+		if lagCB == nil && len(sched.Lagged) > 0 {
+			// Own-condensation path: derive the per-face lag marks from the
+			// lag set (the callback path set them during the scan).
+			lagBits = make([]uint64, words)
+			for _, l := range sched.Lagged {
+				for f := 0; f < fem.NumFaces; f++ {
+					if m.Elems[l.To].Faces[f].Neighbor == l.From && t.isInflow(l.To, f) {
+						setFaceBit(lagBits, l.To, f)
+					}
+				}
+			}
+		}
+		t.lagged = lagBits
 		if s.cfg.Scheme.engineBacked() {
 			// Legacy bucket schemes never read the counter view; skip its
 			// build (and its failure modes) for them.
@@ -294,22 +346,57 @@ func (s *Solver) buildTopologies() error {
 				return fmt.Errorf("core: task graph for angle %d (omega %v): %w", a, om, err)
 			}
 		}
-		cache[key] = append(cache[key], t)
+		dedup.Insert(key, len(distinct))
+		distinct = append(distinct, t)
 		s.topos[a] = t
 	}
 	return nil
 }
 
-func equalWords(a, b []uint64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
+// hasLaggedTopo reports whether any ordinate's topology carries lagged
+// (cycle-broken) couplings, which require the psiLag snapshot buffer.
+func (s *Solver) hasLaggedTopo() bool {
+	for _, t := range s.topos {
+		if t.lagged != nil {
+			return true
 		}
 	}
-	return true
+	return false
+}
+
+// ResetLagSnapshot zeroes the angular-flux double buffer, so the next
+// sweep's lagged couplings read the zero initial iterate (the state of a
+// fresh solver). Both buffers are cleared because rotateLagSnapshot swaps
+// the current psi into the snapshot at sweep start; every non-lagged read
+// of psi only ever sees values written earlier in the same sweep, so the
+// clear cannot change anything else. The pipelined comm driver calls it
+// at the start of every Run: its cross-rank lagged slots restart from
+// zero per Run (their channels are per-run), and resetting the intra-rank
+// snapshot keeps both kinds of lagged coupling on identical semantics. A
+// no-op on acyclic problems.
+func (s *Solver) ResetLagSnapshot() {
+	if s.psiLag == nil {
+		return
+	}
+	for i := range s.psiLag {
+		s.psiLag[i] = 0
+	}
+	for i := range s.psi {
+		s.psi[i] = 0
+	}
+}
+
+// rotateLagSnapshot swaps the previous-iterate snapshot into psiLag at the
+// start of a sweep: psi (about to be fully overwritten) takes the stale
+// buffer, psiLag holds the sweep that just finished. Lagged couplings read
+// psiLag, so their values are immutable for the whole sweep no matter
+// which order the tasks execute in — the property that keeps cyclic
+// meshes on the fused cross-octant fast path. A no-op on acyclic
+// problems.
+func (s *Solver) rotateLagSnapshot() {
+	if s.psiLag != nil {
+		s.psi, s.psiLag = s.psiLag, s.psi
+	}
 }
 
 // preAssemble builds and factorises every (angle, element, group) matrix.

@@ -155,13 +155,19 @@ func (s *Solver) assembleRHS(st *workerState, a, e, g int) {
 		if fc.Neighbor >= 0 {
 			// Gather the neighbour's coincident nodal values via the
 			// conforming-face permutation, reordered into our face-node
-			// ordering.
+			// ordering. Lagged (cycle-broken) couplings gather from the
+			// previous-iterate snapshot instead: its values are immutable
+			// for the whole sweep, so the read is order-independent.
+			src := s.psi
+			if t.lagged != nil && t.isLagged(e, f) {
+				src = s.psiLag
+			}
 			perm := s.conn.Perm[e][f]
 			nbNodes := s.re.FaceNodes[fc.NeighborFace]
 			base := s.psiIdx(a, fc.Neighbor, g)
 			up = st.up
 			for l := 0; l < nf; l++ {
-				up[l] = s.psi[base+nbNodes[perm[l]]]
+				up[l] = src[base+nbNodes[perm[l]]]
 			}
 		} else if s.ext != nil {
 			if fi := s.ext.faceIdx[e*fem.NumFaces+f]; fi >= 0 {
@@ -320,12 +326,13 @@ func (s *Solver) solveElem(st *workerState, a, e int) error {
 
 // SweepAllAngles performs one full transport sweep over all ordinates.
 // Engine-backed schemes run counter-driven task graphs — one fused phase
-// covering all eight octants on vacuum problems, or eight sequential
-// octant phases when a boundary callback or cycle lagging pins the octant
-// order — and reduce the scalar flux from psi afterwards; legacy schemes
-// follow each ordinate's bucketed schedule under the scheme's threading
-// choice. The scalar flux accumulates the weighted angular fluxes;
-// callers zero it first via PrepareInner.
+// covering all eight octants on vacuum problems (cyclic meshes included:
+// lagged couplings read the previous-iterate snapshot, not an ordering),
+// or eight sequential octant phases when a boundary callback pins the
+// octant order — and reduce the scalar flux from psi afterwards; legacy
+// schemes follow each ordinate's bucketed schedule under the scheme's
+// threading choice. The scalar flux accumulates the weighted angular
+// fluxes; callers zero it first via PrepareInner.
 func (s *Solver) SweepAllAngles() error {
 	if s.ext != nil {
 		// A self-driven sweep would wait forever on streamed dependencies
@@ -333,6 +340,7 @@ func (s *Solver) SweepAllAngles() error {
 		// FinishSweep with a comm layer feeding the resolutions.
 		return fmt.Errorf("core: solver has External faces; drive sweeps with ArmSweep/FinishSweep")
 	}
+	s.rotateLagSnapshot()
 	var errMu sync.Mutex
 	var firstErr error
 	record := func(err error) {

@@ -1,0 +1,187 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"unsnap"
+)
+
+// CyclesConfig drives the cyclic-mesh sweep comparison: the same
+// genuinely cyclic twisted problem under the legacy lagged bucket
+// executor, the cycle-aware counter-driven engine, and the engine behind
+// the pipelined halo protocol, across thread counts.
+type CyclesConfig struct {
+	Problem unsnap.Problem
+	Threads []int
+	Inners  int
+	// Grid is the pipelined rank grid (a Y-split, which cuts the ring
+	// cycles of the oscillating twist, so the cross-rank lagged channel
+	// is genuinely exercised). ThreadsPerRank follows the Threads column.
+	Grid [2]int
+}
+
+// DefaultCycles benches on a 6^3 oscillating-twist mesh whose upwind
+// graphs cycle for half the SNAP ordinates (~960 lagged couplings,
+// largest SCC 36 elements) — the configuration meshgen's -cyclic mode
+// verifies.
+func DefaultCycles() CyclesConfig {
+	p := unsnap.DefaultProblem()
+	p.NX, p.NY, p.NZ = 6, 6, 6
+	p.Twist, p.TwistPeriods = 0.35, 2
+	p.AnglesPerOctant = 4
+	p.Groups = 8
+	return CyclesConfig{
+		Problem: p,
+		Threads: []int{1, 2, 4},
+		Inners:  10,
+		Grid:    [2]int{2, 1},
+	}
+}
+
+// CyclesRow is one measured thread count: wall ns per sweep for the
+// legacy lagged bucket path, the cycle-aware engine (fused octants), and
+// the engine behind the pipelined protocol on the configured rank grid.
+// The speedups are relative to the legacy path.
+type CyclesRow struct {
+	Threads          int     `json:"threads"`
+	LegacyNsOp       float64 `json:"legacy_lagged_ns_op"`
+	EngineNsOp       float64 `json:"engine_ns_op"`
+	PipelinedNsOp    float64 `json:"engine_pipelined_ns_op"`
+	EngineSpeedup    float64 `json:"engine_speedup"`
+	PipelinedSpeedup float64 `json:"pipelined_speedup"`
+}
+
+// CyclesSection is the serialised cyclic-mesh comparison of
+// BENCH_sweep.json.
+type CyclesSection struct {
+	Problem ProblemShape `json:"problem"`
+	Twist   float64      `json:"twist"`
+	Periods float64      `json:"twist_periods"`
+	Inners  int          `json:"inners_per_run"`
+	Grid    string       `json:"pipelined_grid"`
+	// LaggedEdges counts the demoted couplings across all distinct
+	// topologies (a zero here would mean the mesh is not actually cyclic
+	// — RunCycles fails loudly instead of recording that).
+	LaggedEdges int         `json:"lagged_edges"`
+	Rows        []CyclesRow `json:"rows"`
+}
+
+// RunCycles measures the three executors at every thread count and guards
+// the comparison: the mesh must actually be cyclic, and every variant's
+// flux integral must agree with the engine's (the 1e-12 equivalence is
+// pinned by the test suite; the bench keeps a coarser sanity bound so a
+// broken build can never record a "speedup").
+func RunCycles(cfg CyclesConfig) ([]CyclesRow, int, error) {
+	lagged := 0
+	ref := math.NaN()
+	checkFlux := func(name string, got float64) error {
+		if ref != ref { // first measurement seeds the reference
+			ref = got
+			return nil
+		}
+		if math.Abs(got-ref) > 1e-9*(1+math.Abs(ref)) {
+			return fmt.Errorf("harness: cycles experiment: %s flux %v deviates from reference %v", name, got, ref)
+		}
+		return nil
+	}
+
+	rows := make([]CyclesRow, 0, len(cfg.Threads))
+	for _, threads := range cfg.Threads {
+		opts := unsnap.Options{
+			Threads: threads, AllowCycles: true,
+			MaxInners: cfg.Inners, MaxOuters: 1, ForceIterations: true,
+		}
+		var nsop [3]float64
+
+		for i, scheme := range []unsnap.Scheme{unsnap.AEg, unsnap.Engine} {
+			o := opts
+			o.Scheme = scheme
+			s, err := unsnap.NewSolver(cfg.Problem, o)
+			if err != nil {
+				return nil, 0, fmt.Errorf("harness: cycles experiment scheme %v threads %d: %w", scheme, threads, err)
+			}
+			if scheme == unsnap.Engine {
+				if n := s.Internal().Lagged(); n == 0 {
+					s.Close()
+					return nil, 0, fmt.Errorf("harness: cycles experiment problem is not cyclic (no lagged couplings); raise Twist/TwistPeriods")
+				} else {
+					lagged = n
+				}
+			}
+			res, err := s.Run()
+			if err != nil {
+				s.Close()
+				return nil, 0, err
+			}
+			ferr := checkFlux(scheme.String(), s.FluxIntegral(0))
+			s.Close()
+			if ferr != nil {
+				return nil, 0, ferr
+			}
+			nsop[i] = res.SweepSeconds * 1e9 / float64(cfg.Inners)
+		}
+
+		o := opts
+		o.Scheme = unsnap.Engine
+		o.Protocol = unsnap.CommPipelined
+		d, err := unsnap.NewDistributed(cfg.Problem, o, cfg.Grid[0], cfg.Grid[1])
+		if err != nil {
+			return nil, 0, fmt.Errorf("harness: cycles experiment pipelined %dx%d threads %d: %w", cfg.Grid[0], cfg.Grid[1], threads, err)
+		}
+		res, err := d.Run()
+		if err != nil {
+			d.Close()
+			return nil, 0, err
+		}
+		ferr := checkFlux("pipelined", d.FluxIntegral(0))
+		d.Close()
+		if ferr != nil {
+			return nil, 0, ferr
+		}
+		// SweepSeconds (the slowest rank's in-sweep time) keeps the column
+		// comparable with the single-domain SweepSeconds figures; wall
+		// time would fold setup and source work into this one variant.
+		nsop[2] = res.SweepSeconds * 1e9 / float64(cfg.Inners)
+
+		row := CyclesRow{
+			Threads:    threads,
+			LegacyNsOp: nsop[0], EngineNsOp: nsop[1], PipelinedNsOp: nsop[2],
+		}
+		if nsop[1] > 0 {
+			row.EngineSpeedup = nsop[0] / nsop[1]
+		}
+		if nsop[2] > 0 {
+			row.PipelinedSpeedup = nsop[0] / nsop[2]
+		}
+		rows = append(rows, row)
+	}
+	return rows, lagged, nil
+}
+
+// CyclesSectionOf packages a cycles run for WriteSweepJSON.
+func CyclesSectionOf(cfg CyclesConfig, rows []CyclesRow, laggedEdges int) *CyclesSection {
+	return &CyclesSection{
+		Problem:     shapeOf(cfg.Problem),
+		Twist:       cfg.Problem.Twist,
+		Periods:     cfg.Problem.TwistPeriods,
+		Inners:      cfg.Inners,
+		Grid:        fmt.Sprintf("%dx%d", cfg.Grid[0], cfg.Grid[1]),
+		LaggedEdges: laggedEdges,
+		Rows:        rows,
+	}
+}
+
+// FprintCycles writes the comparison table.
+func FprintCycles(w io.Writer, cfg CyclesConfig, rows []CyclesRow, laggedEdges int) {
+	fmt.Fprintf(w, "cyclic mesh: %d lagged couplings; pipelined grid %dx%d\n", laggedEdges, cfg.Grid[0], cfg.Grid[1])
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Threads\tlegacy lagged (ns/sweep)\tengine (ns/sweep)\tengine+pipelined (ns/sweep)\tengine speedup\tpipelined speedup\n")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.0f\t%.0f\t%.0f\t%.2fx\t%.2fx\n",
+			r.Threads, r.LegacyNsOp, r.EngineNsOp, r.PipelinedNsOp, r.EngineSpeedup, r.PipelinedSpeedup)
+	}
+	tw.Flush()
+}

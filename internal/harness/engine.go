@@ -93,6 +93,7 @@ type SweepReport struct {
 	Commit string         `json:"commit,omitempty"`
 	Engine *EngineSection `json:"engine,omitempty"`
 	Comm   *CommSection   `json:"comm,omitempty"`
+	Cycles *CyclesSection `json:"cycles,omitempty"`
 }
 
 // RunEngine measures all three executors at every thread count: the
@@ -158,8 +159,8 @@ func FprintEngine(w io.Writer, cfg EngineConfig, rows []EngineRow) {
 // WriteSweepJSON records the sweep benchmark sections for the perf
 // trajectory (scripts/bench.sh writes it to BENCH_sweep.json at the repo
 // root, stamping the measured git commit). Nil sections are omitted.
-func WriteSweepJSON(path, commit string, eng *EngineSection, comm *CommSection) error {
-	rep := SweepReport{Commit: commit, Engine: eng, Comm: comm}
+func WriteSweepJSON(path, commit string, eng *EngineSection, comm *CommSection, cycles *CyclesSection) error {
+	rep := SweepReport{Commit: commit, Engine: eng, Comm: comm, Cycles: cycles}
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err

@@ -36,7 +36,7 @@ func TestRunEngineTiny(t *testing.T) {
 	}
 
 	path := filepath.Join(t.TempDir(), "bench.json")
-	if err := WriteSweepJSON(path, "deadbeef", EngineSectionOf(cfg, rows), nil); err != nil {
+	if err := WriteSweepJSON(path, "deadbeef", EngineSectionOf(cfg, rows), nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -56,6 +56,56 @@ func TestRunEngineTiny(t *testing.T) {
 	}
 	if rep.Comm != nil {
 		t.Fatalf("comm section should be omitted when nil: %+v", rep)
+	}
+}
+
+func TestRunCyclesTiny(t *testing.T) {
+	cfg := DefaultCycles()
+	// Smallest verified-cyclic shape (see the core package's cyclic
+	// tests): 4^3 at 0.8 rad over 3 periods.
+	cfg.Problem.NX, cfg.Problem.NY, cfg.Problem.NZ = 4, 4, 4
+	cfg.Problem.Twist, cfg.Problem.TwistPeriods = 0.8, 3
+	cfg.Problem.AnglesPerOctant = 4
+	cfg.Problem.Groups = 2
+	cfg.Threads = []int{1, 2}
+	cfg.Inners = 2
+	rows, lagged, err := RunCycles(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || lagged == 0 {
+		t.Fatalf("got %d rows, %d lagged edges", len(rows), lagged)
+	}
+	for _, r := range rows {
+		if r.LegacyNsOp <= 0 || r.EngineNsOp <= 0 || r.PipelinedNsOp <= 0 ||
+			r.EngineSpeedup <= 0 || r.PipelinedSpeedup <= 0 {
+			t.Fatalf("row not measured: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	FprintCycles(&buf, cfg, rows, lagged)
+	if !strings.Contains(buf.String(), "engine+pipelined (ns/sweep)") {
+		t.Fatalf("table output malformed: %s", buf.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteSweepJSON(path, "deadbeef", nil, nil, CyclesSectionOf(cfg, rows, lagged)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep SweepReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles == nil || len(rep.Cycles.Rows) != 2 || rep.Cycles.LaggedEdges != lagged ||
+		rep.Cycles.Grid != "2x1" || rep.Cycles.Periods != 3 {
+		t.Fatalf("cycles report round trip wrong: %+v", rep.Cycles)
+	}
+	if rep.Engine != nil || rep.Comm != nil {
+		t.Fatalf("nil sections should be omitted: %+v", rep)
 	}
 }
 

@@ -20,14 +20,15 @@ type jsonElement struct {
 }
 
 type jsonMesh struct {
-	NX    int           `json:"nx"`
-	NY    int           `json:"ny"`
-	NZ    int           `json:"nz"`
-	LX    float64       `json:"lx"`
-	LY    float64       `json:"ly"`
-	LZ    float64       `json:"lz"`
-	Twist float64       `json:"twist"`
-	Elems []jsonElement `json:"elements"`
+	NX           int           `json:"nx"`
+	NY           int           `json:"ny"`
+	NZ           int           `json:"nz"`
+	LX           float64       `json:"lx"`
+	LY           float64       `json:"ly"`
+	LZ           float64       `json:"lz"`
+	Twist        float64       `json:"twist"`
+	TwistPeriods float64       `json:"twist_periods,omitempty"`
+	Elems        []jsonElement `json:"elements"`
 }
 
 // WriteJSON serialises the mesh, including the explicit connectivity, so
@@ -36,7 +37,7 @@ func (m *Mesh) WriteJSON(w io.Writer) error {
 	jm := jsonMesh{
 		NX: m.NX, NY: m.NY, NZ: m.NZ,
 		LX: m.LX, LY: m.LY, LZ: m.LZ,
-		Twist: m.Twist,
+		Twist: m.Twist, TwistPeriods: m.TwistPeriods,
 		Elems: make([]jsonElement, len(m.Elems)),
 	}
 	for i, e := range m.Elems {
@@ -61,7 +62,7 @@ func ReadJSON(r io.Reader) (*Mesh, error) {
 	m := &Mesh{
 		NX: jm.NX, NY: jm.NY, NZ: jm.NZ,
 		LX: jm.LX, LY: jm.LY, LZ: jm.LZ,
-		Twist: jm.Twist,
+		Twist: jm.Twist, TwistPeriods: jm.TwistPeriods,
 		Elems: make([]Element, len(jm.Elems)),
 	}
 	for i, je := range jm.Elems {

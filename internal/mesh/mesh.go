@@ -49,9 +49,10 @@ type Mesh struct {
 	Elems []Element
 
 	// Structured provenance.
-	NX, NY, NZ int
-	LX, LY, LZ float64
-	Twist      float64
+	NX, NY, NZ   int
+	LX, LY, LZ   float64
+	Twist        float64
+	TwistPeriods float64
 }
 
 // Config describes a SNAP-style structured box problem to be stored
@@ -62,9 +63,20 @@ type Config struct {
 	// Twist is the maximum rotation (radians) applied to the top z-layer
 	// of vertices about the domain's central axis; layers below rotate
 	// proportionally to their height. The paper uses up to 0.001.
-	Twist  float64
-	MatOpt int // xs material layout option
-	SrcOpt int // xs source layout option
+	Twist float64
+	// TwistPeriods switches the twist profile from the paper's monotone
+	// ramp to an oscillation: theta(z) = Twist * sin(2 pi TwistPeriods
+	// z/LZ). The alternating differential rotation between z-layers tilts
+	// the z-face normals back and forth azimuthally, which is how genuinely
+	// cyclic upwind dependency graphs arise at modest distortion — the
+	// monotone ramp needs extreme angles (~2 rad) before any ordinate's
+	// graph closes a cycle, while e.g. Twist 0.35 with 2 periods on a 6^3
+	// grid already cycles half the SNAP ordinates without inverting any
+	// element. Zero (the default) keeps the paper's profile; cyclic meshes
+	// are only sweepable with the solver's AllowCycles option.
+	TwistPeriods float64
+	MatOpt       int // xs material layout option
+	SrcOpt       int // xs source layout option
 }
 
 // DefaultConfig returns the paper's Figure 3 problem shape scaled to unit
@@ -85,10 +97,13 @@ func New(cfg Config) (*Mesh, error) {
 	if err := xs.ValidateOptions(cfg.MatOpt, cfg.SrcOpt); err != nil {
 		return nil, err
 	}
+	if cfg.TwistPeriods < 0 {
+		return nil, fmt.Errorf("mesh: twist periods must be >= 0, got %g", cfg.TwistPeriods)
+	}
 	m := &Mesh{
 		NX: cfg.NX, NY: cfg.NY, NZ: cfg.NZ,
 		LX: cfg.LX, LY: cfg.LY, LZ: cfg.LZ,
-		Twist: cfg.Twist,
+		Twist: cfg.Twist, TwistPeriods: cfg.TwistPeriods,
 	}
 	ne := cfg.NX * cfg.NY * cfg.NZ
 	m.Elems = make([]Element, ne)
@@ -138,12 +153,18 @@ func New(cfg Config) (*Mesh, error) {
 }
 
 // twistPoint rotates point v about the domain's central z-axis by an angle
-// proportional to its height: theta(z) = Twist * z / LZ.
+// that depends only on its height — theta(z) = Twist * z/LZ for the
+// paper's monotone ramp, or Twist * sin(2 pi TwistPeriods z/LZ) in the
+// oscillating (cycle-producing) mode — so shared vertices coincide exactly
+// between neighbouring elements.
 func (m *Mesh) twistPoint(v [3]float64, cfg Config) [3]float64 {
 	if cfg.Twist == 0 {
 		return v
 	}
 	theta := cfg.Twist * v[2] / cfg.LZ
+	if cfg.TwistPeriods > 0 {
+		theta = cfg.Twist * math.Sin(2*math.Pi*cfg.TwistPeriods*v[2]/cfg.LZ)
+	}
 	cx, cy := cfg.LX/2, cfg.LY/2
 	s, c := math.Sin(theta), math.Cos(theta)
 	x, y := v[0]-cx, v[1]-cy

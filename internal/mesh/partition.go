@@ -69,7 +69,7 @@ func (m *Mesh) PartitionKBA(py, pz int) (*Partition, error) {
 				Mesh: &Mesh{
 					NX: m.NX, NY: ny, NZ: nz,
 					LX: m.LX, LY: m.LY, LZ: m.LZ,
-					Twist: m.Twist,
+					Twist: m.Twist, TwistPeriods: m.TwistPeriods,
 				},
 			}
 			sub.Mesh.Elems = make([]Element, 0, m.NX*ny*nz)

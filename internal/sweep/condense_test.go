@@ -1,0 +1,147 @@
+package sweep
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCondenseAcyclic(t *testing.T) {
+	in := structuredInput(3)
+	c, err := Condense(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumComps != in.NumElems || c.MaxComp != 1 {
+		t.Fatalf("acyclic graph: %d comps (max %d), want %d singletons", c.NumComps, c.MaxComp, in.NumElems)
+	}
+	if len(c.Lagged) != 0 {
+		t.Fatalf("acyclic graph lagged %v", c.Lagged)
+	}
+}
+
+func TestCondenseTwoCycle(t *testing.T) {
+	in := Input{NumElems: 2, Upwind: [][]int{{1}, {0}}}
+	c, err := Condense(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumComps != 1 || c.MaxComp != 2 {
+		t.Fatalf("two-cycle: %d comps max %d", c.NumComps, c.MaxComp)
+	}
+	if len(c.Lagged) != 1 || c.Lagged[0] != (Edge{From: 1, To: 0}) {
+		t.Fatalf("lag rule must demote the back edge 1->0, got %v", c.Lagged)
+	}
+}
+
+func TestCondenseEmbeddedCycle(t *testing.T) {
+	// 0 -> 1 <-> 2 -> 3: one nontrivial SCC {1,2}.
+	in := Input{NumElems: 4, Upwind: [][]int{nil, {0, 2}, {1}, {2}}}
+	c, err := Condense(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumComps != 3 || c.MaxComp != 2 {
+		t.Fatalf("embedded cycle: %d comps max %d", c.NumComps, c.MaxComp)
+	}
+	if c.Comp[1] != c.Comp[2] || c.Comp[0] == c.Comp[1] || c.Comp[3] == c.Comp[1] {
+		t.Fatalf("component map wrong: %v", c.Comp)
+	}
+	if len(c.Lagged) != 1 || c.Lagged[0] != (Edge{From: 2, To: 1}) {
+		t.Fatalf("expected exactly the back edge 2->1 lagged, got %v", c.Lagged)
+	}
+}
+
+func TestCondenseRejectsBadInput(t *testing.T) {
+	if _, err := Condense(Input{NumElems: 2, Upwind: [][]int{{5}, nil}}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := Condense(Input{NumElems: 1, Upwind: [][]int{{0}}}); err == nil {
+		t.Fatal("expected self-dependency error")
+	}
+}
+
+// randomDigraph builds an arbitrary directed graph (cycles likely).
+func randomDigraph(rng *rand.Rand, n int, p float64) Input {
+	up := make([][]int, n)
+	for e := 0; e < n; e++ {
+		for u := 0; u < n; u++ {
+			if u != e && rng.Float64() < p {
+				up[e] = append(up[e], u)
+			}
+		}
+	}
+	return Input{NumElems: n, Upwind: up}
+}
+
+// TestCondenseCutAcyclicProperty is the cycle layer's core property test:
+// for arbitrary directed graphs, the SCC condensation's lagged demotion
+// always yields a counter graph that is acyclic and covers every element —
+// a random counter-driven execution completes all of them — and the lag
+// set touches only intra-SCC back edges.
+func TestCondenseCutAcyclicProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := func(rawN, rawP uint8) bool {
+		n := int(rawN%40) + 2
+		in := randomDigraph(rng, n, float64(rawP%100)/260.0)
+		c, err := Condense(in)
+		if err != nil {
+			t.Logf("condense failed: %v", err)
+			return false
+		}
+		for _, l := range c.Lagged {
+			if c.Comp[l.From] != c.Comp[l.To] || l.From <= l.To {
+				t.Logf("lagged edge %v is not an intra-SCC back edge", l)
+				return false
+			}
+		}
+		g, err := BuildGraph(in, c.Lagged)
+		if err != nil {
+			t.Logf("cut graph not acyclic: %v", err)
+			return false
+		}
+		order := simulateCounterRun(g, rng)
+		if order == nil {
+			t.Log("counter execution stalled")
+			return false
+		}
+		checkOrder(t, in, c.Lagged, order)
+		// The schedule builder must agree with the condensation's lag set.
+		sched, err := BuildWithLagging(in)
+		if err != nil {
+			t.Logf("schedule build failed: %v", err)
+			return false
+		}
+		if len(sched.Lagged) != len(c.Lagged) {
+			t.Logf("schedule lag set %v != condensation %v", sched.Lagged, c.Lagged)
+			return false
+		}
+		return sched.Validate(in) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitmapDedup(t *testing.T) {
+	d := NewBitmapDedup()
+	a := []uint64{1, 2, 3}
+	b := []uint64{1, 2, 4}
+	if d.Lookup(a) != -1 {
+		t.Fatal("empty dedup must miss")
+	}
+	d.Insert(a, 0)
+	if d.Lookup(a) != 0 {
+		t.Fatal("identical bitmap must hit")
+	}
+	if d.Lookup(b) != -1 {
+		t.Fatal("different bitmap must miss")
+	}
+	if d.Lookup([]uint64{1, 2}) != -1 {
+		t.Fatal("shorter bitmap must miss")
+	}
+	d.Insert(b, 1)
+	if d.Lookup(b) != 1 {
+		t.Fatal("second bitmap must hit its own index")
+	}
+}

@@ -10,22 +10,20 @@ import "fmt"
 // worker that finishes element e decrements the remaining-upwind counter
 // of every element downwind of e and enqueues the ones that reach zero.
 //
-// Lagged (cycle-broken) edges need care. The bucketed schedule places the
-// lag seed strictly before the upwind element it was cut from, so the
-// seed always reads the previous iteration's flux on the cut coupling.
-// Graph preserves that semantics — and makes concurrent execution
-// deterministic and race-free — by reversing each lagged edge: the seed
-// becomes a prerequisite of its cut upwind element, so the old value is
-// read before it can be overwritten. Reversal cannot introduce a cycle:
-// the schedule's levels already order seed strictly before upwind, and
-// every kept edge strictly increases the level, so the levels remain a
-// topological certificate of the modified graph.
+// Lagged (cycle-broken) edges are not scheduling edges at all: the solver
+// reads those couplings from a double-buffered previous-iterate flux
+// snapshot, so the value is immutable for the whole sweep and no ordering
+// between the two endpoints is required. Graph therefore cuts every
+// lagged edge out of the counter view — it contributes neither a counter
+// nor a successor — which keeps cyclic meshes on exactly the same
+// executor fast path (fused octants, mid-sweep cross-rank streaming) as
+// acyclic ones. The lag set comes from the SCC condensation (Condense),
+// which guarantees the cut graph is acyclic.
 type Graph struct {
 	NumElems int
 	// Indeg[e] is the number of prerequisites of element e: its non-lagged
-	// upwind neighbours plus the seeds of any lagged edges cut from e.
-	// Executors copy this (see Counts) and decrement the copy as elements
-	// complete.
+	// upwind neighbours. Executors copy this (see Counts) and decrement
+	// the copy as elements complete.
 	Indeg []int32
 	// Down/DownOff form the CSR adjacency of successors:
 	// Down[DownOff[e]:DownOff[e+1]] lists the elements whose counter drops
@@ -37,11 +35,11 @@ type Graph struct {
 	Roots []int32
 }
 
-// BuildGraph derives the counter view of in, treating the given lagged
-// edges (typically Schedule.Lagged) as cut-and-reversed as described on
+// BuildGraph derives the counter view of in, cutting the given lagged
+// edges (typically Schedule.Lagged or Condensation.Lagged) as described on
 // Graph. With no lagged edges it is the plain dependency graph. It fails
 // if the resulting graph is cyclic, which for a lag set produced by
-// BuildWithLagging on the same input cannot happen.
+// Condense on the same input cannot happen.
 func BuildGraph(in Input, lagged []Edge) (*Graph, error) {
 	if err := checkInput(in); err != nil {
 		return nil, err
@@ -57,13 +55,10 @@ func BuildGraph(in Input, lagged []Edge) (*Graph, error) {
 		DownOff:  make([]int32, n+1),
 	}
 	// First pass: successor counts. A kept upwind edge u->e makes e a
-	// successor of u; a lagged edge (From, To) is reversed into To->From.
+	// successor of u; a lagged edge contributes nothing.
 	for e := 0; e < n; e++ {
 		for _, u := range in.Upwind[e] {
-			if cut[Edge{From: u, To: e}] {
-				g.DownOff[e+1]++ // reversed: From becomes a successor of To
-				g.Indeg[u]++
-			} else {
+			if !cut[Edge{From: u, To: e}] {
 				g.DownOff[u+1]++
 				g.Indeg[e]++
 			}
@@ -75,16 +70,11 @@ func BuildGraph(in Input, lagged []Edge) (*Graph, error) {
 	g.Down = make([]int32, g.DownOff[n])
 	fill := make([]int32, n)
 	copy(fill, g.DownOff[:n])
-	add := func(from, to int) {
-		g.Down[fill[from]] = int32(to)
-		fill[from]++
-	}
 	for e := 0; e < n; e++ {
 		for _, u := range in.Upwind[e] {
-			if cut[Edge{From: u, To: e}] {
-				add(e, u)
-			} else {
-				add(u, e)
+			if !cut[Edge{From: u, To: e}] {
+				g.Down[fill[u]] = int32(e)
+				fill[u]++
 			}
 		}
 	}
@@ -138,5 +128,5 @@ func (g *Graph) DownwindOf(e int) []int32 {
 }
 
 // NumEdges returns the total number of scheduling edges in the counter
-// view (kept upwind edges plus reversed lagged edges).
+// view (the kept upwind edges; lagged edges are cut and contribute none).
 func (g *Graph) NumEdges() int { return len(g.Down) }

@@ -58,9 +58,10 @@ func simulateCounterRun(g *Graph, rng *rand.Rand) []int {
 }
 
 // checkOrder verifies a completion order against the input and lag set:
-// every element exactly once, every kept upwind edge resolved before its
-// downwind element, and every lagged edge executed seed-first (the
-// reversed ordering that preserves previous-iteration reads).
+// every element exactly once and every kept upwind edge resolved before
+// its downwind element. Lagged edges impose no ordering at all — the
+// solver reads them from a previous-iterate snapshot, so either endpoint
+// may run first.
 func checkOrder(t *testing.T, in Input, lagged []Edge, order []int) {
 	t.Helper()
 	pos := make([]int, in.NumElems)
@@ -84,11 +85,9 @@ func checkOrder(t *testing.T, in Input, lagged []Edge, order []int) {
 	for e, ups := range in.Upwind {
 		for _, u := range ups {
 			if cut[Edge{From: u, To: e}] {
-				if pos[e] >= pos[u] {
-					t.Fatalf("lagged edge %d->%d: seed %d ran at %d, after upwind %d at %d",
-						u, e, e, pos[e], u, pos[u])
-				}
-			} else if pos[u] >= pos[e] {
+				continue
+			}
+			if pos[u] >= pos[e] {
 				t.Fatalf("upwind edge %d->%d violated: %d at %d, %d at %d",
 					u, e, u, pos[u], e, pos[e])
 			}

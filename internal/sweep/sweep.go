@@ -19,14 +19,18 @@
 //     reasoning about tlevel statistics.
 //
 // The paper's first UnSNAP version assumes the graph is acyclic (true for
-// the twisted-structured meshes it studies) and defers cycle handling to
-// future work. Build enforces that assumption by returning ErrCycle;
-// BuildWithLagging implements the deferred extension: it breaks cycles by
-// removing ("lagging") as few dependency edges as it can find greedily,
-// recording them so the solver can substitute previous-iteration flux on
-// those couplings. BuildGraph consumes the same lag set, reversing the cut
-// edges so counter-driven execution preserves the previous-iteration reads
-// (see Graph).
+// mildly twisted structured meshes) and defers cycle handling to future
+// work. Build enforces that assumption by returning ErrCycle. Cycle
+// handling is implemented as an up-front topology transform (condense.go):
+// Condense computes the Tarjan SCC condensation of the graph and demotes
+// the intra-SCC back edges to a deterministic lagged set — couplings the
+// solver reads from the previous iteration's flux instead of scheduling.
+// BuildWithLagging derives its schedule from that condensation (via
+// BuildCut), and BuildGraph consumes the same lag set, cutting the lagged
+// edges out of the counter view so an executor never waits on them (see
+// Graph). Because the lag rule depends only on SCC membership and element
+// ids, every layer — bucket schedules, counter graphs, the cross-rank
+// pipelined protocol — reproduces the identical cycle-breaking decision.
 package sweep
 
 import (
@@ -92,31 +96,61 @@ func (s *Schedule) AvgBucket() float64 {
 // Build computes the bucketed schedule of in, failing with ErrCycle if the
 // graph is not acyclic.
 func Build(in Input) (*Schedule, error) {
-	return build(in, false)
+	return buildCut(in, nil)
 }
 
-// BuildWithLagging computes the schedule, breaking any cycles by removing
-// dependency edges greedily (fewest remaining dependencies first, lowest
-// element index as the tie-break) and recording them in Lagged.
+// BuildWithLagging computes the schedule of an arbitrary (possibly cyclic)
+// graph: the SCC condensation's lag set (see Condense) is cut from the
+// dependency structure and recorded in Lagged, and the remaining acyclic
+// graph is levelled as usual. The engine's counter view (BuildGraph) and
+// the cross-rank pipelined protocol derive their cycle handling from the
+// same condensation, so all executors lag the identical edge set.
 func BuildWithLagging(in Input) (*Schedule, error) {
-	return build(in, true)
+	cond, err := Condense(in)
+	if err != nil {
+		return nil, err
+	}
+	return buildCut(in, cond.Lagged)
 }
 
-func build(in Input, lag bool) (*Schedule, error) {
+// BuildCut computes the bucketed schedule of in with the given dependency
+// edges demoted to lagged (previous-iterate) reads. The lag set must leave
+// the remaining graph acyclic — Condense guarantees that for its own lag
+// sets; externally supplied sets (a partitioned run distributing a global
+// condensation) are validated and rejected with ErrCycle otherwise.
+func BuildCut(in Input, lagged []Edge) (*Schedule, error) {
+	return buildCut(in, lagged)
+}
+
+func buildCut(in Input, lagged []Edge) (*Schedule, error) {
 	if err := checkInput(in); err != nil {
 		return nil, err
 	}
 	n := in.NumElems
+	var cut map[Edge]bool
+	s := &Schedule{}
+	if len(lagged) > 0 {
+		cut = make(map[Edge]bool, len(lagged))
+		for _, l := range lagged {
+			if !cut[l] {
+				cut[l] = true
+				s.Lagged = append(s.Lagged, l)
+			}
+		}
+	}
 	indeg := make([]int, n)
-	// Downwind adjacency, derived from the upwind lists.
+	// Downwind adjacency, derived from the upwind lists (lagged edges
+	// excluded: they impose no ordering).
 	down := make([][]int, n)
 	for e := 0; e < n; e++ {
-		indeg[e] = len(in.Upwind[e])
 		for _, u := range in.Upwind[e] {
+			if cut[Edge{From: u, To: e}] {
+				continue
+			}
+			indeg[e]++
 			down[u] = append(down[u], e)
 		}
 	}
-	s := &Schedule{}
 	done := make([]bool, n)
 	remaining := n
 
@@ -128,24 +162,7 @@ func build(in Input, lag bool) (*Schedule, error) {
 	}
 	for remaining > 0 {
 		if len(current) == 0 {
-			if !lag {
-				return nil, ErrCycle
-			}
-			// Break the cycle: seed the next bucket with the unfinished
-			// element carrying the fewest unmet dependencies.
-			seed := -1
-			for e := 0; e < n; e++ {
-				if !done[e] && (seed == -1 || indeg[e] < indeg[seed]) {
-					seed = e
-				}
-			}
-			for _, u := range in.Upwind[seed] {
-				if !done[u] {
-					s.Lagged = append(s.Lagged, Edge{From: u, To: seed})
-				}
-			}
-			indeg[seed] = 0
-			current = append(current, seed)
+			return nil, ErrCycle
 		}
 		bucket := append([]int(nil), current...)
 		s.Buckets = append(s.Buckets, bucket)

@@ -15,4 +15,9 @@ fi
 go vet ./...
 go build ./...
 go build ./examples/...
+# Cyclic-mesh equivalence first (engine vs legacy bucket path, pipelined
+# vs single domain, 1e-12) under the race detector: the cycle-aware
+# engine's lagged snapshot reads and the shifted cross-rank channel are
+# exactly the kind of concurrency the detector exists for.
+go test -race -run 'Cyclic' ./internal/core ./internal/comm .
 go test -race -short ./...

@@ -123,10 +123,13 @@ const (
 	// CommPipelined streams angular flux across ranks mid-sweep: remote
 	// upwind faces are latent dependencies of each rank's task graph,
 	// resolved in wavefront order as upstream ranks publish them. No
-	// lagged data and no per-inner halo barrier — iteration counts and
-	// fluxes match the single-domain solver exactly, and vacuum problems
-	// keep the fused eight-octant phase across ranks. Requires an
-	// engine-backed Scheme and a globally acyclic sweep (no AllowCycles).
+	// per-inner halo barrier — iteration counts and fluxes match the
+	// single-domain solver exactly, and vacuum problems keep the fused
+	// eight-octant phase across ranks. Cyclic meshes are supported with
+	// AllowCycles: one global SCC condensation (shared with the
+	// single-domain solver) decides which couplings lag to the previous
+	// iterate, and everything else still streams mid-sweep. Requires an
+	// engine-backed Scheme.
 	CommPipelined
 )
 
@@ -154,7 +157,14 @@ type Problem struct {
 	LX, LY, LZ float64
 	// Twist is the maximum rotation in radians of the top z-layer about
 	// the domain axis (the paper uses up to 0.001).
-	Twist           float64
+	Twist float64
+	// TwistPeriods switches the twist profile to an oscillation,
+	// theta(z) = Twist*sin(2 pi TwistPeriods z/LZ), whose alternating
+	// inter-layer shear produces genuinely cyclic upwind dependency
+	// graphs at modest distortion (e.g. 0.35 rad over 2 periods on a 6^3
+	// grid). Cyclic problems require Options.AllowCycles. Zero keeps the
+	// paper's monotone ramp.
+	TwistPeriods    float64
 	MatOpt, SrcOpt  int
 	Order           int // finite element order >= 1
 	AnglesPerOctant int
@@ -240,6 +250,17 @@ type Options struct {
 	// convergence exits (the paper's timing methodology).
 	ForceIterations bool
 
+	// AllowCycles enables cycle-aware sweep topologies for meshes whose
+	// upwind dependency graphs contain cycles (strongly twisted meshes;
+	// see Problem.TwistPeriods). Each ordinate's graph is condensed into
+	// its strongly connected components once, up front, and the
+	// cycle-closing couplings are demoted to lagged reads of the previous
+	// iteration's angular flux — a fixed-point iteration that converges
+	// with the source iteration. Lagged couplings cost no scheduling:
+	// cyclic problems keep the counter-driven engine, the fused
+	// eight-octant phase on vacuum boundaries, bitwise-reproducible
+	// results, and (via CommPipelined) mid-sweep cross-rank streaming.
+	// Without it a cyclic mesh fails at solver construction.
 	AllowCycles  bool
 	PreAssembled bool
 	Instrument   bool
@@ -294,7 +315,8 @@ func buildParts(p Problem) (*mesh.Mesh, *quadrature.Set, *xs.Library, error) {
 	m, err := mesh.New(mesh.Config{
 		NX: p.NX, NY: p.NY, NZ: p.NZ,
 		LX: p.LX, LY: p.LY, LZ: p.LZ,
-		Twist: p.Twist, MatOpt: p.MatOpt, SrcOpt: p.SrcOpt,
+		Twist: p.Twist, TwistPeriods: p.TwistPeriods,
+		MatOpt: p.MatOpt, SrcOpt: p.SrcOpt,
 	})
 	if err != nil {
 		return nil, nil, nil, err

@@ -107,8 +107,10 @@ func TestDistributedCloseMidPipelinedSweep(t *testing.T) {
 func TestNewDistributedValidatesOptions(t *testing.T) {
 	p := smallProblem()
 	p.NX, p.NY, p.NZ = 4, 4, 4
-	if _, err := NewDistributed(p, Options{Protocol: CommPipelined, AllowCycles: true}, 2, 1); err == nil {
-		t.Fatal("pipelined + AllowCycles should be rejected")
+	if d, err := NewDistributed(p, Options{Protocol: CommPipelined, AllowCycles: true}, 2, 1); err != nil {
+		t.Fatalf("pipelined + AllowCycles should be accepted (cycle-aware protocol): %v", err)
+	} else {
+		d.Close()
 	}
 	if _, err := NewDistributed(p, Options{Protocol: CommPipelined, Octants: OctantsSequential}, 2, 1); err == nil {
 		t.Fatal("pipelined + OctantsSequential should be rejected")
@@ -180,6 +182,77 @@ func smallProblem() Problem {
 	p.AnglesPerOctant = 2
 	p.Groups = 2
 	return p
+}
+
+// cyclicProblem returns a genuinely cyclic oscillating-twist problem (the
+// internal core/comm cycle tests verify this shape closes upwind cycles
+// for half the ordinates).
+func cyclicProblem() Problem {
+	p := DefaultProblem()
+	p.NX, p.NY, p.NZ = 4, 4, 4
+	p.Twist, p.TwistPeriods = 0.8, 3
+	p.AnglesPerOctant = 4
+	p.Groups = 2
+	return p
+}
+
+// TestCyclicMeshFacade is the facade-level cycle acceptance: a cyclic
+// twisted mesh fails without AllowCycles, and with it the default engine
+// scheme matches the legacy bucket path to 1e-12, keeps the fused octant
+// phase, and a pipelined distributed run matches the single-domain solve.
+func TestCyclicMeshFacade(t *testing.T) {
+	p := cyclicProblem()
+	if _, err := NewSolver(p, Options{}); err == nil {
+		t.Fatal("cyclic mesh without AllowCycles must fail at construction")
+	}
+
+	forced := Options{AllowCycles: true, MaxInners: 3, MaxOuters: 2, ForceIterations: true, Threads: 2}
+	eng, err := NewSolver(p, forced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Internal().OctantsFused() {
+		t.Fatal("cyclic vacuum run must keep the fused eight-octant phase")
+	}
+
+	legacyOpts := forced
+	legacyOpts.Scheme = AEg
+	legacy, err := NewSolver(p, legacyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	if _, err := legacy.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < eng.NumElems(); e++ {
+		for g := 0; g < eng.NumGroups(); g++ {
+			for n := 0; n < eng.NumNodes(); n++ {
+				a, b := eng.Phi(e, g, n), legacy.Phi(e, g, n)
+				if math.Abs(a-b) > 1e-12*(1+math.Abs(b)) {
+					t.Fatalf("elem %d g %d n %d: engine %v vs legacy %v", e, g, n, a, b)
+				}
+			}
+		}
+	}
+
+	d, err := NewDistributed(p, Options{Protocol: CommPipelined, AllowCycles: true,
+		MaxInners: 3, MaxOuters: 2, ForceIterations: true, Threads: 2}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	single, dist := eng.FluxIntegral(0), d.FluxIntegral(0)
+	if math.Abs(single-dist) > 1e-12*(1+math.Abs(single)) {
+		t.Fatalf("pipelined cyclic flux integral %v vs single-domain %v", dist, single)
+	}
 }
 
 func TestProblemValidate(t *testing.T) {
