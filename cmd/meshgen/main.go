@@ -45,11 +45,16 @@ func run(args []string) error {
 	twist := fs.Float64("twist", 0.001, "mesh twist in radians")
 	periods := fs.Float64("periods", 0, "oscillating-twist periods (0 = the paper's monotone ramp)")
 	cyclic := fs.Bool("cyclic", false, "require cyclic upwind dependencies for at least one ordinate; fail if the mesh is acyclic")
+	cycleOrder := fs.String("cycle-order", sweep.OrderElementIndex.String(), "within-SCC cut rule for the per-octant schedule stats: element-index or feedback-arc (the cycle summary always reports both side by side)")
 	order := fs.Int("order", 1, "element order (for check/stats)")
 	nang := fs.Int("nang", 4, "angles per octant (for schedule and cycle stats)")
 	matOpt := fs.Int("mat_opt", 1, "material layout option")
 	srcOpt := fs.Int("src_opt", 0, "source layout option")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	schedOrder, err := sweep.ParseCycleOrder(*cycleOrder)
+	if err != nil {
 		return err
 	}
 	cmd := "stats"
@@ -78,7 +83,7 @@ func run(args []string) error {
 
 	switch cmd {
 	case "stats":
-		return stats(m, *order, *nang)
+		return stats(m, *order, *nang, schedOrder)
 	case "export":
 		return m.WriteJSON(os.Stdout)
 	case "check":
@@ -124,8 +129,9 @@ func upwindInput(m *mesh.Mesh, pairs []upwindPair, om [3]float64) sweep.Input {
 }
 
 // cycleStats condenses every ordinate's upwind graph (deduplicated over
-// identical classifications) and accumulates the cycle summary.
-func cycleStats(m *mesh.Mesh, re *fem.RefElement, q *quadrature.Set) (cyclicAngles, laggedEdges, maxSCC int, err error) {
+// identical classifications) under the given within-SCC cut rule and
+// accumulates the cycle summary.
+func cycleStats(m *mesh.Mesh, re *fem.RefElement, q *quadrature.Set, order sweep.CycleOrder) (cyclicAngles, laggedEdges, maxSCC int, err error) {
 	pairs, err := buildPairs(m, re)
 	if err != nil {
 		return 0, 0, 0, err
@@ -145,7 +151,7 @@ func cycleStats(m *mesh.Mesh, re *fem.RefElement, q *quadrature.Set) (cyclicAngl
 		if idx := dedup.Lookup(bits); idx >= 0 {
 			cond = distinct[idx]
 		} else {
-			cond, err = sweep.Condense(upwindInput(m, pairs, om))
+			cond, err = sweep.Condense(upwindInput(m, pairs, om), order)
 			if err != nil {
 				return 0, 0, 0, fmt.Errorf("angle %d (omega %v): %w", a, om, err)
 			}
@@ -174,7 +180,7 @@ func requireCyclic(m *mesh.Mesh, order, nang int) error {
 	if err != nil {
 		return err
 	}
-	cyc, lagged, maxSCC, err := cycleStats(m, re, q)
+	cyc, lagged, maxSCC, err := cycleStats(m, re, q, sweep.OrderElementIndex)
 	if err != nil {
 		return err
 	}
@@ -187,7 +193,7 @@ func requireCyclic(m *mesh.Mesh, order, nang int) error {
 	return nil
 }
 
-func stats(m *mesh.Mesh, order, nang int) error {
+func stats(m *mesh.Mesh, order, nang int, schedOrder sweep.CycleOrder) error {
 	re, err := fem.NewRefElement(order)
 	if err != nil {
 		return err
@@ -223,11 +229,12 @@ func stats(m *mesh.Mesh, order, nang int) error {
 		return err
 	}
 	// Schedule statistics per octant for the first angle of each octant
-	// (cycle-broken via the condensation where needed).
-	fmt.Println("  sweep schedules (first angle of each octant):")
+	// (cycle-broken via the condensation where needed, under the
+	// requested -cycle-order).
+	fmt.Printf("  sweep schedules (first angle of each octant, cycle-order %s):\n", schedOrder)
 	for o := 0; o < 8; o++ {
 		ang := q.Angles[q.AngleIndex(o, 0)]
-		sched, err := sweep.BuildWithLagging(upwindInput(m, pairs, ang.Omega))
+		sched, err := sweep.BuildWithLagging(upwindInput(m, pairs, ang.Omega), schedOrder)
 		if err != nil {
 			return fmt.Errorf("octant %d: %w", o, err)
 		}
@@ -238,15 +245,24 @@ func stats(m *mesh.Mesh, order, nang int) error {
 		fmt.Printf("    octant %d: %d buckets, max %d elements, mean %.1f%s\n",
 			o, len(sched.Buckets), sched.MaxBucket(), sched.AvgBucket(), lag)
 	}
-	cyc, lagged, maxSCC, err := cycleStats(m, re, q)
-	if err != nil {
-		return err
-	}
-	if cyc > 0 {
-		fmt.Printf("  cyclic: %d/%d ordinates, %d lagged couplings total, largest SCC %d elements (requires AllowCycles)\n",
-			cyc, q.NumAngles(), lagged, maxSCC)
-	} else {
-		fmt.Printf("  cyclic: none (all %d ordinates acyclic)\n", q.NumAngles())
+	// The cycle summary reports every cut rule side by side, so the lag
+	// reduction of the feedback-arc strategy is visible without re-running.
+	first := true
+	for _, co := range sweep.CycleOrders() {
+		cyc, lagged, maxSCC, err := cycleStats(m, re, q, co)
+		if err != nil {
+			return err
+		}
+		if cyc == 0 {
+			fmt.Printf("  cyclic: none (all %d ordinates acyclic)\n", q.NumAngles())
+			break
+		}
+		if first {
+			fmt.Printf("  cyclic: %d/%d ordinates, largest SCC %d elements (requires AllowCycles)\n",
+				cyc, q.NumAngles(), maxSCC)
+			first = false
+		}
+		fmt.Printf("    cycle-order %-14s %d lagged couplings\n", co.String()+":", lagged)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@
 //	unsnap-bench -experiment table1
 //	unsnap-bench -experiment fig3 -threads 1,2,4
 //	unsnap-bench -experiment engine,comm -threads 1,2,4 -json BENCH_sweep.json
+//	unsnap-bench -experiment engine,comm,cycles -smoke
 //	unsnap-bench -experiment all
 //
 // Experiments (comma-separable): table1, table2, fig3, fig4, tradeoffs,
@@ -17,9 +18,17 @@
 // Jacobi) and pipelined (mid-sweep streaming) halo protocols across rank
 // grids; the cycles experiment runs a genuinely cyclic twisted mesh
 // (AllowCycles) through the legacy lagged bucket path, the cycle-aware
-// engine and the engine behind the pipelined protocol. With -json, all
-// record their measurements for the perf trajectory (scripts/bench.sh
-// runs them and writes BENCH_sweep.json).
+// engine under both within-SCC cut rules (element-index and
+// feedback-arc, with a per-strategy lag-set and inners-to-convergence
+// comparison) and the engine behind the pipelined protocol. With -json,
+// all record their measurements for the perf trajectory: sections merge
+// by key, so refreshing one experiment preserves the others' history
+// (scripts/bench.sh runs them and writes BENCH_sweep.json). -smoke
+// shrinks the three sweep experiments (engine, comm, cycles) to a
+// seconds-scale correctness pass — tiny meshes, one forced inner, no
+// JSON write — so CI can exercise the bench paths on every push without
+// bit-rot between real refreshes; the paper-table experiments are not
+// shrunk and keep their bench-scale defaults.
 package main
 
 import (
@@ -60,6 +69,7 @@ func run(args []string) error {
 	jsonPath := fs.String("json", "", "write the engine experiment's comparison to this JSON file")
 	commit := fs.String("commit", "", "git revision to stamp into the engine JSON report")
 	paper := fs.Bool("paper", false, "use the paper's full problem sizes (slow)")
+	smoke := fs.Bool("smoke", false, "CI smoke mode for the sweep experiments (engine, comm, cycles): tiny meshes, 1 forced inner, loose convergence bounds, no JSON write; other experiments keep their defaults")
 	nx := fs.Int("nx", 0, "override elements per dimension")
 	nang := fs.Int("nang", 0, "override angles per octant")
 	ng := fs.Int("ng", 0, "override energy groups")
@@ -77,6 +87,16 @@ func run(args []string) error {
 			innersSet = true
 		}
 	})
+	if *smoke {
+		if *paper {
+			return fmt.Errorf("-smoke and -paper are mutually exclusive")
+		}
+		// Smoke runs are a correctness pass over the bench plumbing, not a
+		// measurement: never record them.
+		*jsonPath = ""
+		threads = []int{1, 2}
+		*inners, innersSet = 1, true
+	}
 
 	override := func(p *unsnap.Problem) {
 		if *nx > 0 {
@@ -218,6 +238,10 @@ func run(args []string) error {
 	if want("engine") {
 		ran = true
 		cfg := harness.DefaultEngine()
+		if *smoke {
+			cfg.Problem.NX, cfg.Problem.NY, cfg.Problem.NZ = 4, 4, 4
+			cfg.Problem.AnglesPerOctant, cfg.Problem.Groups = 2, 2
+		}
 		override(&cfg.Problem)
 		cfg.Threads = threads
 		// Keep DefaultEngine's inner count (tuned for bench stability)
@@ -238,6 +262,11 @@ func run(args []string) error {
 	if want("comm") {
 		ran = true
 		cfg := harness.DefaultComm()
+		if *smoke {
+			cfg.Problem.NX, cfg.Problem.NY, cfg.Problem.NZ = 4, 4, 4
+			cfg.Problem.AnglesPerOctant, cfg.Problem.Groups = 2, 2
+			cfg.Epsi = 1e-4
+		}
 		override(&cfg.Problem)
 		cfg.Threads = threads
 		if innersSet {
@@ -256,21 +285,29 @@ func run(args []string) error {
 	if want("cycles") {
 		ran = true
 		cfg := harness.DefaultCycles()
+		if *smoke {
+			// The smallest verified-cyclic shape (the core package's cyclic
+			// tests pin it): the mesh must stay genuinely cyclic or
+			// RunCycles fails loudly.
+			cfg.Problem.NX, cfg.Problem.NY, cfg.Problem.NZ = 4, 4, 4
+			cfg.Problem.Twist, cfg.Problem.TwistPeriods = 0.8, 3
+			cfg.Problem.Groups = 2
+		}
 		override(&cfg.Problem)
 		cfg.Threads = threads
 		if innersSet {
 			cfg.Inners = *inners
 		}
-		fmt.Printf("== Cyclic meshes: legacy lagged vs cycle-aware engine vs engine+pipelined (%d^3 elements, twist %g over %g periods, %d ang/oct, %d groups) ==\n",
+		fmt.Printf("== Cyclic meshes: legacy lagged vs cycle-aware engine (both cycle orders) vs engine+pipelined (%d^3 elements, twist %g over %g periods, %d ang/oct, %d groups) ==\n",
 			cfg.Problem.NX, cfg.Problem.Twist, cfg.Problem.TwistPeriods,
 			cfg.Problem.AnglesPerOctant, cfg.Problem.Groups)
-		rows, lagged, err := harness.RunCycles(cfg)
+		rows, strats, err := harness.RunCycles(cfg)
 		if err != nil {
 			return err
 		}
-		harness.FprintCycles(os.Stdout, cfg, rows, lagged)
+		harness.FprintCycles(os.Stdout, cfg, rows, strats)
 		fmt.Println()
-		cyclesSection = harness.CyclesSectionOf(cfg, rows, lagged)
+		cyclesSection = harness.CyclesSectionOf(cfg, rows, strats)
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *experiment)

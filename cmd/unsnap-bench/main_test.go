@@ -49,3 +49,22 @@ func TestRunBadFlags(t *testing.T) {
 		t.Fatal("expected thread parse error")
 	}
 }
+
+func TestSmokeRejectsPaper(t *testing.T) {
+	if err := run([]string{"-experiment", "engine", "-smoke", "-paper"}); err == nil {
+		t.Fatal("-smoke -paper should be rejected")
+	}
+}
+
+// TestRunSmoke executes the full CI smoke pass through the bench tool
+// (tiny meshes, one inner, all three sweep experiments). Skipped under
+// -short: scripts/ci.sh invokes the identical command directly, so the
+// short suite need not pay for it twice.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ci.sh runs `unsnap-bench -experiment engine,comm,cycles -smoke` directly")
+	}
+	if err := run([]string{"-experiment", "engine,comm,cycles", "-smoke"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -37,6 +37,7 @@ func run(args []string) error {
 	twist := fs.Float64("twist", -1, "mesh twist in radians")
 	periods := fs.Float64("periods", 0, "oscillating-twist periods (0 = monotone ramp; cyclic meshes need -allow-cycles)")
 	allowCycles := fs.Bool("allow-cycles", false, "accept cyclic upwind graphs (cycle-aware sweep topologies)")
+	cycleOrder := fs.String("cycle-order", "", "within-SCC cut rule for cyclic meshes: element-index or feedback-arc")
 	protocol := fs.String("protocol", "", "halo protocol for multi-rank runs: lagged or pipelined")
 	epsi := fs.Float64("epsi", 0, "convergence tolerance")
 	iitm := fs.Int("iitm", 0, "max inner iterations per outer")
@@ -128,6 +129,13 @@ func run(args []string) error {
 		AllowCycles: *allowCycles,
 		Reflect:     [3]bool{deck.ReflX, deck.ReflY, deck.ReflZ},
 	}
+	if *cycleOrder != "" {
+		ord, err := unsnap.ParseCycleOrder(*cycleOrder)
+		if err != nil {
+			return err
+		}
+		opts.CycleOrder = ord
+	}
 	switch *protocol {
 	case "", "lagged":
 	case "pipelined":
@@ -148,6 +156,9 @@ func run(args []string) error {
 		prob.AnglesPerOctant, 8*prob.AnglesPerOctant, prob.Groups)
 	fmt.Printf("  scheme %s  solver %s  epsi %.1e  iitm %d  oitm %d\n",
 		schemeVal, solverVal, deck.Epsi, deck.IITM, deck.OITM)
+	if opts.AllowCycles {
+		fmt.Printf("  cycles allowed  cycle-order %s\n", opts.CycleOrder)
+	}
 
 	switch {
 	case *fdRun:

@@ -5,6 +5,7 @@ import (
 
 	"unsnap/internal/comm"
 	"unsnap/internal/core"
+	"unsnap/internal/sweep"
 )
 
 // Distributed is a multi-rank solver: the mesh is split over a PY x PZ
@@ -44,8 +45,9 @@ func NewDistributed(p Problem, o Options, py, pz int) (*Distributed, error) {
 		Protocol: comm.Protocol(o.Protocol),
 		Scheme:   core.Scheme(o.Scheme), ThreadsPerRank: o.Threads,
 		Solver: core.SolverKind(o.Solver), Octants: core.OctantMode(o.Octants),
-		AllowCycles: o.AllowCycles, PreAssembled: o.PreAssembled,
-		Epsi: o.Epsi, MaxInners: o.MaxInners, MaxOuters: o.MaxOuters,
+		AllowCycles: o.AllowCycles, CycleOrder: sweep.CycleOrder(o.CycleOrder),
+		PreAssembled: o.PreAssembled,
+		Epsi:         o.Epsi, MaxInners: o.MaxInners, MaxOuters: o.MaxOuters,
 		ForceIterations: o.ForceIterations, Instrument: o.Instrument,
 	})
 	if err != nil {

@@ -47,6 +47,7 @@ import (
 	"unsnap/internal/fem"
 	"unsnap/internal/mesh"
 	"unsnap/internal/quadrature"
+	"unsnap/internal/sweep"
 	"unsnap/internal/xs"
 )
 
@@ -106,6 +107,13 @@ type Config struct {
 	// one sweep late on a dedicated channel, and everything else still
 	// streams mid-sweep, preserving the single-domain flux parity.
 	AllowCycles bool
+	// CycleOrder selects the within-SCC cut rule of the cycle
+	// condensation (see core.Config.CycleOrder). The driver applies one
+	// strategy everywhere cycles are decided — the global pipelined
+	// condensation and every rank's own (lagged-protocol) condensation —
+	// so no rank can break a cycle under a different rule than its
+	// peers or the single-domain solver.
+	CycleOrder sweep.CycleOrder
 	// PreAssembled pre-factorises every rank's local matrices at setup.
 	PreAssembled bool
 
@@ -212,6 +220,7 @@ func (d *Driver) rankConfig(r int) core.Config {
 		Mesh: d.part.Subs[r].Mesh, Order: d.cfg.Order, Quad: d.cfg.Quad, Lib: d.cfg.Lib,
 		Scheme: d.cfg.Scheme, Threads: d.cfg.ThreadsPerRank, Solver: d.cfg.Solver,
 		Octants: d.cfg.Octants, AllowCycles: d.cfg.AllowCycles,
+		CycleOrder:   d.cfg.CycleOrder,
 		PreAssembled: d.cfg.PreAssembled,
 		Epsi:         d.cfg.Epsi, MaxInners: d.cfg.MaxInners, MaxOuters: d.cfg.MaxOuters,
 		ForceIterations: d.cfg.ForceIterations, Instrument: d.cfg.Instrument,

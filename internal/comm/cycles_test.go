@@ -7,6 +7,7 @@ import (
 	"unsnap/internal/core"
 	"unsnap/internal/mesh"
 	"unsnap/internal/quadrature"
+	"unsnap/internal/sweep"
 	"unsnap/internal/xs"
 )
 
@@ -118,6 +119,120 @@ func TestPipelinedCyclicMatchesSingleDomain(t *testing.T) {
 			}
 		}
 		d.Close()
+	}
+}
+
+// TestPipelinedCyclicFeedbackArcMatchesSingleDomain is the per-strategy
+// distributed equivalence pin: under OrderFeedbackArc — whose lag set is
+// computed by the same greedy peeling over global element ids on every
+// layer — a convergence-gated pipelined run must reproduce the
+// single-domain cycle-aware solve exactly (iteration counts, per-inner
+// flux changes, pointwise flux to 1e-12) at 2 and 4 ranks, with
+// cross-rank lagged transfers actually exercised.
+func TestPipelinedCyclicFeedbackArcMatchesSingleDomain(t *testing.T) {
+	const epsi = 1e-6
+	m, q, lib := cyclicParts(t)
+	ss, err := core.New(core.Config{Mesh: m, Order: 1, Quad: q, Lib: lib,
+		Scheme: core.SchemeEngine, Threads: 2, AllowCycles: true,
+		CycleOrder: sweep.OrderFeedbackArc,
+		Epsi:       epsi, MaxInners: 50, MaxOuters: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	sres, err := ss.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Lagged() == 0 {
+		t.Fatal("reference problem must actually be cyclic")
+	}
+
+	for _, grid := range [][2]int{{2, 1}, {2, 2}} {
+		m, q, lib := cyclicParts(t)
+		d, err := New(Config{Mesh: m, PY: grid[0], PZ: grid[1], Order: 1, Quad: q, Lib: lib,
+			Protocol: Pipelined, Scheme: core.SchemeEngine, ThreadsPerRank: 2,
+			AllowCycles: true, CycleOrder: sweep.OrderFeedbackArc,
+			Epsi: epsi, MaxInners: 50, MaxOuters: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		crossLag := 0
+		for _, ed := range d.pipe.edges {
+			crossLag += ed.lag
+		}
+		if crossLag == 0 {
+			t.Fatalf("%dx%d ranks: expected cross-rank lagged transfers under feedback-arc", grid[0], grid[1])
+		}
+		res, err := d.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Inners != sres.Inners || res.Outers != sres.Outers || res.Converged != sres.Converged {
+			t.Fatalf("%dx%d ranks: %d inners / %d outers / conv=%v, single domain %d / %d / %v",
+				grid[0], grid[1], res.Inners, res.Outers, res.Converged, sres.Inners, sres.Outers, sres.Converged)
+		}
+		for i, df := range res.DFHistory {
+			if rel := math.Abs(df-sres.DFHistory[i]) / (1 + math.Abs(sres.DFHistory[i])); rel > 1e-12 {
+				t.Fatalf("%dx%d ranks: inner %d df %v vs single %v", grid[0], grid[1], i, df, sres.DFHistory[i])
+			}
+		}
+		for r := 0; r < d.NumRanks(); r++ {
+			sub := d.part.Subs[r]
+			rs := d.Rank(r)
+			for le, ge := range sub.Global {
+				for g := 0; g < 2; g++ {
+					for n := 0; n < rs.NumNodes(); n++ {
+						a, b := rs.Phi(le, g, n), ss.Phi(ge, g, n)
+						if math.Abs(a-b) > 1e-12*(1+math.Abs(b)) {
+							t.Fatalf("%dx%d ranks: rank %d elem %d (global %d) g %d n %d: %v vs %v",
+								grid[0], grid[1], r, le, ge, g, n, a, b)
+						}
+					}
+				}
+			}
+		}
+		d.Close()
+	}
+}
+
+// TestLaggedProtocolCyclicFeedbackArc checks the block Jacobi baseline
+// under the feedback-arc rule (each rank condenses its own subdomain with
+// the same strategy): it must converge to the single-domain fixed point.
+func TestLaggedProtocolCyclicFeedbackArc(t *testing.T) {
+	const epsi = 1e-6
+	m, q, lib := cyclicParts(t)
+	ss, err := core.New(core.Config{Mesh: m, Order: 1, Quad: q, Lib: lib,
+		Scheme: core.SchemeEngine, Threads: 2, AllowCycles: true,
+		CycleOrder: sweep.OrderFeedbackArc,
+		Epsi:       epsi, MaxInners: 100, MaxOuters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	if _, err := ss.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := ss.FluxIntegral(0)
+
+	m, q, lib = cyclicParts(t)
+	d, err := New(Config{Mesh: m, PY: 2, PZ: 1, Order: 1, Quad: q, Lib: lib,
+		Protocol: Lagged, Scheme: core.SchemeEngine, ThreadsPerRank: 2,
+		AllowCycles: true, CycleOrder: sweep.OrderFeedbackArc,
+		Epsi: epsi, MaxInners: 100, MaxOuters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("lagged cyclic feedback-arc run failed to converge: %+v", res)
+	}
+	if got := d.FluxIntegral(0); math.Abs(got-want) > 1e-3*(1+math.Abs(want)) {
+		t.Fatalf("lagged flux integral %v too far from single domain %v", got, want)
 	}
 }
 

@@ -240,8 +240,11 @@ func (d *Driver) buildPipelined() error {
 // buildGlobalLagSets classifies every ordinate over the whole-domain mesh
 // — deduplicated through the same bitmap mechanism core.buildTopologies
 // uses, so identical-topology ordinates are condensed once — and runs the
-// shared SCC condensation on each distinct classification. The returned
-// per-angle lag sets (nil for acyclic ordinates) use global element ids;
+// shared SCC condensation on each distinct classification, under the
+// driver's CycleOrder (the identical strategy each rank solver is
+// configured with, so the distributed decisions can never diverge from a
+// rank's own view of the rule). The returned per-angle lag sets (nil for
+// acyclic ordinates) use global element ids;
 // anyLag reports whether any ordinate needed lagging. Without AllowCycles
 // a cyclic ordinate is rejected, preserving the old build-time guarantee.
 // The classification replicates the single-domain rule (every interior
@@ -290,7 +293,7 @@ func (d *Driver) buildGlobalLagSets() (lagOf []map[sweep.Edge]bool, anyLag bool,
 				up[pr.nb] = append(up[pr.nb], pr.e)
 			}
 		}
-		cond, err := sweep.Condense(sweep.Input{NumElems: nE, Upwind: up})
+		cond, err := sweep.Condense(sweep.Input{NumElems: nE, Upwind: up}, d.cfg.CycleOrder)
 		if err != nil {
 			return nil, false, fmt.Errorf("comm: condensing angle %d (omega %v): %w", a, om, err)
 		}

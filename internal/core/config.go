@@ -20,6 +20,7 @@ import (
 	"unsnap/internal/fem"
 	"unsnap/internal/mesh"
 	"unsnap/internal/quadrature"
+	"unsnap/internal/sweep"
 	"unsnap/internal/xs"
 )
 
@@ -256,6 +257,22 @@ type Config struct {
 	// Nil means the solver condenses its own (sub)mesh.
 	CycleLag func(angle, from, to int) bool
 
+	// CycleOrder selects the within-SCC ordering strategy of the cycle
+	// condensation (meaningful with AllowCycles): OrderElementIndex (the
+	// default) lags the intra-SCC edges running against the element
+	// index; OrderFeedbackArc runs a greedy feedback-arc-set heuristic
+	// per SCC that demotes strictly fewer couplings on real twisted
+	// meshes, shrinking both the per-sweep lagged reads and the
+	// fixed-point error the lag introduces. Every strategy is a pure
+	// function of SCC membership and element ids, so a partitioned
+	// pipelined run — which condenses the global mesh once and
+	// distributes the decisions via CycleLag — reproduces the
+	// single-domain lag set exactly, as long as every rank and the comm
+	// layer run the same CycleOrder; the solver folds the strategy into
+	// its topology deduplication key so two components can never silently
+	// disagree about which edges a shared topology lags.
+	CycleOrder sweep.CycleOrder
+
 	// PreAssembled pre-assembles and pre-factorises every local matrix at
 	// setup (section IV-B1's proposed optimisation); sweeps then only
 	// build right-hand sides and run the factored triangular solves.
@@ -340,6 +357,12 @@ func (c Config) validate() error {
 	}
 	if c.CycleLag != nil && !c.AllowCycles {
 		return fmt.Errorf("core: CycleLag decisions are only meaningful with AllowCycles")
+	}
+	if !c.CycleOrder.Valid() {
+		return fmt.Errorf("core: unknown cycle order %d", int(c.CycleOrder))
+	}
+	if c.CycleOrder != sweep.OrderElementIndex && !c.AllowCycles {
+		return fmt.Errorf("core: CycleOrder %v is only meaningful with AllowCycles", c.CycleOrder)
 	}
 	switch c.ScatOrder {
 	case 0:

@@ -101,6 +101,104 @@ func TestEngineMatchesLegacyOnCyclicMesh(t *testing.T) {
 	}
 }
 
+// TestCyclicFeedbackArcLagsFewerEdges pins the tentpole claim at solver
+// level: on the cyclic test mesh the feedback-arc cut rule demotes
+// strictly fewer couplings than the element-index default, and the
+// strategy joins the topology dedup key (both strategies still dedup to
+// the same number of distinct topologies, each with its own lag set).
+func TestCyclicFeedbackArcLagsFewerEdges(t *testing.T) {
+	lagged := func(order sweep.CycleOrder) int {
+		cfg := cyclicProblem(t)
+		cfg.Scheme = SchemeEngine
+		cfg.CycleOrder = order
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		return s.Lagged()
+	}
+	ei, fa := lagged(sweep.OrderElementIndex), lagged(sweep.OrderFeedbackArc)
+	if fa >= ei {
+		t.Fatalf("feedback-arc must lag strictly fewer edges on the cyclic mesh: %d vs element-index %d", fa, ei)
+	}
+}
+
+// TestCyclicEngineMatchesLegacyFeedbackArc is the per-strategy
+// equivalence test: under OrderFeedbackArc the counter-driven engine
+// (fused octants) must match the legacy BuildWithLagging bucket path to
+// 1e-12, iteration by iteration, at 1/2/4 threads — exactly the pin the
+// element-index rule has, because both executors consume the identical
+// condensation whatever the within-SCC cut rule.
+func TestCyclicEngineMatchesLegacyFeedbackArc(t *testing.T) {
+	legacy := cyclicProblem(t)
+	legacy.Scheme = SchemeAEg
+	legacy.Threads = 1
+	legacy.CycleOrder = sweep.OrderFeedbackArc
+	refPhi, refPsi := runAndSnapshot(t, legacy)
+
+	// The two strategies must genuinely differ on this mesh, or the
+	// equivalence below would not be testing the feedback-arc path.
+	eiLegacy := cyclicProblem(t)
+	eiLegacy.Scheme = SchemeAEg
+	eiLegacy.Threads = 1
+	eiPhi, _ := runAndSnapshot(t, eiLegacy)
+	same := true
+	for i := range refPhi {
+		if refPhi[i] != eiPhi[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("feedback-arc and element-index transients coincide; the strategy is not reaching the cut")
+	}
+
+	for _, threads := range []int{1, 2, 4} {
+		eng := cyclicProblem(t)
+		eng.Scheme = SchemeEngine
+		eng.Threads = threads
+		eng.CycleOrder = sweep.OrderFeedbackArc
+		s, err := New(eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !s.OctantsFused() {
+			t.Fatalf("threads=%d: cyclic vacuum run must keep the fused octant phase under feedback-arc", threads)
+		}
+		phi, psi := snapshotSolver(s)
+		s.Close()
+		for i := range refPhi {
+			if math.Abs(phi[i]-refPhi[i]) > 1e-12*(1+math.Abs(refPhi[i])) {
+				t.Fatalf("threads=%d: phi[%d] engine %v vs legacy %v", threads, i, phi[i], refPhi[i])
+			}
+		}
+		for i := range refPsi {
+			if math.Abs(psi[i]-refPsi[i]) > 1e-12*(1+math.Abs(refPsi[i])) {
+				t.Fatalf("threads=%d: psi[%d] engine %v vs legacy %v", threads, i, psi[i], refPsi[i])
+			}
+		}
+	}
+}
+
+// TestCycleOrderRequiresAllowCycles pins the config contract.
+func TestCycleOrderRequiresAllowCycles(t *testing.T) {
+	cfg := cyclicProblem(t)
+	cfg.AllowCycles = false
+	cfg.CycleOrder = sweep.OrderFeedbackArc
+	if _, err := New(cfg); err == nil {
+		t.Fatal("CycleOrder without AllowCycles must be rejected")
+	}
+	cfg = cyclicProblem(t)
+	cfg.CycleOrder = sweep.CycleOrder(42)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("unknown CycleOrder must be rejected")
+	}
+}
+
 // TestCyclicEngineBitwiseDeterminism runs the cyclic engine twice at 4
 // threads: the ordered reduction and snapshot-based lagged reads must make
 // the result bitwise reproducible despite the relaxed execution order.

@@ -229,11 +229,14 @@ func New(cfg Config) (*Solver, error) {
 // reuses) the sweep schedule, cycle condensation and counter graph for
 // each distinct classification, deduplicated through the shared bitmap
 // mechanism (sweep.BitmapDedup). With AllowCycles the lag set comes from
-// the solver's own SCC condensation (sweep.BuildWithLagging), or — in a
-// partitioned pipelined run — from the globally computed decisions in
-// Config.CycleLag, which then join the deduplication key (two ordinates
-// with identical local inflow may still differ in which cross-rank cycles
-// pass through them).
+// the solver's own SCC condensation (sweep.BuildWithLagging, under the
+// configured Config.CycleOrder), or — in a partitioned pipelined run —
+// from the globally computed decisions in Config.CycleLag, which then
+// join the deduplication key (two ordinates with identical local inflow
+// may still differ in which cross-rank cycles pass through them). The
+// cycle-order strategy itself also joins the key whenever cycles are
+// allowed, so a cached topology can never be reused under a different
+// within-SCC cut rule.
 func (s *Solver) buildTopologies() error {
 	m := s.cfg.Mesh
 	words := (s.nE*fem.NumFaces + 63) / 64
@@ -301,10 +304,19 @@ func (s *Solver) buildTopologies() error {
 		}
 		// Deduplicate on the classification bitmap; externally supplied
 		// lag decisions join the key (with the solver's own condensation
-		// the lag set is a pure function of the inflow bits).
+		// the lag set is a pure function of the inflow bits and the
+		// cycle-order strategy). The strategy word also joins the key
+		// under AllowCycles — redundant today, since one solver holds one
+		// strategy and the dedup table is per-build, but it makes the key
+		// self-describing so any future sharing of classified topologies
+		// across configurations stays sound by construction.
 		key := t.inflow
-		if lagBits != nil {
-			key = append(append(make([]uint64, 0, 2*words), t.inflow...), lagBits...)
+		if s.cfg.AllowCycles || lagBits != nil {
+			key = append(make([]uint64, 0, 2*words+1), t.inflow...)
+			if lagBits != nil {
+				key = append(key, lagBits...)
+			}
+			key = append(key, uint64(s.cfg.CycleOrder))
 		}
 		if idx := dedup.Lookup(key); idx >= 0 {
 			s.topos[a] = distinct[idx]
@@ -319,7 +331,7 @@ func (s *Solver) buildTopologies() error {
 		case lagCB != nil:
 			sched, err = sweep.BuildCut(in, lagEdges)
 		default:
-			sched, err = sweep.BuildWithLagging(in)
+			sched, err = sweep.BuildWithLagging(in, s.cfg.CycleOrder)
 		}
 		if err != nil {
 			return fmt.Errorf("core: scheduling angle %d (omega %v): %w", a, om, err)

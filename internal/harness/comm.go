@@ -63,7 +63,10 @@ type CommConvRow struct {
 }
 
 // CommSection is the serialised protocol comparison of BENCH_sweep.json.
+// Commit is the revision this section was last measured at (sections are
+// merged by key, so a partial refresh keeps the others).
 type CommSection struct {
+	Commit      string        `json:"commit,omitempty"`
 	Problem     ProblemShape  `json:"problem"`
 	Inners      int           `json:"inners_per_run"`
 	Epsi        float64       `json:"epsi"`

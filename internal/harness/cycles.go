@@ -11,8 +11,9 @@ import (
 
 // CyclesConfig drives the cyclic-mesh sweep comparison: the same
 // genuinely cyclic twisted problem under the legacy lagged bucket
-// executor, the cycle-aware counter-driven engine, and the engine behind
-// the pipelined halo protocol, across thread counts.
+// executor, the cycle-aware counter-driven engine (under both within-SCC
+// cut rules), and the engine behind the pipelined halo protocol, across
+// thread counts.
 type CyclesConfig struct {
 	Problem unsnap.Problem
 	Threads []int
@@ -21,12 +22,18 @@ type CyclesConfig struct {
 	// cycles of the oscillating twist, so the cross-rank lagged channel
 	// is genuinely exercised). ThreadsPerRank follows the Threads column.
 	Grid [2]int
+	// Epsi and ConvInners bound the per-strategy convergence comparison
+	// (inners to df < Epsi on the single-domain engine): cycle lagging is
+	// a fixed-point iteration, so a smaller lag set should converge in
+	// fewer inners.
+	Epsi       float64
+	ConvInners int
 }
 
 // DefaultCycles benches on a 6^3 oscillating-twist mesh whose upwind
-// graphs cycle for half the SNAP ordinates (~960 lagged couplings,
-// largest SCC 36 elements) — the configuration meshgen's -cyclic mode
-// verifies.
+// graphs cycle for half the SNAP ordinates (~960 lagged couplings under
+// the element-index rule, 162 under feedback-arc, largest SCC 36
+// elements) — the configuration meshgen's -cyclic mode verifies.
 func DefaultCycles() CyclesConfig {
 	p := unsnap.DefaultProblem()
 	p.NX, p.NY, p.NZ = 6, 6, 6
@@ -34,52 +41,85 @@ func DefaultCycles() CyclesConfig {
 	p.AnglesPerOctant = 4
 	p.Groups = 8
 	return CyclesConfig{
-		Problem: p,
-		Threads: []int{1, 2, 4},
-		Inners:  10,
-		Grid:    [2]int{2, 1},
+		Problem:    p,
+		Threads:    []int{1, 2, 4},
+		Inners:     10,
+		Grid:       [2]int{2, 1},
+		Epsi:       1e-6,
+		ConvInners: 500,
 	}
 }
 
 // CyclesRow is one measured thread count: wall ns per sweep for the
-// legacy lagged bucket path, the cycle-aware engine (fused octants), and
-// the engine behind the pipelined protocol on the configured rank grid.
-// The speedups are relative to the legacy path.
+// legacy lagged bucket path, the cycle-aware engine (fused octants) under
+// each within-SCC cut rule, and the engine behind the pipelined protocol
+// on the configured rank grid. The speedups are relative to the legacy
+// path.
 type CyclesRow struct {
 	Threads          int     `json:"threads"`
 	LegacyNsOp       float64 `json:"legacy_lagged_ns_op"`
 	EngineNsOp       float64 `json:"engine_ns_op"`
+	EngineFANsOp     float64 `json:"engine_feedback_arc_ns_op"`
 	PipelinedNsOp    float64 `json:"engine_pipelined_ns_op"`
 	EngineSpeedup    float64 `json:"engine_speedup"`
+	EngineFASpeedup  float64 `json:"engine_feedback_arc_speedup"`
 	PipelinedSpeedup float64 `json:"pipelined_speedup"`
+}
+
+// CyclesStrategyRow summarises one within-SCC cut rule: the size of the
+// lag set it demotes and the inner iterations a convergence-gated
+// single-domain engine run needs under it. The feedback-arc row must
+// never lag more edges than the element-index one (RunCycles fails
+// loudly if the never-worse guarantee is violated).
+type CyclesStrategyRow struct {
+	Order       string `json:"cycle_order"`
+	LaggedEdges int    `json:"lagged_edges"`
+	ConvInners  int    `json:"inners_to_convergence"`
+	Converged   bool   `json:"converged"`
 }
 
 // CyclesSection is the serialised cyclic-mesh comparison of
 // BENCH_sweep.json.
 type CyclesSection struct {
+	Commit  string       `json:"commit,omitempty"`
 	Problem ProblemShape `json:"problem"`
 	Twist   float64      `json:"twist"`
 	Periods float64      `json:"twist_periods"`
 	Inners  int          `json:"inners_per_run"`
 	Grid    string       `json:"pipelined_grid"`
+	Epsi    float64      `json:"epsi"`
 	// LaggedEdges counts the demoted couplings across all distinct
-	// topologies (a zero here would mean the mesh is not actually cyclic
-	// — RunCycles fails loudly instead of recording that).
-	LaggedEdges int         `json:"lagged_edges"`
-	Rows        []CyclesRow `json:"rows"`
+	// topologies under the default element-index rule (a zero here would
+	// mean the mesh is not actually cyclic — RunCycles fails loudly
+	// instead of recording that); Strategies carries the per-cut-rule
+	// lag-set sizes and convergence iteration counts side by side.
+	LaggedEdges int                 `json:"lagged_edges"`
+	Strategies  []CyclesStrategyRow `json:"strategies"`
+	Rows        []CyclesRow         `json:"rows"`
 }
 
-// RunCycles measures the three executors at every thread count and guards
-// the comparison: the mesh must actually be cyclic, and every variant's
-// flux integral must agree with the engine's (the 1e-12 equivalence is
-// pinned by the test suite; the bench keeps a coarser sanity bound so a
-// broken build can never record a "speedup").
-func RunCycles(cfg CyclesConfig) ([]CyclesRow, int, error) {
-	lagged := 0
-	ref := math.NaN()
-	checkFlux := func(name string, got float64) error {
-		if ref != ref { // first measurement seeds the reference
-			ref = got
+// RunCycles measures the four executors at every thread count plus the
+// per-strategy lag-set and convergence comparison, and guards the
+// experiment: the mesh must actually be cyclic, the feedback-arc lag set
+// must not exceed the element-index one, and every variant's flux
+// integral must stay near the reference (the 1e-12 equivalences are
+// pinned by the test suite; the bench keeps coarser sanity bounds so a
+// broken build can never record a "speedup"). The two cut rules iterate
+// through different transients towards the same fixed point, so
+// per-strategy references are exact across thread counts but only
+// loosely compared with each other.
+func RunCycles(cfg CyclesConfig) ([]CyclesRow, []CyclesStrategyRow, error) {
+	strategies := []unsnap.CycleOrder{unsnap.OrderElementIndex, unsnap.OrderFeedbackArc}
+	refs := map[unsnap.CycleOrder]float64{}
+	checkFlux := func(order unsnap.CycleOrder, name string, got float64) error {
+		ref, ok := refs[order]
+		if !ok {
+			for _, other := range refs {
+				if math.Abs(got-other) > 5e-2*(1+math.Abs(other)) {
+					return fmt.Errorf("harness: cycles experiment: %s flux %v implausibly far from cross-strategy reference %v", name, got, other)
+				}
+			}
+			refs[order] = got
 			return nil
 		}
 		if math.Abs(got-ref) > 1e-9*(1+math.Abs(ref)) {
@@ -88,40 +128,54 @@ func RunCycles(cfg CyclesConfig) ([]CyclesRow, int, error) {
 		return nil
 	}
 
+	lagOf := map[unsnap.CycleOrder]int{}
 	rows := make([]CyclesRow, 0, len(cfg.Threads))
 	for _, threads := range cfg.Threads {
 		opts := unsnap.Options{
 			Threads: threads, AllowCycles: true,
 			MaxInners: cfg.Inners, MaxOuters: 1, ForceIterations: true,
 		}
-		var nsop [3]float64
+		variants := []struct {
+			scheme unsnap.Scheme
+			order  unsnap.CycleOrder
+		}{
+			{unsnap.AEg, unsnap.OrderElementIndex},
+			{unsnap.Engine, unsnap.OrderElementIndex},
+			{unsnap.Engine, unsnap.OrderFeedbackArc},
+		}
+		var nsop [4]float64
 
-		for i, scheme := range []unsnap.Scheme{unsnap.AEg, unsnap.Engine} {
+		for i, v := range variants {
 			o := opts
-			o.Scheme = scheme
+			o.Scheme = v.scheme
+			o.CycleOrder = v.order
 			s, err := unsnap.NewSolver(cfg.Problem, o)
 			if err != nil {
-				return nil, 0, fmt.Errorf("harness: cycles experiment scheme %v threads %d: %w", scheme, threads, err)
+				return nil, nil, fmt.Errorf("harness: cycles experiment scheme %v order %v threads %d: %w", v.scheme, v.order, threads, err)
 			}
-			if scheme == unsnap.Engine {
-				if n := s.Internal().Lagged(); n == 0 {
+			if v.scheme == unsnap.Engine {
+				n := s.Internal().Lagged()
+				if n == 0 {
 					s.Close()
-					return nil, 0, fmt.Errorf("harness: cycles experiment problem is not cyclic (no lagged couplings); raise Twist/TwistPeriods")
-				} else {
-					lagged = n
+					return nil, nil, fmt.Errorf("harness: cycles experiment problem is not cyclic (no lagged couplings); raise Twist/TwistPeriods")
 				}
+				lagOf[v.order] = n
 			}
 			res, err := s.Run()
 			if err != nil {
 				s.Close()
-				return nil, 0, err
+				return nil, nil, err
 			}
-			ferr := checkFlux(scheme.String(), s.FluxIntegral(0))
+			ferr := checkFlux(v.order, fmt.Sprintf("%v/%v", v.scheme, v.order), s.FluxIntegral(0))
 			s.Close()
 			if ferr != nil {
-				return nil, 0, ferr
+				return nil, nil, ferr
 			}
 			nsop[i] = res.SweepSeconds * 1e9 / float64(cfg.Inners)
+		}
+		if lagOf[unsnap.OrderFeedbackArc] > lagOf[unsnap.OrderElementIndex] {
+			return nil, nil, fmt.Errorf("harness: cycles experiment: feedback-arc lag set (%d) exceeds element-index (%d); the never-worse guarantee is broken",
+				lagOf[unsnap.OrderFeedbackArc], lagOf[unsnap.OrderElementIndex])
 		}
 
 		o := opts
@@ -129,59 +183,106 @@ func RunCycles(cfg CyclesConfig) ([]CyclesRow, int, error) {
 		o.Protocol = unsnap.CommPipelined
 		d, err := unsnap.NewDistributed(cfg.Problem, o, cfg.Grid[0], cfg.Grid[1])
 		if err != nil {
-			return nil, 0, fmt.Errorf("harness: cycles experiment pipelined %dx%d threads %d: %w", cfg.Grid[0], cfg.Grid[1], threads, err)
+			return nil, nil, fmt.Errorf("harness: cycles experiment pipelined %dx%d threads %d: %w", cfg.Grid[0], cfg.Grid[1], threads, err)
 		}
 		res, err := d.Run()
 		if err != nil {
 			d.Close()
-			return nil, 0, err
+			return nil, nil, err
 		}
-		ferr := checkFlux("pipelined", d.FluxIntegral(0))
+		ferr := checkFlux(unsnap.OrderElementIndex, "pipelined", d.FluxIntegral(0))
 		d.Close()
 		if ferr != nil {
-			return nil, 0, ferr
+			return nil, nil, ferr
 		}
 		// SweepSeconds (the slowest rank's in-sweep time) keeps the column
 		// comparable with the single-domain SweepSeconds figures; wall
 		// time would fold setup and source work into this one variant.
-		nsop[2] = res.SweepSeconds * 1e9 / float64(cfg.Inners)
+		nsop[3] = res.SweepSeconds * 1e9 / float64(cfg.Inners)
 
 		row := CyclesRow{
 			Threads:    threads,
-			LegacyNsOp: nsop[0], EngineNsOp: nsop[1], PipelinedNsOp: nsop[2],
+			LegacyNsOp: nsop[0], EngineNsOp: nsop[1], EngineFANsOp: nsop[2], PipelinedNsOp: nsop[3],
 		}
 		if nsop[1] > 0 {
 			row.EngineSpeedup = nsop[0] / nsop[1]
 		}
 		if nsop[2] > 0 {
-			row.PipelinedSpeedup = nsop[0] / nsop[2]
+			row.EngineFASpeedup = nsop[0] / nsop[2]
+		}
+		if nsop[3] > 0 {
+			row.PipelinedSpeedup = nsop[0] / nsop[3]
 		}
 		rows = append(rows, row)
 	}
-	return rows, lagged, nil
+
+	// Per-strategy convergence: the same problem, convergence-gated on the
+	// single-domain engine, under each cut rule. A smaller lag set means a
+	// smaller fixed-point perturbation per sweep, so the feedback-arc rule
+	// should never need meaningfully more inners.
+	strats := make([]CyclesStrategyRow, 0, len(strategies))
+	for _, order := range strategies {
+		s, err := unsnap.NewSolver(cfg.Problem, unsnap.Options{
+			Scheme: unsnap.Engine, Threads: 2, AllowCycles: true, CycleOrder: order,
+			Epsi: cfg.Epsi, MaxInners: cfg.ConvInners, MaxOuters: 1,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("harness: cycles convergence order %v: %w", order, err)
+		}
+		res, err := s.Run()
+		s.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		strats = append(strats, CyclesStrategyRow{
+			Order:       order.String(),
+			LaggedEdges: lagOf[order],
+			ConvInners:  res.Inners,
+			// Converged means the inner iteration actually reached Epsi
+			// (Result.Converged is the outer-level flag, meaningless at
+			// MaxOuters 1): false marks a ConvInners column that merely
+			// hit the ConvInners cap.
+			Converged: res.FinalDF < cfg.Epsi,
+		})
+	}
+	return rows, strats, nil
 }
 
 // CyclesSectionOf packages a cycles run for WriteSweepJSON.
-func CyclesSectionOf(cfg CyclesConfig, rows []CyclesRow, laggedEdges int) *CyclesSection {
-	return &CyclesSection{
-		Problem:     shapeOf(cfg.Problem),
-		Twist:       cfg.Problem.Twist,
-		Periods:     cfg.Problem.TwistPeriods,
-		Inners:      cfg.Inners,
-		Grid:        fmt.Sprintf("%dx%d", cfg.Grid[0], cfg.Grid[1]),
-		LaggedEdges: laggedEdges,
-		Rows:        rows,
+func CyclesSectionOf(cfg CyclesConfig, rows []CyclesRow, strats []CyclesStrategyRow) *CyclesSection {
+	sec := &CyclesSection{
+		Problem:    shapeOf(cfg.Problem),
+		Twist:      cfg.Problem.Twist,
+		Periods:    cfg.Problem.TwistPeriods,
+		Inners:     cfg.Inners,
+		Grid:       fmt.Sprintf("%dx%d", cfg.Grid[0], cfg.Grid[1]),
+		Epsi:       cfg.Epsi,
+		Strategies: strats,
+		Rows:       rows,
 	}
+	for _, st := range strats {
+		if st.Order == unsnap.OrderElementIndex.String() {
+			sec.LaggedEdges = st.LaggedEdges
+		}
+	}
+	return sec
 }
 
-// FprintCycles writes the comparison table.
-func FprintCycles(w io.Writer, cfg CyclesConfig, rows []CyclesRow, laggedEdges int) {
-	fmt.Fprintf(w, "cyclic mesh: %d lagged couplings; pipelined grid %dx%d\n", laggedEdges, cfg.Grid[0], cfg.Grid[1])
+// FprintCycles writes the comparison tables.
+func FprintCycles(w io.Writer, cfg CyclesConfig, rows []CyclesRow, strats []CyclesStrategyRow) {
+	fmt.Fprintf(w, "cyclic mesh; pipelined grid %dx%d\n", cfg.Grid[0], cfg.Grid[1])
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "Threads\tlegacy lagged (ns/sweep)\tengine (ns/sweep)\tengine+pipelined (ns/sweep)\tengine speedup\tpipelined speedup\n")
+	fmt.Fprintf(tw, "Cycle order\tlagged couplings\tinners to df < %g\tconverged\n", cfg.Epsi)
+	for _, st := range strats {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%v\n", st.Order, st.LaggedEdges, st.ConvInners, st.Converged)
+	}
+	tw.Flush()
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Threads\tlegacy lagged (ns/sweep)\tengine (ns/sweep)\tengine feedback-arc (ns/sweep)\tengine+pipelined (ns/sweep)\tengine speedup\tfeedback-arc speedup\tpipelined speedup\n")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%d\t%.0f\t%.0f\t%.0f\t%.2fx\t%.2fx\n",
-			r.Threads, r.LegacyNsOp, r.EngineNsOp, r.PipelinedNsOp, r.EngineSpeedup, r.PipelinedSpeedup)
+		fmt.Fprintf(tw, "%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.2fx\t%.2fx\t%.2fx\n",
+			r.Threads, r.LegacyNsOp, r.EngineNsOp, r.EngineFANsOp, r.PipelinedNsOp,
+			r.EngineSpeedup, r.EngineFASpeedup, r.PipelinedSpeedup)
 	}
 	tw.Flush()
 }

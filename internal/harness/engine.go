@@ -68,8 +68,12 @@ func shapeOf(p unsnap.Problem) ProblemShape {
 	return ProblemShape{NX: p.NX, Order: p.Order, AnglesPerOctant: p.AnglesPerOctant, Groups: p.Groups}
 }
 
-// EngineSection is the serialised engine-vs-legacy comparison.
+// EngineSection is the serialised engine-vs-legacy comparison. Commit is
+// the revision the section was last measured at: sections are merged by
+// key into BENCH_sweep.json (a partial bench refresh leaves the other
+// sections untouched), so each one carries its own stamp.
 type EngineSection struct {
+	Commit       string       `json:"commit,omitempty"`
 	Problem      ProblemShape `json:"problem"`
 	LegacyScheme string       `json:"legacy_scheme"`
 	Inners       int          `json:"inners_per_run"`
@@ -87,8 +91,11 @@ func EngineSectionOf(cfg EngineConfig, rows []EngineRow) *EngineSection {
 }
 
 // SweepReport is BENCH_sweep.json: the sections of whichever sweep
-// experiments ran, stamped with the measured git commit so the perf
-// trajectory stays attributable across PRs.
+// experiments ran. The top-level commit is the revision of the most
+// recent write; each section additionally carries the commit it was
+// measured at, because WriteSweepJSON merges by section key — a partial
+// refresh (say `-experiment cycles`) updates only the cycles section and
+// preserves the engine/comm history verbatim.
 type SweepReport struct {
 	Commit string         `json:"commit,omitempty"`
 	Engine *EngineSection `json:"engine,omitempty"`
@@ -158,9 +165,37 @@ func FprintEngine(w io.Writer, cfg EngineConfig, rows []EngineRow) {
 
 // WriteSweepJSON records the sweep benchmark sections for the perf
 // trajectory (scripts/bench.sh writes it to BENCH_sweep.json at the repo
-// root, stamping the measured git commit). Nil sections are omitted.
+// root, stamping the measured git commit). Sections merge by key: a nil
+// section keeps whatever the existing file holds — with its original
+// commit stamp — so refreshing one experiment never rewrites the others'
+// history. An existing file that does not parse is an error, not a
+// silent overwrite.
 func WriteSweepJSON(path, commit string, eng *EngineSection, comm *CommSection, cycles *CyclesSection) error {
-	rep := SweepReport{Commit: commit, Engine: eng, Comm: comm, Cycles: cycles}
+	var rep SweepReport
+	if prev, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(prev, &rep); err != nil {
+			return fmt.Errorf("harness: existing %s is not a sweep report (refusing to overwrite): %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	// Stamp copies: the caller's sections stay untouched.
+	rep.Commit = commit
+	if eng != nil {
+		sec := *eng
+		sec.Commit = commit
+		rep.Engine = &sec
+	}
+	if comm != nil {
+		sec := *comm
+		sec.Commit = commit
+		rep.Comm = &sec
+	}
+	if cycles != nil {
+		sec := *cycles
+		sec.Commit = commit
+		rep.Cycles = &sec
+	}
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err

@@ -69,27 +69,39 @@ func TestRunCyclesTiny(t *testing.T) {
 	cfg.Problem.Groups = 2
 	cfg.Threads = []int{1, 2}
 	cfg.Inners = 2
-	rows, lagged, err := RunCycles(cfg)
+	rows, strats, err := RunCycles(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2 || lagged == 0 {
-		t.Fatalf("got %d rows, %d lagged edges", len(rows), lagged)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if len(strats) != 2 || strats[0].Order != "element-index" || strats[1].Order != "feedback-arc" {
+		t.Fatalf("strategy rows wrong: %+v", strats)
+	}
+	for _, st := range strats {
+		if st.LaggedEdges == 0 || st.ConvInners == 0 || !st.Converged {
+			t.Fatalf("strategy row not measured: %+v", st)
+		}
+	}
+	if strats[1].LaggedEdges >= strats[0].LaggedEdges {
+		t.Fatalf("feedback-arc must lag strictly fewer edges than element-index on the cyclic test mesh: %+v", strats)
 	}
 	for _, r := range rows {
-		if r.LegacyNsOp <= 0 || r.EngineNsOp <= 0 || r.PipelinedNsOp <= 0 ||
-			r.EngineSpeedup <= 0 || r.PipelinedSpeedup <= 0 {
+		if r.LegacyNsOp <= 0 || r.EngineNsOp <= 0 || r.EngineFANsOp <= 0 || r.PipelinedNsOp <= 0 ||
+			r.EngineSpeedup <= 0 || r.EngineFASpeedup <= 0 || r.PipelinedSpeedup <= 0 {
 			t.Fatalf("row not measured: %+v", r)
 		}
 	}
 	var buf bytes.Buffer
-	FprintCycles(&buf, cfg, rows, lagged)
-	if !strings.Contains(buf.String(), "engine+pipelined (ns/sweep)") {
+	FprintCycles(&buf, cfg, rows, strats)
+	if !strings.Contains(buf.String(), "engine+pipelined (ns/sweep)") ||
+		!strings.Contains(buf.String(), "feedback-arc") {
 		t.Fatalf("table output malformed: %s", buf.String())
 	}
 
 	path := filepath.Join(t.TempDir(), "bench.json")
-	if err := WriteSweepJSON(path, "deadbeef", nil, nil, CyclesSectionOf(cfg, rows, lagged)); err != nil {
+	if err := WriteSweepJSON(path, "deadbeef", nil, nil, CyclesSectionOf(cfg, rows, strats)); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -100,12 +112,44 @@ func TestRunCyclesTiny(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.Cycles == nil || len(rep.Cycles.Rows) != 2 || rep.Cycles.LaggedEdges != lagged ||
-		rep.Cycles.Grid != "2x1" || rep.Cycles.Periods != 3 {
+	if rep.Cycles == nil || len(rep.Cycles.Rows) != 2 || rep.Cycles.LaggedEdges != strats[0].LaggedEdges ||
+		len(rep.Cycles.Strategies) != 2 || rep.Cycles.Grid != "2x1" || rep.Cycles.Periods != 3 {
 		t.Fatalf("cycles report round trip wrong: %+v", rep.Cycles)
 	}
 	if rep.Engine != nil || rep.Comm != nil {
 		t.Fatalf("nil sections should be omitted: %+v", rep)
+	}
+
+	// Merge-by-key: a later engine-only write must preserve the cycles
+	// section (with its original commit stamp) and restamp the top level.
+	engCfg := DefaultEngine()
+	engCfg.Problem = tinyProblem()
+	eng := EngineSectionOf(engCfg, []EngineRow{{Threads: 1, LegacyNsOp: 1, EngineNsOp: 1, OverlapNsOp: 1, Speedup: 1, OverlapSpeedup: 1}})
+	if err := WriteSweepJSON(path, "cafe1234", eng, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep = SweepReport{}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Commit != "cafe1234" || rep.Engine == nil || rep.Engine.Commit != "cafe1234" {
+		t.Fatalf("engine refresh not stamped: %+v", rep)
+	}
+	if rep.Cycles == nil || rep.Cycles.Commit != "deadbeef" || len(rep.Cycles.Strategies) != 2 {
+		t.Fatalf("cycles section lost by partial refresh: %+v", rep.Cycles)
+	}
+
+	// A corrupt existing file must refuse the merge instead of clobbering.
+	bad := filepath.Join(t.TempDir(), "corrupt.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSweepJSON(bad, "cafe1234", eng, nil, nil); err == nil {
+		t.Fatal("corrupt existing report should refuse the write")
 	}
 }
 

@@ -1,33 +1,102 @@
 package sweep
 
-import "hash/fnv"
+import (
+	"fmt"
+	"hash/fnv"
+)
 
 // This file is the shared cycle-analysis layer of the sweep topology: a
-// Tarjan SCC condensation of one ordinate's upwind graph, the deterministic
-// rule that demotes intra-SCC back edges to lagged (previous-iterate)
-// reads, and the bitmap deduplication that lets every consumer classify
-// identical-topology ordinates exactly once. The schedule builder
-// (BuildWithLagging), the counter-graph builder (BuildGraph via the
-// condensation's lag set), the single-domain solver and the cross-rank
-// pipelined protocol all derive their cycle handling from this one
-// transform, so no two layers can disagree about which dependency edges
-// are lagged.
+// Tarjan SCC condensation of one ordinate's upwind graph, the pluggable
+// within-SCC ordering rule that demotes intra-SCC back edges to lagged
+// (previous-iterate) reads, and the bitmap deduplication that lets every
+// consumer classify identical-topology ordinates exactly once. The
+// schedule builder (BuildWithLagging), the counter-graph builder
+// (BuildGraph via the condensation's lag set), the single-domain solver
+// and the cross-rank pipelined protocol all derive their cycle handling
+// from this one transform, so no two layers can disagree about which
+// dependency edges are lagged.
 //
 // The rule follows Vermaak et al. ("Massively Parallel Transport Sweeps on
 // Meshes with Cyclic Dependencies") in making cycle-broken edges
 // first-class graph citizens decided once, up front: within every strongly
-// connected component the edges from a higher element index to a lower one
-// are lagged, the rest are kept. The kept intra-SCC edges strictly
-// increase the element index and the cross-SCC edges follow the
-// condensation DAG, so the cut graph is acyclic by construction — and the
-// decision depends only on SCC membership and element ids, never on
-// traversal order, which is what lets a partitioned run reproduce the
-// single-domain decision from global element ids.
+// connected component a deterministic linear order of the members is
+// chosen (see CycleOrder), and the edges pointing backwards in that order
+// are lagged, the rest kept. The kept intra-SCC edges strictly advance in
+// the order and the cross-SCC edges follow the condensation DAG, so the
+// cut graph is acyclic by construction — and the decision depends only on
+// SCC membership and element ids, never on traversal order, which is what
+// lets a partitioned run reproduce the single-domain decision from global
+// element ids.
+
+// CycleOrder selects the deterministic linear order Condense imposes on
+// the members of each strongly connected component: the edges pointing
+// backwards in that order become the lagged (previous-iterate) couplings,
+// so the strategy controls how many couplings a cyclic mesh lags — and,
+// through the lag set's fixed-point character, how fast it converges.
+// Every strategy is a pure function of SCC membership and element ids
+// alone, the invariant that lets a partitioned pipelined run reproduce the
+// single-domain decision rank by rank from global element ids.
+type CycleOrder int
+
+const (
+	// OrderElementIndex orders each SCC by ascending element index, so
+	// the edges from a higher element index to a lower one are lagged.
+	// The original rule and the default: trivially deterministic, but
+	// blind to the cycle structure (on the 6^3 oscillating-twist bench
+	// mesh it lags ~960 couplings).
+	OrderElementIndex CycleOrder = iota
+	// OrderFeedbackArc orders each SCC by a greedy feedback-arc-set
+	// heuristic (Eades/Lin/Smyth-style sink/source peeling over the
+	// SCC's subgraph, ties broken by element index) that minimises the
+	// number of demoted back edges. Per SCC the peeled sequence is kept
+	// only when it lags strictly fewer edges than OrderElementIndex
+	// would, so the resulting lag set is never larger than the
+	// element-index one.
+	OrderFeedbackArc
+
+	numCycleOrders
+)
+
+// Valid reports whether o names a known strategy.
+func (o CycleOrder) Valid() bool { return o >= 0 && o < numCycleOrders }
+
+// CycleOrders lists every strategy in declaration order.
+func CycleOrders() []CycleOrder {
+	out := make([]CycleOrder, numCycleOrders)
+	for i := range out {
+		out[i] = CycleOrder(i)
+	}
+	return out
+}
+
+// String names the strategy (the -cycle-order flag spelling).
+func (o CycleOrder) String() string {
+	switch o {
+	case OrderElementIndex:
+		return "element-index"
+	case OrderFeedbackArc:
+		return "feedback-arc"
+	default:
+		return fmt.Sprintf("CycleOrder(%d)", int(o))
+	}
+}
+
+// ParseCycleOrder resolves a strategy name (as produced by String).
+func ParseCycleOrder(name string) (CycleOrder, error) {
+	for _, o := range CycleOrders() {
+		if o.String() == name {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("sweep: unknown cycle order %q (element-index|feedback-arc)", name)
+}
 
 // Condensation is the SCC structure of one ordinate's upwind graph and the
 // lag set it induces.
 type Condensation struct {
 	NumElems int
+	// Order is the within-SCC strategy the lag set was computed under.
+	Order CycleOrder
 	// Comp[e] is the strongly connected component id of element e
 	// (component ids are assigned in Tarjan completion order and carry no
 	// semantic meaning beyond equality).
@@ -42,15 +111,18 @@ type Condensation struct {
 }
 
 // Condense computes the strongly connected components of in and the lagged
-// edge set that breaks every cycle: within each SCC, the edges whose
-// upwind element index exceeds the downwind one. The remaining graph is
-// acyclic by construction.
-func Condense(in Input) (*Condensation, error) {
+// edge set that breaks every cycle: within each SCC, the edges pointing
+// backwards in the strategy's member order (see CycleOrder). The remaining
+// graph is acyclic by construction.
+func Condense(in Input, order CycleOrder) (*Condensation, error) {
+	if !order.Valid() {
+		return nil, fmt.Errorf("sweep: unknown cycle order %d", int(order))
+	}
 	if err := checkInput(in); err != nil {
 		return nil, err
 	}
 	n := in.NumElems
-	c := &Condensation{NumElems: n, Comp: make([]int32, n)}
+	c := &Condensation{NumElems: n, Order: order, Comp: make([]int32, n)}
 
 	// Successor CSR (downwind adjacency) for the DFS; edges run
 	// upwind -> downwind.
@@ -144,12 +216,24 @@ func Condense(in Input) (*Condensation, error) {
 		}
 	}
 
-	// Demote intra-SCC back edges (upwind index above downwind index),
-	// each unique edge once.
+	// Demote intra-SCC back edges — edges pointing backwards in the
+	// strategy's within-SCC member order — each unique edge once. With
+	// OrderElementIndex the order is the element index itself (pos nil);
+	// OrderFeedbackArc substitutes the greedy peeling sequence per SCC.
+	var pos []int32
+	if order == OrderFeedbackArc && c.MaxComp > 1 {
+		pos = feedbackArcPositions(in, c)
+	}
+	isBack := func(u, e int) bool {
+		if pos != nil {
+			return pos[u] > pos[e]
+		}
+		return u > e
+	}
 	var seen map[Edge]bool
 	for e := 0; e < n; e++ {
 		for _, u := range in.Upwind[e] {
-			if u > e && c.Comp[u] == c.Comp[e] {
+			if c.Comp[u] == c.Comp[e] && isBack(u, e) {
 				edge := Edge{From: u, To: e}
 				if seen == nil {
 					seen = make(map[Edge]bool)
@@ -162,6 +246,168 @@ func Condense(in Input) (*Condensation, error) {
 		}
 	}
 	return c, nil
+}
+
+// feedbackArcPositions computes the OrderFeedbackArc member order: pos[v]
+// such that an intra-SCC edge u->e is lagged iff pos[u] > pos[e].
+// Singleton components keep their element index (never compared); every
+// nontrivial SCC gets the Eades/Lin/Smyth greedy sequence of its subgraph
+// — unless that sequence would lag no fewer edges than the element-index
+// order, in which case the SCC keeps element indices, so the feedback-arc
+// lag set can never exceed the element-index one.
+func feedbackArcPositions(in Input, c *Condensation) []int32 {
+	n := in.NumElems
+	pos := make([]int32, n)
+	for v := range pos {
+		pos[v] = int32(v)
+	}
+	size := make([]int, c.NumComps)
+	for v := 0; v < n; v++ {
+		size[c.Comp[v]]++
+	}
+	// Members ascending by element id (the loop order), unique intra-SCC
+	// edges per component in the canonical (ascending To, upwind order)
+	// sequence.
+	members := make([][]int32, c.NumComps)
+	edges := make([][]Edge, c.NumComps)
+	for v := 0; v < n; v++ {
+		if cc := c.Comp[v]; size[cc] > 1 {
+			members[cc] = append(members[cc], int32(v))
+		}
+	}
+	seen := make(map[Edge]bool)
+	for e := 0; e < n; e++ {
+		for _, u := range in.Upwind[e] {
+			cc := int(c.Comp[u])
+			if cc != int(c.Comp[e]) || size[cc] < 2 {
+				continue
+			}
+			edge := Edge{From: u, To: e}
+			if !seen[edge] {
+				seen[edge] = true
+				edges[cc] = append(edges[cc], edge)
+			}
+		}
+	}
+	for cc, verts := range members {
+		if len(verts) < 2 {
+			continue
+		}
+		seq := greedyFASSequence(verts, edges[cc])
+		seqPos := make(map[int32]int32, len(seq))
+		for i, v := range seq {
+			seqPos[v] = int32(i)
+		}
+		fas, idx := 0, 0
+		for _, ed := range edges[cc] {
+			if seqPos[int32(ed.From)] > seqPos[int32(ed.To)] {
+				fas++
+			}
+			if ed.From > ed.To {
+				idx++
+			}
+		}
+		if fas < idx {
+			for _, v := range seq {
+				pos[v] = seqPos[v]
+			}
+		}
+	}
+	return pos
+}
+
+// greedyFASSequence runs the Eades/Lin/Smyth greedy feedback-arc-set
+// peeling over one SCC's subgraph: sinks are repeatedly moved to the tail
+// of the sequence, sources to the head, and when neither exists the vertex
+// with the largest outdegree-indegree difference joins the head. Edges
+// pointing backwards in the returned sequence form the (heuristically
+// small) feedback arc set. All choices scan members in ascending element
+// id, so the sequence is deterministic and depends only on the subgraph —
+// which on a partitioned mesh means only on SCC membership and global
+// element ids. verts must be ascending; edges are the unique intra-SCC
+// edges. Quadratic scans per removal: mesh SCCs are small (tens of
+// elements on the bench meshes), so simplicity wins over a bucket queue.
+func greedyFASSequence(verts []int32, edges []Edge) []int32 {
+	m := len(verts)
+	idxOf := make(map[int32]int, m)
+	for i, v := range verts {
+		idxOf[v] = i
+	}
+	out := make([][]int, m)
+	in := make([][]int, m)
+	outdeg := make([]int, m)
+	indeg := make([]int, m)
+	for _, ed := range edges {
+		u, e := idxOf[int32(ed.From)], idxOf[int32(ed.To)]
+		out[u] = append(out[u], e)
+		in[e] = append(in[e], u)
+		outdeg[u]++
+		indeg[e]++
+	}
+	removed := make([]bool, m)
+	remove := func(i int) {
+		removed[i] = true
+		for _, j := range out[i] {
+			if !removed[j] {
+				indeg[j]--
+			}
+		}
+		for _, j := range in[i] {
+			if !removed[j] {
+				outdeg[j]--
+			}
+		}
+	}
+	head := make([]int32, 0, m)
+	var tail []int32 // removal order; reversed onto the end of head
+	left := m
+	for left > 0 {
+		// Exhaust sinks (vertices with no remaining successors; isolated
+		// vertices count — their position is irrelevant), then sources.
+		progressed := true
+		for progressed {
+			progressed = false
+			for i := 0; i < m; i++ {
+				if !removed[i] && outdeg[i] == 0 {
+					remove(i)
+					left--
+					tail = append(tail, verts[i])
+					progressed = true
+				}
+			}
+		}
+		progressed = true
+		for progressed {
+			progressed = false
+			for i := 0; i < m; i++ {
+				if !removed[i] && indeg[i] == 0 {
+					remove(i)
+					left--
+					head = append(head, verts[i])
+					progressed = true
+				}
+			}
+		}
+		if left == 0 {
+			break
+		}
+		best, bestDelta := -1, 0
+		for i := 0; i < m; i++ {
+			if removed[i] {
+				continue
+			}
+			if d := outdeg[i] - indeg[i]; best < 0 || d > bestDelta {
+				best, bestDelta = i, d
+			}
+		}
+		remove(best)
+		left--
+		head = append(head, verts[best])
+	}
+	for i := len(tail) - 1; i >= 0; i-- {
+		head = append(head, tail[i])
+	}
+	return head
 }
 
 // ---- bitmap deduplication ----

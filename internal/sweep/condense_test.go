@@ -8,7 +8,7 @@ import (
 
 func TestCondenseAcyclic(t *testing.T) {
 	in := structuredInput(3)
-	c, err := Condense(in)
+	c, err := Condense(in, OrderElementIndex)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +22,7 @@ func TestCondenseAcyclic(t *testing.T) {
 
 func TestCondenseTwoCycle(t *testing.T) {
 	in := Input{NumElems: 2, Upwind: [][]int{{1}, {0}}}
-	c, err := Condense(in)
+	c, err := Condense(in, OrderElementIndex)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestCondenseTwoCycle(t *testing.T) {
 func TestCondenseEmbeddedCycle(t *testing.T) {
 	// 0 -> 1 <-> 2 -> 3: one nontrivial SCC {1,2}.
 	in := Input{NumElems: 4, Upwind: [][]int{nil, {0, 2}, {1}, {2}}}
-	c, err := Condense(in)
+	c, err := Condense(in, OrderElementIndex)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,10 +53,10 @@ func TestCondenseEmbeddedCycle(t *testing.T) {
 }
 
 func TestCondenseRejectsBadInput(t *testing.T) {
-	if _, err := Condense(Input{NumElems: 2, Upwind: [][]int{{5}, nil}}); err == nil {
+	if _, err := Condense(Input{NumElems: 2, Upwind: [][]int{{5}, nil}}, OrderElementIndex); err == nil {
 		t.Fatal("expected out-of-range error")
 	}
-	if _, err := Condense(Input{NumElems: 1, Upwind: [][]int{{0}}}); err == nil {
+	if _, err := Condense(Input{NumElems: 1, Upwind: [][]int{{0}}}, OrderElementIndex); err == nil {
 		t.Fatal("expected self-dependency error")
 	}
 }
@@ -75,51 +75,148 @@ func randomDigraph(rng *rand.Rand, n int, p float64) Input {
 }
 
 // TestCondenseCutAcyclicProperty is the cycle layer's core property test:
-// for arbitrary directed graphs, the SCC condensation's lagged demotion
-// always yields a counter graph that is acyclic and covers every element —
-// a random counter-driven execution completes all of them — and the lag
-// set touches only intra-SCC back edges.
+// for arbitrary directed graphs and BOTH within-SCC cut rules, the SCC
+// condensation's lagged demotion always yields a counter graph that is
+// acyclic and covers every element — a random counter-driven execution
+// completes all of them — the lag set touches only intra-SCC edges, the
+// schedule builder agrees with the condensation, and the feedback-arc
+// strategy never produces a larger lag set than element-index.
 func TestCondenseCutAcyclicProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	f := func(rawN, rawP uint8) bool {
 		n := int(rawN%40) + 2
 		in := randomDigraph(rng, n, float64(rawP%100)/260.0)
-		c, err := Condense(in)
-		if err != nil {
-			t.Logf("condense failed: %v", err)
-			return false
-		}
-		for _, l := range c.Lagged {
-			if c.Comp[l.From] != c.Comp[l.To] || l.From <= l.To {
-				t.Logf("lagged edge %v is not an intra-SCC back edge", l)
+		lagSize := map[CycleOrder]int{}
+		for _, order := range CycleOrders() {
+			c, err := Condense(in, order)
+			if err != nil {
+				t.Logf("%v: condense failed: %v", order, err)
+				return false
+			}
+			lagSize[order] = len(c.Lagged)
+			for _, l := range c.Lagged {
+				if c.Comp[l.From] != c.Comp[l.To] {
+					t.Logf("%v: lagged edge %v is not intra-SCC", order, l)
+					return false
+				}
+				if order == OrderElementIndex && l.From <= l.To {
+					t.Logf("lagged edge %v is not an element-index back edge", l)
+					return false
+				}
+			}
+			g, err := BuildGraph(in, c.Lagged)
+			if err != nil {
+				t.Logf("%v: cut graph not acyclic: %v", order, err)
+				return false
+			}
+			order2 := simulateCounterRun(g, rng)
+			if order2 == nil {
+				t.Logf("%v: counter execution stalled", order)
+				return false
+			}
+			checkOrder(t, in, c.Lagged, order2)
+			// The schedule builder must agree with the condensation's lag
+			// set, and its levelled order must cover every element.
+			sched, err := BuildWithLagging(in, order)
+			if err != nil {
+				t.Logf("%v: schedule build failed: %v", order, err)
+				return false
+			}
+			if len(sched.Lagged) != len(c.Lagged) {
+				t.Logf("%v: schedule lag set %v != condensation %v", order, sched.Lagged, c.Lagged)
+				return false
+			}
+			if sched.NumElems() != n {
+				t.Logf("%v: schedule covers %d of %d elements", order, sched.NumElems(), n)
+				return false
+			}
+			if err := sched.Validate(in); err != nil {
+				t.Logf("%v: %v", order, err)
 				return false
 			}
 		}
-		g, err := BuildGraph(in, c.Lagged)
-		if err != nil {
-			t.Logf("cut graph not acyclic: %v", err)
+		if lagSize[OrderFeedbackArc] > lagSize[OrderElementIndex] {
+			t.Logf("feedback-arc lagged %d edges, element-index only %d", lagSize[OrderFeedbackArc], lagSize[OrderElementIndex])
 			return false
 		}
-		order := simulateCounterRun(g, rng)
-		if order == nil {
-			t.Log("counter execution stalled")
-			return false
-		}
-		checkOrder(t, in, c.Lagged, order)
-		// The schedule builder must agree with the condensation's lag set.
-		sched, err := BuildWithLagging(in)
-		if err != nil {
-			t.Logf("schedule build failed: %v", err)
-			return false
-		}
-		if len(sched.Lagged) != len(c.Lagged) {
-			t.Logf("schedule lag set %v != condensation %v", sched.Lagged, c.Lagged)
-			return false
-		}
-		return sched.Validate(in) == nil
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFeedbackArcBeatsIndexOnRotatedCycle pins a case where the greedy
+// peeling strictly wins: the 3-cycle 0 -> 2 -> 1 -> 0 has two
+// element-index back edges (1->0, 2->1) but a single feedback arc.
+func TestFeedbackArcBeatsIndexOnRotatedCycle(t *testing.T) {
+	in := Input{NumElems: 3, Upwind: [][]int{{1}, {2}, {0}}}
+	ci, err := Condense(in, OrderElementIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ci.Lagged) != 2 {
+		t.Fatalf("element-index should lag 2 edges here, got %v", ci.Lagged)
+	}
+	cf, err := Condense(in, OrderFeedbackArc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cf.Lagged) != 1 {
+		t.Fatalf("feedback-arc should lag exactly 1 edge of a 3-cycle, got %v", cf.Lagged)
+	}
+	if cf.Order != OrderFeedbackArc || ci.Order != OrderElementIndex {
+		t.Fatalf("condensations must record their strategy: %v / %v", ci.Order, cf.Order)
+	}
+	if _, err := BuildGraph(in, cf.Lagged); err != nil {
+		t.Fatalf("feedback-arc cut graph not acyclic: %v", err)
+	}
+}
+
+// TestCondenseDeterministicAcrossCalls pins the cross-rank requirement:
+// the lag set is a pure function of the graph and the strategy.
+func TestCondenseDeterministicAcrossCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	in := randomDigraph(rng, 30, 0.2)
+	for _, order := range CycleOrders() {
+		a, err := Condense(in, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Condense(in, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Lagged) != len(b.Lagged) {
+			t.Fatalf("%v: lag sets differ across calls", order)
+		}
+		for i := range a.Lagged {
+			if a.Lagged[i] != b.Lagged[i] {
+				t.Fatalf("%v: lag sets differ at %d: %v vs %v", order, i, a.Lagged[i], b.Lagged[i])
+			}
+		}
+	}
+}
+
+// TestCycleOrderNames pins the flag spellings and validation.
+func TestCycleOrderNames(t *testing.T) {
+	for _, o := range CycleOrders() {
+		got, err := ParseCycleOrder(o.String())
+		if err != nil || got != o {
+			t.Fatalf("round trip of %v: %v, %v", o, got, err)
+		}
+	}
+	if _, err := ParseCycleOrder("nope"); err == nil {
+		t.Fatal("unknown name must fail")
+	}
+	if CycleOrder(99).Valid() {
+		t.Fatal("out-of-range order must be invalid")
+	}
+	if _, err := Condense(Input{NumElems: 1, Upwind: [][]int{nil}}, CycleOrder(99)); err == nil {
+		t.Fatal("condense must reject an unknown order")
+	}
+	if _, err := BuildWithLagging(Input{NumElems: 1, Upwind: [][]int{nil}}, CycleOrder(-1)); err == nil {
+		t.Fatal("schedule builder must reject an unknown order")
 	}
 }
 

@@ -106,7 +106,7 @@ func TestGraphCounterOrderProperty(t *testing.T) {
 		var sched *Schedule
 		var err error
 		if cyclic {
-			sched, err = BuildWithLagging(in)
+			sched, err = BuildWithLagging(in, OrderElementIndex)
 		} else {
 			sched, err = Build(in)
 		}
@@ -174,7 +174,7 @@ func TestGraphRejectsCycleWithoutLagging(t *testing.T) {
 		t.Fatal("expected cycle error")
 	}
 	// With the lag set from the schedule builder the same graph builds.
-	sched, err := BuildWithLagging(in)
+	sched, err := BuildWithLagging(in, OrderElementIndex)
 	if err != nil {
 		t.Fatal(err)
 	}

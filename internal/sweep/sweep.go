@@ -23,14 +23,16 @@
 // work. Build enforces that assumption by returning ErrCycle. Cycle
 // handling is implemented as an up-front topology transform (condense.go):
 // Condense computes the Tarjan SCC condensation of the graph and demotes
-// the intra-SCC back edges to a deterministic lagged set — couplings the
+// the intra-SCC back edges — under a pluggable within-SCC ordering
+// strategy (CycleOrder) — to a deterministic lagged set: couplings the
 // solver reads from the previous iteration's flux instead of scheduling.
 // BuildWithLagging derives its schedule from that condensation (via
 // BuildCut), and BuildGraph consumes the same lag set, cutting the lagged
 // edges out of the counter view so an executor never waits on them (see
-// Graph). Because the lag rule depends only on SCC membership and element
-// ids, every layer — bucket schedules, counter graphs, the cross-rank
-// pipelined protocol — reproduces the identical cycle-breaking decision.
+// Graph). Because every lag rule depends only on SCC membership and
+// element ids, every layer — bucket schedules, counter graphs, the
+// cross-rank pipelined protocol — reproduces the identical cycle-breaking
+// decision as long as all of them run the same CycleOrder.
 package sweep
 
 import (
@@ -100,13 +102,14 @@ func Build(in Input) (*Schedule, error) {
 }
 
 // BuildWithLagging computes the schedule of an arbitrary (possibly cyclic)
-// graph: the SCC condensation's lag set (see Condense) is cut from the
-// dependency structure and recorded in Lagged, and the remaining acyclic
-// graph is levelled as usual. The engine's counter view (BuildGraph) and
-// the cross-rank pipelined protocol derive their cycle handling from the
-// same condensation, so all executors lag the identical edge set.
-func BuildWithLagging(in Input) (*Schedule, error) {
-	cond, err := Condense(in)
+// graph: the SCC condensation's lag set (see Condense, under the given
+// within-SCC order) is cut from the dependency structure and recorded in
+// Lagged, and the remaining acyclic graph is levelled as usual. The
+// engine's counter view (BuildGraph) and the cross-rank pipelined protocol
+// derive their cycle handling from the same condensation under the same
+// order, so all executors lag the identical edge set.
+func BuildWithLagging(in Input, order CycleOrder) (*Schedule, error) {
+	cond, err := Condense(in, order)
 	if err != nil {
 		return nil, err
 	}

@@ -164,7 +164,7 @@ func TestBuildDetectsEmbeddedCycle(t *testing.T) {
 
 func TestBuildWithLaggingBreaksCycle(t *testing.T) {
 	in := Input{NumElems: 2, Upwind: [][]int{{1}, {0}}}
-	s, err := BuildWithLagging(in)
+	s, err := BuildWithLagging(in, OrderElementIndex)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestBuildWithLaggingAcyclicUnchanged(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := BuildWithLagging(in)
+	s2, err := BuildWithLagging(in, OrderElementIndex)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestBuildWithLaggingAcyclicUnchanged(t *testing.T) {
 
 func TestBuildWithLaggingEmbeddedCycle(t *testing.T) {
 	in := Input{NumElems: 4, Upwind: [][]int{nil, {0, 2}, {1}, {2}}}
-	s, err := BuildWithLagging(in)
+	s, err := BuildWithLagging(in, OrderElementIndex)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +300,7 @@ func TestLaggingQuickRandomDigraph(t *testing.T) {
 			}
 		}
 		in := Input{NumElems: n, Upwind: up}
-		s, err := BuildWithLagging(in)
+		s, err := BuildWithLagging(in, OrderElementIndex)
 		if err != nil {
 			return false
 		}

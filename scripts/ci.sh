@@ -1,9 +1,16 @@
 #!/bin/sh
 # ci.sh — the repo's continuous-integration gate: formatting, vet, build
-# (library, tools and examples) and the race-enabled short test suite.
-# Run it before every commit; tier-1 acceptance (ROADMAP.md) is
+# (library, tools and examples), the bench-tool smoke pass and the
+# race-enabled short test suite. Run it before every commit; the hosted
+# pipeline (.github/workflows/ci.yml) runs exactly this script, so local
+# and hosted CI cannot drift. Tier-1 acceptance (ROADMAP.md) is
 # `go build ./... && go test ./...`, which this is a superset of modulo
 # -short.
+#
+# Every step's exit code fails the script (set -e; the gofmt check exits
+# explicitly); the workflow pins that propagation with a
+# deliberate-failure check, so a silently-ignored regression cannot
+# creep back in.
 set -e
 cd "$(dirname "$0")/.."
 UNFORMATTED=$(gofmt -l .)
@@ -15,9 +22,16 @@ fi
 go vet ./...
 go build ./...
 go build ./examples/...
+# Bench-tool smoke pass: every experiment path the perf trajectory
+# depends on (engine, comm protocols, cyclic meshes with both cycle
+# orders) executes end to end on tiny problems — seconds, not minutes —
+# so the bench plumbing cannot bit-rot between real BENCH_sweep.json
+# refreshes. -smoke never writes JSON.
+go run ./cmd/unsnap-bench -experiment engine,comm,cycles -smoke
 # Cyclic-mesh equivalence first (engine vs legacy bucket path, pipelined
-# vs single domain, 1e-12) under the race detector: the cycle-aware
-# engine's lagged snapshot reads and the shifted cross-rank channel are
-# exactly the kind of concurrency the detector exists for.
-go test -race -run 'Cyclic' ./internal/core ./internal/comm .
+# vs single domain, 1e-12 — including the per-cycle-order strategy
+# equivalence tests) under the race detector: the cycle-aware engine's
+# lagged snapshot reads and the shifted cross-rank channel are exactly
+# the kind of concurrency the detector exists for.
+go test -race -run 'Cyclic|CycleOrder|FeedbackArc' ./internal/core ./internal/comm .
 go test -race -short ./...

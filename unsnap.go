@@ -27,6 +27,7 @@ import (
 	"unsnap/internal/core"
 	"unsnap/internal/mesh"
 	"unsnap/internal/quadrature"
+	"unsnap/internal/sweep"
 	"unsnap/internal/xs"
 )
 
@@ -109,6 +110,50 @@ const (
 	// configurations still fall back to sequential phases.
 	OctantsFused
 )
+
+// CycleOrder selects the within-SCC ordering strategy of the cycle
+// condensation that AllowCycles runs (which intra-SCC dependency edges
+// are demoted to lagged previous-iterate couplings). Both strategies are
+// pure functions of SCC membership and element ids — the cross-rank
+// determinism requirement: a partitioned pipelined run condenses the
+// global mesh once and distributes the decisions by global element id, so
+// every rank must (and, with Options threading one value everywhere,
+// does) apply the identical rule the single-domain solver would.
+type CycleOrder int
+
+const (
+	// OrderElementIndex (the default) lags the intra-SCC edges whose
+	// upwind element index exceeds the downwind one — the simplest
+	// deterministic rule, blind to the cycle structure.
+	OrderElementIndex CycleOrder = iota
+	// OrderFeedbackArc orders each SCC by a greedy feedback-arc-set
+	// heuristic (Eades/Lin/Smyth sink/source peeling), lagging only the
+	// edges that point backwards in the peeled sequence. It never lags
+	// more couplings than OrderElementIndex and substantially fewer on
+	// real twisted meshes (162 vs 960 on the 6^3 oscillating-twist bench
+	// mesh), which both shrinks the per-sweep lagged reads and speeds
+	// the fixed-point convergence of strongly cyclic problems.
+	OrderFeedbackArc
+)
+
+// String names the strategy (the spelling the -cycle-order flags accept).
+func (o CycleOrder) String() string { return sweep.CycleOrder(o).String() }
+
+// ParseCycleOrder resolves a strategy name as produced by String
+// ("element-index" or "feedback-arc").
+func ParseCycleOrder(name string) (CycleOrder, error) {
+	so, err := sweep.ParseCycleOrder(name)
+	return CycleOrder(so), err
+}
+
+// AllCycleOrders lists every within-SCC ordering strategy.
+func AllCycleOrders() []CycleOrder {
+	out := make([]CycleOrder, 0, len(sweep.CycleOrders()))
+	for _, o := range sweep.CycleOrders() {
+		out = append(out, CycleOrder(o))
+	}
+	return out
+}
 
 // CommProtocol selects how NewDistributed couples its ranks; see the
 // internal/comm package comment for the full protocol descriptions.
@@ -261,7 +306,15 @@ type Options struct {
 	// eight-octant phase on vacuum boundaries, bitwise-reproducible
 	// results, and (via CommPipelined) mid-sweep cross-rank streaming.
 	// Without it a cyclic mesh fails at solver construction.
-	AllowCycles  bool
+	AllowCycles bool
+	// CycleOrder picks which intra-SCC couplings AllowCycles lags (the
+	// within-SCC cut rule): OrderElementIndex (default) or the smaller
+	// OrderFeedbackArc set. One Options value configures the strategy for
+	// every layer that decides cycles — the single-domain condensation,
+	// the legacy bucket path, and the distributed drivers (the pipelined
+	// protocol's global condensation and the decisions it distributes to
+	// the ranks) — so no two components can disagree on the lag set.
+	CycleOrder   CycleOrder
 	PreAssembled bool
 	Instrument   bool
 
@@ -350,6 +403,7 @@ func coreConfig(p Problem, o Options, m *mesh.Mesh, q *quadrature.Set, lib *xs.L
 		Epsi: o.Epsi, MaxInners: o.MaxInners, MaxOuters: o.MaxOuters,
 		ForceIterations: o.ForceIterations,
 		AllowCycles:     o.AllowCycles,
+		CycleOrder:      sweep.CycleOrder(o.CycleOrder),
 		PreAssembled:    o.PreAssembled,
 		Instrument:      o.Instrument,
 		ScatOrder:       p.ScatOrder,

@@ -255,6 +255,83 @@ func TestCyclicMeshFacade(t *testing.T) {
 	}
 }
 
+// TestCyclicFeedbackArcFacade pins the Options.CycleOrder threading end
+// to end: one Options value routes the feedback-arc cut rule through the
+// single-domain engine, the legacy bucket path and the pipelined
+// distributed driver, and all three agree — engine vs legacy pointwise,
+// distributed vs single-domain on the flux integral — to 1e-12. It also
+// pins that the strategy genuinely changes the solve (fewer lagged
+// couplings than the element-index default).
+func TestCyclicFeedbackArcFacade(t *testing.T) {
+	p := cyclicProblem()
+	forced := Options{AllowCycles: true, CycleOrder: OrderFeedbackArc,
+		MaxInners: 3, MaxOuters: 2, ForceIterations: true, Threads: 2}
+	eng, err := NewSolver(p, forced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Internal().OctantsFused() {
+		t.Fatal("feedback-arc cyclic vacuum run must keep the fused eight-octant phase")
+	}
+
+	ei, err := NewSolver(p, Options{AllowCycles: true, MaxInners: 3, MaxOuters: 2,
+		ForceIterations: true, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ei.Close()
+	if fa, idx := eng.Internal().Lagged(), ei.Internal().Lagged(); fa >= idx {
+		t.Fatalf("feedback-arc lag set (%d) must be strictly smaller than element-index (%d)", fa, idx)
+	}
+
+	legacyOpts := forced
+	legacyOpts.Scheme = AEg
+	legacy, err := NewSolver(p, legacyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	if _, err := legacy.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < eng.NumElems(); e++ {
+		for g := 0; g < eng.NumGroups(); g++ {
+			for n := 0; n < eng.NumNodes(); n++ {
+				a, b := eng.Phi(e, g, n), legacy.Phi(e, g, n)
+				if math.Abs(a-b) > 1e-12*(1+math.Abs(b)) {
+					t.Fatalf("elem %d g %d n %d: engine %v vs legacy %v", e, g, n, a, b)
+				}
+			}
+		}
+	}
+
+	distOpts := forced
+	distOpts.Protocol = CommPipelined
+	d, err := NewDistributed(p, distOpts, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	single, dist := eng.FluxIntegral(0), d.FluxIntegral(0)
+	if math.Abs(single-dist) > 1e-12*(1+math.Abs(single)) {
+		t.Fatalf("pipelined feedback-arc flux integral %v vs single-domain %v", dist, single)
+	}
+
+	if got, err := ParseCycleOrder(OrderFeedbackArc.String()); err != nil || got != OrderFeedbackArc {
+		t.Fatalf("facade cycle-order round trip: %v, %v", got, err)
+	}
+	if n := len(AllCycleOrders()); n != 2 {
+		t.Fatalf("expected 2 cycle orders, got %d", n)
+	}
+}
+
 func TestProblemValidate(t *testing.T) {
 	if err := DefaultProblem().Validate(); err != nil {
 		t.Fatal(err)
