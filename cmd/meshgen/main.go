@@ -22,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"unsnap/internal/fem"
@@ -66,6 +67,23 @@ func run(args []string) error {
 	}
 	if *nz == 0 {
 		*nz = *nx
+	}
+	// One-line structured rejections before the generator can choke on
+	// (or silently bake in) a malformed value.
+	if *nx < 1 || *ny < 1 || *nz < 1 {
+		return fmt.Errorf("grid %dx%dx%d invalid (need positive element counts)", *nx, *ny, *nz)
+	}
+	if math.IsNaN(*twist) || math.IsInf(*twist, 0) {
+		return fmt.Errorf("-twist %v invalid (need a finite angle in radians)", *twist)
+	}
+	if math.IsNaN(*periods) || math.IsInf(*periods, 0) || *periods < 0 {
+		return fmt.Errorf("-periods %v invalid (need a finite non-negative count)", *periods)
+	}
+	if *order < 1 {
+		return fmt.Errorf("-order %d invalid (need a positive element order)", *order)
+	}
+	if *nang < 1 {
+		return fmt.Errorf("-nang %d invalid (need at least one angle per octant)", *nang)
 	}
 	m, err := mesh.New(mesh.Config{
 		NX: *nx, NY: *ny, NZ: *nz, LX: 1, LY: 1, LZ: 1,

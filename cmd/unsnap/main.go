@@ -12,7 +12,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"time"
 
 	"unsnap"
 	"unsnap/internal/snapinput"
@@ -49,7 +51,15 @@ func run(args []string) error {
 	solver := fs.String("solver", "", "local solver: GE or DGESV")
 	force := fs.Bool("force-iterations", false, "run exactly iitm x oitm sweeps (timing mode)")
 	fdRun := fs.Bool("fd", false, "run the finite-difference SNAP baseline instead")
+	deadline := fs.Float64("deadline", 0, "wall-clock deadline in seconds; the run fails with a structured error instead of hanging (unset = none)")
+	failurePolicy := fs.String("failure-policy", "", "pipelined sweep failure handling: fail, retry or degrade (multi-rank pipelined runs only)")
+	retries := fs.Int("retries", 2, "max sweep retries under -failure-policy retry/degrade")
+	backoff := fs.Duration("backoff", 5*time.Millisecond, "base backoff between sweep retries")
+	health := fs.Bool("health", false, "scan the flux for NaN/Inf and divergence every inner iteration")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateFlags(fs, *deadline, *retries, *backoff, *twist, *periods, *epsi); err != nil {
 		return err
 	}
 
@@ -143,6 +153,20 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown protocol %q (lagged|pipelined)", *protocol)
 	}
+	if *deadline > 0 {
+		opts.Deadline = time.Duration(*deadline * float64(time.Second))
+	}
+	opts.HealthChecks = *health
+	switch *failurePolicy {
+	case "", "fail":
+		// FailFast is the zero policy.
+	case "retry":
+		opts.FailurePolicy = unsnap.FailurePolicy{Mode: unsnap.FailRetry, MaxRetries: *retries, Backoff: *backoff}
+	case "degrade":
+		opts.FailurePolicy = unsnap.FailurePolicy{Mode: unsnap.FailDegrade, MaxRetries: *retries, Backoff: *backoff}
+	default:
+		return fmt.Errorf("unknown failure policy %q (fail|retry|degrade)", *failurePolicy)
+	}
 
 	fmt.Println("UnSNAP — discontinuous Galerkin Sn transport on unstructured meshes")
 	twistDesc := ""
@@ -168,6 +192,52 @@ func run(args []string) error {
 	default:
 		return runSingle(prob, opts)
 	}
+}
+
+// validateFlags rejects malformed flag values with one-line structured
+// errors before anything downstream can choke on them. Only explicitly
+// set flags are checked (fs.Visit), so defaults that mean "unset" pass.
+func validateFlags(fs *flag.FlagSet, deadline float64, retries int, backoff time.Duration, twist, periods, epsi float64) error {
+	var err error
+	fs.Visit(func(f *flag.Flag) {
+		if err != nil {
+			return
+		}
+		switch f.Name {
+		case "nx", "ny", "nz", "nang", "ng", "order", "iitm", "oitm", "npey", "npez", "threads":
+			if g, ok := f.Value.(flag.Getter); ok {
+				if v, ok := g.Get().(int); ok && v < 1 {
+					err = fmt.Errorf("-%s %d invalid (need a positive integer)", f.Name, v)
+				}
+			}
+		case "deadline":
+			if math.IsNaN(deadline) || math.IsInf(deadline, 0) || deadline <= 0 {
+				err = fmt.Errorf("-deadline %v invalid (need a finite positive number of seconds)", deadline)
+			}
+		case "twist":
+			if math.IsNaN(twist) || math.IsInf(twist, 0) {
+				err = fmt.Errorf("-twist %v invalid (need a finite angle in radians)", twist)
+			}
+		case "periods":
+			if math.IsNaN(periods) || math.IsInf(periods, 0) || periods < 0 {
+				err = fmt.Errorf("-periods %v invalid (need a finite non-negative count)", periods)
+			}
+		case "epsi":
+			if math.IsNaN(epsi) || math.IsInf(epsi, 0) || epsi <= 0 {
+				err = fmt.Errorf("-epsi %v invalid (need a finite positive tolerance)", epsi)
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if retries < 0 {
+		return fmt.Errorf("-retries %d invalid (need a non-negative count)", retries)
+	}
+	if backoff < 0 {
+		return fmt.Errorf("-backoff %v invalid (need a non-negative duration)", backoff)
+	}
+	return nil
 }
 
 func printResult(res *unsnap.Result, groups int, flux func(int) float64) {
@@ -213,6 +283,9 @@ func runDistributed(prob unsnap.Problem, opts unsnap.Options, py, pz int) error 
 	res, err := d.Run()
 	if err != nil {
 		return err
+	}
+	if res.Attempts > 1 || res.Degraded {
+		fmt.Printf("failure policy: %d sweep attempts, degraded to lagged: %v\n", res.Attempts, res.Degraded)
 	}
 	printResult(res, prob.Groups, d.FluxIntegral)
 	return nil

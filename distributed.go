@@ -1,6 +1,7 @@
 package unsnap
 
 import (
+	"context"
 	"fmt"
 
 	"unsnap/internal/comm"
@@ -35,6 +36,9 @@ func NewDistributed(p Problem, o Options, py, pz int) (*Distributed, error) {
 	if o.TimeSteps > 0 {
 		return nil, fmt.Errorf("unsnap: time-dependent mode is only supported by the single-domain solver")
 	}
+	if err := validateOptions(o, true); err != nil {
+		return nil, err
+	}
 	m, q, lib, err := buildParts(p)
 	if err != nil {
 		return nil, err
@@ -49,6 +53,8 @@ func NewDistributed(p Problem, o Options, py, pz int) (*Distributed, error) {
 		PreAssembled: o.PreAssembled,
 		Epsi:         o.Epsi, MaxInners: o.MaxInners, MaxOuters: o.MaxOuters,
 		ForceIterations: o.ForceIterations, Instrument: o.Instrument,
+		Deadline: o.Deadline, Policy: o.FailurePolicy,
+		HealthChecks: o.HealthChecks, Fault: o.Fault,
 	})
 	if err != nil {
 		return nil, err
@@ -58,7 +64,18 @@ func NewDistributed(p Problem, o Options, py, pz int) (*Distributed, error) {
 
 // Run executes the partitioned iteration.
 func (d *Distributed) Run() (*Result, error) {
-	r, err := d.inner.Run()
+	return d.RunContext(context.Background())
+}
+
+// RunContext executes the partitioned iteration under a context.
+// Cancellation — and Options.Deadline, enforced by the driver itself —
+// aborts the sweep cleanly: every rank unwinds, no goroutines leak, and
+// the error is structured (*SweepError for a timed-out sweep, naming the
+// stuck rank and edge). Under a retry/degrade FailurePolicy the returned
+// Result reports how many attempts the run took and whether the driver
+// has degraded to the lagged protocol.
+func (d *Distributed) RunContext(ctx context.Context) (*Result, error) {
+	r, err := d.inner.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -66,6 +83,8 @@ func (d *Distributed) Run() (*Result, error) {
 		Outers: r.Outers, Inners: r.Inners,
 		Converged: r.Converged, FinalDF: r.FinalDF,
 		DFHistory: append([]float64(nil), r.DFHistory...),
+		Attempts:  r.Attempts,
+		Degraded:  r.Degraded,
 		Balance: Balance{
 			Source:     r.Balance.Source,
 			Absorption: r.Balance.Absorption,
@@ -75,6 +94,10 @@ func (d *Distributed) Run() (*Result, error) {
 		SweepSeconds: r.SweepTime.Seconds(),
 	}, nil
 }
+
+// Degraded reports whether a FailDegrade policy has permanently switched
+// the driver to the lagged BSP protocol.
+func (d *Distributed) Degraded() bool { return d.inner.Degraded() }
 
 // NumRanks returns the number of ranks.
 func (d *Distributed) NumRanks() int { return d.inner.NumRanks() }

@@ -1,0 +1,439 @@
+package comm
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"unsnap/internal/core"
+	"unsnap/internal/fault"
+)
+
+// The chaos suite pins the failure-domain contract of the pipelined
+// protocol under deterministic fault injection: benign faults (delay,
+// reorder-within-quota) leave results 1e-12 identical, lossy faults
+// (drop) recover under the retry policy, a stalled rank fails within the
+// deadline with a structured SweepError and zero leaked goroutines, and
+// the degrade policy completes the solve on the lagged protocol with the
+// single-domain answer. All of it runs under -race in CI.
+
+// chaosConfig is the shared small pipelined problem of the suite.
+func chaosConfig(t *testing.T, py, pz int) Config {
+	m, q, lib := testParts(t, 4, 2, 2, 0.001)
+	return Config{Mesh: m, PY: py, PZ: pz, Order: 1, Quad: q, Lib: lib,
+		Protocol: Pipelined, Scheme: core.SchemeEngine, ThreadsPerRank: 2,
+		MaxInners: 3, MaxOuters: 2, ForceIterations: true}
+}
+
+// chaosSingleFlux solves the matching single-domain problem.
+func chaosSingleFlux(t *testing.T, g int) float64 {
+	t.Helper()
+	m, q, lib := testParts(t, 4, 2, 2, 0.001)
+	s, err := core.New(core.Config{Mesh: m, Order: 1, Quad: q, Lib: lib,
+		Scheme: core.SchemeEngine, Threads: 2,
+		MaxInners: 3, MaxOuters: 2, ForceIterations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return s.FluxIntegral(g)
+}
+
+// settleGoroutines waits for the goroutine count to drop back to base.
+func settleGoroutines(t *testing.T, base int, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s leaked goroutines: %d before, %d now", what, base, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestChaosDelayOnlyParity is the "benign fault" half of the contract:
+// per-edge delivery latency changes timing only — per-lane FIFO survives,
+// so the flux stays 1e-12 identical to the single-domain solve at 2 and 4
+// ranks.
+func TestChaosDelayOnlyParity(t *testing.T) {
+	want := chaosSingleFlux(t, 0)
+	want1 := chaosSingleFlux(t, 1)
+	for _, grid := range [][2]int{{2, 1}, {2, 2}} {
+		cfg := chaosConfig(t, grid[0], grid[1])
+		cfg.Fault = &fault.Schedule{Seed: 7, Rules: []fault.Rule{
+			{From: -1, To: -1, Kind: fault.Delay, Delay: 200 * time.Microsecond},
+		}}
+		d, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Run()
+		if err != nil {
+			t.Fatalf("%dx%d ranks: delay-only run failed: %v", grid[0], grid[1], err)
+		}
+		if res.Attempts != 1 || res.Degraded {
+			t.Fatalf("%dx%d ranks: delay-only run took %d attempts (degraded=%v)", grid[0], grid[1], res.Attempts, res.Degraded)
+		}
+		for g, w := range []float64{want, want1} {
+			if got := d.FluxIntegral(g); math.Abs(got-w) > 1e-12*(1+math.Abs(w)) {
+				t.Fatalf("%dx%d ranks: group %d delayed flux %v, single domain %v", grid[0], grid[1], g, got, w)
+			}
+		}
+		d.Close()
+	}
+}
+
+// TestChaosReorderWithinQuotaParity pins the protocol's reordering
+// guarantee: every message addresses its own (ordinate, face) slot, so
+// shuffling deliveries inside one sweep's quota window is invisible in
+// the converged flux.
+func TestChaosReorderWithinQuotaParity(t *testing.T) {
+	want := chaosSingleFlux(t, 0)
+	cfg := chaosConfig(t, 2, 2)
+	cfg.Fault = &fault.Schedule{Seed: 42, Rules: []fault.Rule{
+		{From: -1, To: -1, Kind: fault.Reorder},
+	}}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Run(); err != nil {
+		t.Fatalf("reorder run failed: %v", err)
+	}
+	if got := d.FluxIntegral(0); math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+		t.Fatalf("reordered flux %v, single domain %v", got, want)
+	}
+}
+
+// TestDeadlineStallStructuredError injects a rank stall and pins the
+// watchdog's half of the contract: Run returns a structured SweepError
+// naming the stuck rank, edge and ordinate within the configured
+// deadline, every goroutine exits, and a fresh Run on the same driver
+// neither hangs nor leaks (it deterministically replays the same fault).
+func TestDeadlineStallStructuredError(t *testing.T) {
+	runtime.GC()
+	runtime.GC()
+	time.Sleep(50 * time.Millisecond)
+	base := runtime.NumGoroutine()
+
+	cfg := chaosConfig(t, 2, 1)
+	cfg.Deadline = 400 * time.Millisecond
+	cfg.Fault = &fault.Schedule{Seed: 1, Rules: []fault.Rule{
+		{From: 0, To: 1, Kind: fault.Stall},
+	}}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(which string) {
+		t.Helper()
+		start := time.Now()
+		_, err := d.Run()
+		elapsed := time.Since(start)
+		if err == nil {
+			t.Fatalf("%s run: stalled sweep should fail", which)
+		}
+		var se *SweepError
+		if !errors.As(err, &se) {
+			t.Fatalf("%s run: got %T (%v), want *SweepError", which, err, err)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%s run: SweepError should unwrap to DeadlineExceeded, got %v", which, err)
+		}
+		if se.Rank != 1 {
+			t.Fatalf("%s run: stall on edge 0->1 should starve rank 1, got rank %d (%v)", which, se.Rank, se)
+		}
+		if se.Peer != 0 || se.Ordinate < 0 || se.Elem < 0 || se.Remaining <= 0 {
+			t.Fatalf("%s run: incomplete attribution: %+v (%v)", which, se, se)
+		}
+		if elapsed > cfg.Deadline+10*time.Second {
+			t.Fatalf("%s run: took %v, deadline was %v", which, elapsed, cfg.Deadline)
+		}
+	}
+	check("first")
+	// The failed run must not strand receivers, watchers or stalled
+	// senders; only the parked worker pools may remain, and Close retires
+	// those too.
+	check("second")
+	d.Close()
+	d.Close() // idempotent
+	settleGoroutines(t, base, "stalled pipelined run")
+}
+
+// TestChaosDropRetryRecovers loses two halo messages on the first attempt
+// only: the deadline watchdog converts the starvation into a SweepError,
+// the retry policy rewinds every rank to the zero iterate, and the second
+// attempt — clean by schedule — produces the exact single-domain answer.
+func TestChaosDropRetryRecovers(t *testing.T) {
+	want := chaosSingleFlux(t, 0)
+	cfg := chaosConfig(t, 2, 1)
+	cfg.Deadline = 400 * time.Millisecond
+	cfg.Policy = FailurePolicy{Mode: FailRetry, MaxRetries: 2, Backoff: time.Millisecond}
+	cfg.Fault = &fault.Schedule{Seed: 3, Rules: []fault.Rule{
+		{From: 0, To: 1, Kind: fault.Drop, Msg: 0, Count: 2, Attempts: 1},
+	}}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	res, err := d.Run()
+	if err != nil {
+		t.Fatalf("drop+retry should recover, got %v", err)
+	}
+	if res.Attempts != 2 || res.Degraded {
+		t.Fatalf("want recovery on attempt 2, got attempts=%d degraded=%v", res.Attempts, res.Degraded)
+	}
+	if got := d.FluxIntegral(0); math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+		t.Fatalf("recovered flux %v, single domain %v", got, want)
+	}
+	// Recovery replays deterministically on a fresh Run of the same
+	// driver: attempt counting restarts, so the drop fires again and the
+	// retry clears it again.
+	res, err = d.Run()
+	if err != nil {
+		t.Fatalf("second drop+retry run: %v", err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("second run should replay fail+recover, got attempts=%d", res.Attempts)
+	}
+}
+
+// TestChaosDegradeToLagged stalls an edge on every attempt, so the
+// FailDegrade policy must demote the driver to the lagged protocol and
+// finish there: the solve converges, and the converged flux matches the
+// single-domain solver. The demotion is sticky — later Runs go straight
+// to the lagged path.
+func TestChaosDegradeToLagged(t *testing.T) {
+	const epsi = 1e-13
+	m, q, lib := testParts(t, 4, 1, 1, 0)
+	s, err := core.New(core.Config{Mesh: m, Order: 1, Quad: q, Lib: lib,
+		Scheme: core.SchemeEngine, Epsi: epsi, MaxInners: 2000, MaxOuters: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := s.FluxIntegral(0)
+
+	m2, q2, lib2 := testParts(t, 4, 1, 1, 0)
+	d, err := New(Config{Mesh: m2, PY: 2, PZ: 1, Order: 1, Quad: q2, Lib: lib2,
+		Protocol: Pipelined, Scheme: core.SchemeEngine,
+		Epsi: epsi, MaxInners: 2000, MaxOuters: 50,
+		Deadline: 400 * time.Millisecond,
+		Policy:   FailurePolicy{Mode: FailDegrade},
+		Fault: &fault.Schedule{Seed: 9, Rules: []fault.Rule{
+			{From: 0, To: 1, Kind: fault.Stall},
+		}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	res, err := d.Run()
+	if err != nil {
+		t.Fatalf("degrade policy should complete the solve, got %v", err)
+	}
+	if !res.Degraded || !d.Degraded() {
+		t.Fatalf("result should be marked degraded (res=%v driver=%v)", res.Degraded, d.Degraded())
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("one failed pipelined attempt + one lagged run = 2 attempts, got %d", res.Attempts)
+	}
+	if !res.Converged {
+		t.Fatalf("degraded lagged solve did not converge, df=%v", res.FinalDF)
+	}
+	if got := d.FluxIntegral(0); math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+		t.Fatalf("degraded flux %v, single domain %v", got, want)
+	}
+	// Sticky: the next Run reports the demotion and still succeeds
+	// (the stalled pipelined transport is gone).
+	res, err = d.Run()
+	if err != nil {
+		t.Fatalf("run after degradation: %v", err)
+	}
+	if !res.Degraded || res.Attempts != 1 {
+		t.Fatalf("post-degradation run: degraded=%v attempts=%d", res.Degraded, res.Attempts)
+	}
+}
+
+// TestChaosCloseMidFault closes the driver while a stalled sweep is
+// blocked with no deadline armed: Close is the only exit, and it must
+// abort the run, join everything, stay idempotent, and leak nothing.
+func TestChaosCloseMidFault(t *testing.T) {
+	runtime.GC()
+	runtime.GC()
+	time.Sleep(50 * time.Millisecond)
+	base := runtime.NumGoroutine()
+
+	cfg := chaosConfig(t, 2, 1)
+	cfg.Fault = &fault.Schedule{Seed: 5, Rules: []fault.Rule{
+		{From: 0, To: 1, Kind: fault.Stall},
+	}}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := d.Run()
+		errCh <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the stall engage
+	d.Close()
+	d.Close() // idempotent, including against the aborting Run
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Run aborted by Close should report an error")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run did not return after Close during an injected stall")
+	}
+	settleGoroutines(t, base, "Close mid-fault")
+}
+
+// TestDeadlineContextCancel covers the ctx half of the watchdog: an
+// external cancellation aborts a stalled run promptly even with no
+// deadline configured, and the error is the context's, not a timeout.
+func TestDeadlineContextCancel(t *testing.T) {
+	cfg := chaosConfig(t, 2, 1)
+	cfg.Fault = &fault.Schedule{Seed: 2, Rules: []fault.Rule{
+		{From: 0, To: 1, Kind: fault.Stall},
+	}}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := d.RunContext(ctx)
+		errCh <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled run did not return")
+	}
+}
+
+// TestDeadlineLagged pins the lagged protocol's deadline path: BSP sweeps
+// cannot block mid-sweep, so the budget is enforced between super-steps
+// and still surfaces as a SweepError.
+func TestDeadlineLagged(t *testing.T) {
+	m, q, lib := testParts(t, 4, 2, 2, 0.001)
+	d, err := New(Config{Mesh: m, PY: 2, PZ: 1, Order: 1, Quad: q, Lib: lib,
+		Scheme: core.SchemeAEG, Deadline: time.Nanosecond,
+		MaxInners: 50, MaxOuters: 4, ForceIterations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	_, err = d.Run()
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("lagged run past its deadline returned %T (%v), want *SweepError", err, err)
+	}
+	if se.Rank != -1 {
+		t.Fatalf("lagged deadline attribution should be rankless, got %d", se.Rank)
+	}
+}
+
+// TestFaultConfigValidation covers the new failure-domain knobs' input
+// validation: structured one-line errors, no downstream panics.
+func TestFaultConfigValidation(t *testing.T) {
+	m, q, lib := testParts(t, 4, 1, 1, 0)
+	base := Config{Mesh: m, PY: 2, PZ: 1, Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeEngine}
+
+	cfg := base
+	cfg.Deadline = -time.Second
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative deadline should be rejected")
+	}
+	cfg = base
+	cfg.Policy = FailurePolicy{Mode: FailureMode(9)}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("unknown failure mode should be rejected")
+	}
+	cfg = base
+	cfg.Policy = FailurePolicy{Mode: FailRetry, MaxRetries: -1}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative MaxRetries should be rejected")
+	}
+	cfg = base
+	cfg.Fault = &fault.Schedule{Rules: []fault.Rule{{From: -2, To: 0, Kind: fault.Delay, Delay: time.Millisecond}}}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("malformed fault rule should be rejected")
+	}
+	cfg = base // lagged protocol
+	cfg.Fault = &fault.Schedule{}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("fault schedule under the lagged protocol should be rejected")
+	}
+	cfg = base
+	cfg.Protocol = Pipelined
+	cfg.Fault = &fault.Schedule{} // empty: inert injector, the overhead-bench shape
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatalf("empty fault schedule should build an inert injector: %v", err)
+	}
+	d.Close()
+}
+
+// TestFaultHealthChecksPipelined injects a NaN source into one rank's
+// subdomain and pins that the per-inner health scan surfaces a typed
+// HealthError (terminal — no retry) through the pipelined run.
+func TestFaultHealthChecksPipelined(t *testing.T) {
+	m, q, lib := testParts(t, 4, 1, 1, 0)
+	m.Elems[0].Source = math.NaN()
+	d, err := New(Config{Mesh: m, PY: 2, PZ: 1, Order: 1, Quad: q, Lib: lib,
+		Protocol: Pipelined, Scheme: core.SchemeEngine, HealthChecks: true,
+		Policy:    FailurePolicy{Mode: FailRetry, MaxRetries: 3, Backoff: time.Millisecond},
+		MaxInners: 3, MaxOuters: 1, ForceIterations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	_, err = d.Run()
+	var he *core.HealthError
+	if !errors.As(err, &he) {
+		t.Fatalf("NaN source should surface a *core.HealthError, got %T (%v)", err, err)
+	}
+	if he.Kind != core.HealthNaN {
+		t.Fatalf("want HealthNaN, got %v", he.Kind)
+	}
+}
+
+// TestFaultHealthChecksLagged covers the same guard on the lagged path.
+func TestFaultHealthChecksLagged(t *testing.T) {
+	m, q, lib := testParts(t, 4, 1, 1, 0)
+	m.Elems[0].Source = math.NaN()
+	d, err := New(Config{Mesh: m, PY: 2, PZ: 1, Order: 1, Quad: q, Lib: lib,
+		Scheme: core.SchemeAEG, HealthChecks: true,
+		MaxInners: 3, MaxOuters: 1, ForceIterations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	_, err = d.Run()
+	var he *core.HealthError
+	if !errors.As(err, &he) {
+		t.Fatalf("NaN source should surface a *core.HealthError, got %T (%v)", err, err)
+	}
+}

@@ -38,18 +38,26 @@
 package comm
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"time"
 
 	"unsnap/internal/core"
+	"unsnap/internal/fault"
 	"unsnap/internal/fem"
 	"unsnap/internal/mesh"
 	"unsnap/internal/quadrature"
 	"unsnap/internal/sweep"
 	"unsnap/internal/xs"
 )
+
+// errDriverClosed aborts a pipelined Run whose driver was Closed mid-run.
+// It is terminal under every failure policy: Close's decision to stop the
+// pools must not be undone by a retry.
+var errDriverClosed = errors.New("comm: driver closed mid-run")
 
 // Protocol selects the cross-rank communication scheme.
 type Protocol int
@@ -122,6 +130,33 @@ type Config struct {
 	MaxOuters       int
 	ForceIterations bool
 	Instrument      bool
+
+	// Deadline bounds each Run (each attempt, under a retrying Policy):
+	// a pipelined run that cannot complete within it — a peer stalled, a
+	// halo message lost — is aborted by a watchdog and returns a
+	// structured *SweepError naming the stuck rank, edge and ordinate
+	// instead of hanging; a lagged run checks the budget between inners.
+	// Zero disables the watchdog.
+	Deadline time.Duration
+
+	// Policy selects the response to a failed or timed-out pipelined
+	// sweep: fail fast (default), retry from the zero iterate with
+	// bounded backoff, or degrade to the lagged protocol after the
+	// retries are exhausted. See FailurePolicy.
+	Policy FailurePolicy
+
+	// HealthChecks enables the per-inner numerical-health guards on every
+	// rank (NaN/Inf flux scan plus divergence detection), surfaced as a
+	// typed *core.HealthError. Health failures are terminal under every
+	// failure policy — a diverging problem diverges on retry too.
+	HealthChecks bool
+
+	// Fault installs a deterministic fault injector on the pipelined
+	// transport (chaos tests and failure drills; see internal/fault). Nil
+	// keeps the raw channel transport — the hot path pays nothing. A
+	// non-nil schedule with no rules measures the injector's bookkeeping
+	// overhead without injecting anything.
+	Fault *fault.Schedule
 }
 
 // validate rejects protocol/knob combinations that could never apply.
@@ -141,6 +176,20 @@ func (cfg Config) validate() error {
 	default:
 		return fmt.Errorf("comm: unknown protocol %d", int(cfg.Protocol))
 	}
+	if cfg.Deadline < 0 {
+		return fmt.Errorf("comm: negative deadline %v", cfg.Deadline)
+	}
+	if err := cfg.Policy.validate(); err != nil {
+		return err
+	}
+	if cfg.Fault != nil {
+		if cfg.Protocol != Pipelined {
+			return fmt.Errorf("comm: fault injection acts on the pipelined transport; the %v protocol has none", cfg.Protocol)
+		}
+		if err := cfg.Fault.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -156,13 +205,19 @@ type Driver struct {
 
 	lag  *laggedState
 	pipe *pipelinedState
+	inj  *fault.Injector // nil without Config.Fault
 
 	// Run/Close lifecycle of the pipelined protocol: Close during an
 	// active run aborts it and waits for the rank goroutines to unwind
-	// before stopping the solver pools.
+	// before stopping the solver pools. closeSeq counts Closes so a
+	// retrying Run can tell one landed between attempts and stop instead
+	// of resurrecting the pools; degraded is the sticky FailDegrade
+	// demotion to the lagged protocol.
 	mu       sync.Mutex
 	runAbort func()
 	runDone  chan struct{}
+	closeSeq int
+	degraded bool
 }
 
 // New partitions the mesh and builds one core solver per rank, wired for
@@ -211,6 +266,18 @@ func New(cfg Config) (*Driver, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Fault != nil && d.pipe != nil {
+		// Logical lanes mirror the transport: lane 2*ei is edge ei's
+		// streamed stream, lane 2*ei+1 its lagged stream, each with the
+		// per-sweep quota the protocol's accounting fixes.
+		edges := make([]fault.Edge, 0, 2*len(d.pipe.edges))
+		for _, ed := range d.pipe.edges {
+			edges = append(edges,
+				fault.Edge{From: ed.from, To: ed.to, Quota: ed.stream},
+				fault.Edge{From: ed.from, To: ed.to, Quota: ed.lag})
+		}
+		d.inj = fault.New(cfg.Fault, edges)
+	}
 	return d, nil
 }
 
@@ -245,6 +312,7 @@ func (d *Driver) Protocol() Protocol { return d.cfg.Protocol }
 func (d *Driver) Close() {
 	d.mu.Lock()
 	abort, done := d.runAbort, d.runDone
+	d.closeSeq++
 	d.mu.Unlock()
 	if abort != nil {
 		abort()
@@ -288,20 +356,40 @@ type Result struct {
 	DFHistory []float64
 	SweepTime time.Duration
 	Balance   core.Balance
+
+	// Attempts counts the runs the failure policy spent (1 without
+	// faults or retries; the degraded lagged run counts as one more).
+	Attempts int
+	// Degraded reports that this result came from the lagged protocol
+	// after a FailDegrade demotion.
+	Degraded bool
 }
 
 // Run executes the partitioned iteration to convergence (or to the
 // configured iteration limits) under the configured protocol.
 func (d *Driver) Run() (*Result, error) {
+	return d.RunContext(context.Background())
+}
+
+// RunContext is Run under an external context: cancellation (and any
+// ctx deadline, alongside Config.Deadline) aborts the run with every
+// rank goroutine joined, instead of hanging on unfinished sweeps.
+func (d *Driver) RunContext(ctx context.Context) (*Result, error) {
 	var res *Result
 	var err error
-	if d.cfg.Protocol == Pipelined {
-		res, err = d.runPipelined()
+	if d.cfg.Protocol == Pipelined && !d.Degraded() {
+		res, err = d.runPipelinedPolicy(ctx)
 	} else {
-		res, err = d.runLagged()
+		res, err = d.runLagged(ctx)
+		if err == nil {
+			res.Degraded = d.Degraded()
+		}
 	}
 	if err != nil {
 		return nil, err
+	}
+	if res.Attempts == 0 {
+		res.Attempts = 1
 	}
 	res.Balance = d.GlobalBalance()
 	return res, nil

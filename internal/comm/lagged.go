@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -90,10 +91,25 @@ func (d *Driver) exchange() {
 }
 
 // runLagged executes the block Jacobi iteration in BSP super-steps.
-func (d *Driver) runLagged() (*Result, error) {
+// BSP sweeps cannot block on a peer, so ctx cancellation, the configured
+// deadline and the per-inner health checks are all applied between
+// super-steps — the natural synchronisation points of the protocol.
+func (d *Driver) runLagged(ctx context.Context) (*Result, error) {
 	res := &Result{}
 	maxOuters, maxInners := d.maxIterLimits()
 	prev := make([][]float64, len(d.solvers))
+	start := time.Now()
+	mons := make([]core.DivergenceMonitor, len(d.solvers))
+	checkpoint := func() error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("comm: run cancelled after %d inners: %w", res.Inners, err)
+		}
+		if d.cfg.Deadline > 0 && time.Since(start) > d.cfg.Deadline {
+			return &SweepError{Rank: -1, Peer: -1, Ordinate: -1, Elem: -1,
+				Deadline: d.cfg.Deadline, Cause: context.DeadlineExceeded}
+		}
+		return nil
+	}
 
 	for outer := 0; outer < maxOuters; outer++ {
 		for r, s := range d.solvers {
@@ -125,6 +141,19 @@ func (d *Driver) runLagged() (*Result, error) {
 			res.DFHistory = append(res.DFHistory, df)
 			res.FinalDF = df
 			res.Inners++
+			if d.cfg.HealthChecks {
+				for r, s := range d.solvers {
+					if herr := s.ScanFluxHealth(); herr != nil {
+						return nil, fmt.Errorf("comm: rank %d: %w", r, herr)
+					}
+					if herr := mons[r].Observe(s.MaxRelChange()); herr != nil {
+						return nil, fmt.Errorf("comm: rank %d: %w", r, herr)
+					}
+				}
+			}
+			if err := checkpoint(); err != nil {
+				return nil, err
+			}
 			if !d.cfg.ForceIterations && df < d.cfg.Epsi {
 				break
 			}

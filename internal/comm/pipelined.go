@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -336,14 +337,8 @@ func (d *Driver) publishFace(rank, a, e, f int) {
 		s.PsiFaceValues(a, e, g, f, msg.data[g*d.nF:(g+1)*d.nF])
 	}
 	ei := d.pipe.outIdx[rank][ref.Rank]
-	ch := pr.chans[ei]
-	if d.pipe.isLagOut(rank, d.pipe.extIdx[rank][key], a) {
-		ch = pr.lagChans[ei]
-	}
-	select {
-	case ch <- msg:
-	case <-pr.abort:
-	}
+	lagged := d.pipe.isLagOut(rank, d.pipe.extIdx[rank][key], a)
+	pr.tr.Send(ei, lagged, msg)
 }
 
 // pipeReport and pipeDecision are the coordinator wire types of
@@ -362,8 +357,7 @@ type pipeDecision struct {
 type pipeRun struct {
 	d        *Driver
 	n        int
-	chans    []chan pipeMsg  // per edge: streamed transfers (nil when stream == 0)
-	lagChans []chan pipeMsg  // per edge: lagged transfers (nil when lag == 0)
+	tr       Transport       // per-edge message lanes (chanTransport, possibly fault-wrapped)
 	gates    []chan struct{} // per edge: streamed-receiver go-ahead, one send per sweep
 	lagGates []chan struct{} // per edge: lagged-receiver go-ahead, one send per sweep
 	abort    chan struct{}   // closed on first failure (or Close mid-run)
@@ -372,6 +366,12 @@ type pipeRun struct {
 	abortOnce sync.Once
 	errMu     sync.Mutex
 	firstErr  error
+
+	// aux joins the run's helper goroutines (receivers, watchers, the
+	// watchdog) before Run returns: a retry, degrade or Close right after
+	// a failed Run must never race a receiver still draining its exit
+	// path against the state it is about to tear down.
+	aux sync.WaitGroup
 
 	// Coordinator state (convergence-gated runs only).
 	reports   chan pipeReport
@@ -434,12 +434,11 @@ func (pr *pipeRun) receiver(ei int) {
 			return
 		}
 		for i := 0; i < ed.stream; i++ {
-			select {
-			case m := <-pr.chans[ei]:
-				pr.applyMsg(ei, m)
-			case <-pr.abort:
+			m, ok := pr.tr.Recv(ei, false)
+			if !ok {
 				return
 			}
+			pr.applyMsg(ei, m)
 		}
 	}
 }
@@ -473,12 +472,11 @@ func (pr *pipeRun) lagReceiver(ei int) {
 			continue
 		}
 		for i := 0; i < ed.lag; i++ {
-			select {
-			case m := <-pr.lagChans[ei]:
-				pr.applyMsg(ei, m)
-			case <-pr.abort:
+			m, ok := pr.tr.Recv(ei, true)
+			if !ok {
 				return
 			}
+			pr.applyMsg(ei, m)
 		}
 	}
 }
@@ -607,10 +605,18 @@ func (pr *pipeRun) rankLoop(r int) (res rankResult) {
 	d := pr.d
 	s := d.solvers[r]
 	maxOuters, maxInners := d.maxIterLimits()
+	var mon core.DivergenceMonitor
 	sweep := func() (float64, error) {
 		t0 := time.Now()
 		df, err := pr.sweepOnce(r)
 		res.sweep += time.Since(t0)
+		if err == nil && d.cfg.HealthChecks {
+			if herr := s.ScanFluxHealth(); herr != nil {
+				err = fmt.Errorf("comm: rank %d: %w", r, herr)
+			} else if herr := mon.Observe(df); herr != nil {
+				err = fmt.Errorf("comm: rank %d: %w", r, herr)
+			}
+		}
 		return df, err
 	}
 
@@ -665,8 +671,12 @@ func (pr *pipeRun) rankLoop(r int) (res rankResult) {
 	}
 }
 
-// runPipelined executes one pipelined iteration.
-func (d *Driver) runPipelined() (*Result, error) {
+// runPipelined executes one pipelined iteration. ctx cancellation and the
+// configured deadline are enforced by a watchdog goroutine that fails the
+// run — converting an overdue external dependency into a structured
+// SweepError naming the stuck rank, edge, ordinate and remaining work —
+// instead of letting blocked ranks hang forever.
+func (d *Driver) runPipelined(ctx context.Context) (*Result, error) {
 	pr := &pipeRun{
 		d: d, n: len(d.solvers),
 		abort: make(chan struct{}),
@@ -680,10 +690,13 @@ func (d *Driver) runPipelined() (*Result, error) {
 	// mutex before Run starts still closes an idle driver, as under the
 	// lagged protocol.)
 	d.mu.Lock()
-	d.runAbort = func() { pr.fail(fmt.Errorf("comm: driver closed mid-run")) }
+	d.runAbort = func() { pr.fail(errDriverClosed) }
 	d.runDone = pr.done
-	pr.chans = make([]chan pipeMsg, len(d.pipe.edges))
-	pr.lagChans = make([]chan pipeMsg, len(d.pipe.edges))
+	ct := &chanTransport{
+		chans:    make([]chan pipeMsg, len(d.pipe.edges)),
+		lagChans: make([]chan pipeMsg, len(d.pipe.edges)),
+		abort:    pr.abort,
+	}
 	pr.gates = make([]chan struct{}, len(d.pipe.edges))
 	pr.lagGates = make([]chan struct{}, len(d.pipe.edges))
 	for ei, ed := range d.pipe.edges {
@@ -692,13 +705,17 @@ func (d *Driver) runPipelined() (*Result, error) {
 		// channel that headroom also absorbs the final sweep's batch,
 		// which has no consumer).
 		if ed.stream > 0 {
-			pr.chans[ei] = make(chan pipeMsg, 2*ed.stream)
+			ct.chans[ei] = make(chan pipeMsg, 2*ed.stream)
 			pr.gates[ei] = make(chan struct{}, 1)
 		}
 		if ed.lag > 0 {
-			pr.lagChans[ei] = make(chan pipeMsg, 2*ed.lag)
+			ct.lagChans[ei] = make(chan pipeMsg, 2*ed.lag)
 			pr.lagGates[ei] = make(chan struct{}, 1)
 		}
+	}
+	pr.tr = Transport(ct)
+	if d.inj != nil {
+		pr.tr = newFaultTransport(ct, d.inj, d.pipe, pr.abort)
 	}
 	for ei, ed := range d.pipe.edges {
 		// Lagged slots restart every run from the zero initial iterate,
@@ -729,8 +746,34 @@ func (d *Driver) runPipelined() (*Result, error) {
 		d.pipe.run = nil
 	}()
 
+	// The deadline/cancellation watchdog: on expiry it captures the stuck
+	// ranks' state into a structured SweepError and aborts the run — the
+	// per-solver watchers below then cancel the armed sweeps, every
+	// blocked sender, receiver and rank loop unwinds on pr.abort, and Run
+	// returns the error instead of hanging on a message that will never
+	// arrive. Exits promptly with the run in the non-failure case.
+	pr.aux.Add(1)
+	go func() {
+		defer pr.aux.Done()
+		var expire <-chan time.Time
+		if d.cfg.Deadline > 0 {
+			t := time.NewTimer(d.cfg.Deadline)
+			defer t.Stop()
+			expire = t.C
+		}
+		select {
+		case <-pr.done:
+		case <-pr.abort:
+		case <-ctx.Done():
+			pr.fail(fmt.Errorf("comm: run cancelled: %w", ctx.Err()))
+		case <-expire:
+			pr.fail(d.sweepDeadlineError(d.cfg.Deadline))
+		}
+	}()
 	for _, s := range d.solvers {
+		pr.aux.Add(1)
 		go func(s *core.Solver) {
+			defer pr.aux.Done()
 			select {
 			case <-pr.abort:
 				s.CancelSweep()
@@ -740,10 +783,12 @@ func (d *Driver) runPipelined() (*Result, error) {
 	}
 	for ei, ed := range d.pipe.edges {
 		if ed.stream > 0 {
-			go pr.receiver(ei)
+			pr.aux.Add(1)
+			go func(ei int) { defer pr.aux.Done(); pr.receiver(ei) }(ei)
 		}
 		if ed.lag > 0 {
-			go pr.lagReceiver(ei)
+			pr.aux.Add(1)
+			go func(ei int) { defer pr.aux.Done(); pr.lagReceiver(ei) }(ei)
 		}
 	}
 	if !d.cfg.ForceIterations {
@@ -766,6 +811,7 @@ func (d *Driver) runPipelined() (*Result, error) {
 	}
 	wg.Wait()
 	close(pr.done)
+	pr.aux.Wait()
 
 	err := pr.err()
 	for _, rr := range ranks {

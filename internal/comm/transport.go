@@ -1,0 +1,190 @@
+package comm
+
+import (
+	"sync"
+	"time"
+
+	"unsnap/internal/fault"
+)
+
+// This file extracts the pipelined protocol's per-edge channel plumbing
+// behind a small Transport interface, so the message path can be wrapped
+// — the chaos suite's deterministic fault injector lives one decorator
+// away from the real channels, and the hot path pays nothing when no
+// injector is configured (the driver then uses chanTransport directly).
+//
+// A logical lane is one directed per-edge stream: lane 2*ei carries edge
+// ei's streamed (mid-sweep) transfers and lane 2*ei+1 its lagged
+// (one-sweep-shifted) transfers. Lanes are FIFO; the protocol's quota
+// accounting depends on it (sweep n's messages must all precede sweep
+// n+1's on the same lane), which is why even the fault transport
+// serialises each lane and never reorders across a sweep's quota window.
+
+// Transport moves pipelined halo messages between ranks. Send delivers m
+// on edge ei's streamed (lagged=false) or lagged (lagged=true) lane,
+// blocking under backpressure; Recv takes the next message off a lane.
+// Both return false when the run aborted instead.
+type Transport interface {
+	Send(ei int, lagged bool, m pipeMsg) bool
+	Recv(ei int, lagged bool) (pipeMsg, bool)
+}
+
+// chanTransport is the real transport: one buffered FIFO channel per
+// lane, unblocked by the run's abort channel.
+type chanTransport struct {
+	chans    []chan pipeMsg // per edge: streamed transfers (nil when stream == 0)
+	lagChans []chan pipeMsg // per edge: lagged transfers (nil when lag == 0)
+	abort    <-chan struct{}
+}
+
+func (t *chanTransport) lane(ei int, lagged bool) chan pipeMsg {
+	if lagged {
+		return t.lagChans[ei]
+	}
+	return t.chans[ei]
+}
+
+func (t *chanTransport) Send(ei int, lagged bool, m pipeMsg) bool {
+	select {
+	case t.lane(ei, lagged) <- m:
+		return true
+	case <-t.abort:
+		return false
+	}
+}
+
+func (t *chanTransport) Recv(ei int, lagged bool) (pipeMsg, bool) {
+	select {
+	case m := <-t.lane(ei, lagged):
+		return m, true
+	case <-t.abort:
+		return pipeMsg{}, false
+	}
+}
+
+// faultLane is one lane's injector-side state: the per-attempt message
+// counter the injector's determinism contract keys on, and the parked
+// message of an in-progress reorder swap. parkGen invalidates a parked
+// message's timed release once a later send has flushed it.
+type faultLane struct {
+	mu      sync.Mutex
+	quota   int
+	next    int
+	parked  *pipeMsg
+	parkGen int
+}
+
+// faultTransport decorates a transport with a fault.Injector's per-lane
+// decisions. Each lane's sends are serialised under its mutex — the
+// injector requires consecutive message indices, and the protocol
+// requires per-lane FIFO even across faults (a delayed message is a slow
+// wire, not a reordered one) — so held/delayed messages can never leak
+// into the next sweep's quota window.
+type faultTransport struct {
+	inner Transport
+	inj   *fault.Injector
+	ps    *pipelinedState // buffer pool; outlives even a degrade teardown
+	abort <-chan struct{}
+	lanes []faultLane // 2 per edge: [2*ei] streamed, [2*ei+1] lagged
+}
+
+// newFaultTransport wires one run's lanes; laneQuota mirrors the edge
+// quotas the injector was compiled with.
+func newFaultTransport(inner Transport, inj *fault.Injector, ps *pipelinedState, abort <-chan struct{}) *faultTransport {
+	t := &faultTransport{inner: inner, inj: inj, ps: ps, abort: abort,
+		lanes: make([]faultLane, 2*len(ps.edges))}
+	for li := range t.lanes {
+		t.lanes[li].quota = inj.Quota(li)
+	}
+	return t
+}
+
+func (t *faultTransport) Recv(ei int, lagged bool) (pipeMsg, bool) {
+	return t.inner.Recv(ei, lagged)
+}
+
+// parkRelease bounds how long a reorder swap waits for its successor
+// message before the parked message is delivered in place.
+const parkRelease = 2 * time.Millisecond
+
+// flushParked delivers (or, when the run is aborting, recycles) the
+// lane's parked message. Caller holds ln.mu.
+func (t *faultTransport) flushParked(ei int, lagged bool, ln *faultLane) {
+	if ln.parked == nil {
+		return
+	}
+	if !t.inner.Send(ei, lagged, *ln.parked) {
+		t.ps.putBuf(ln.parked.data)
+	}
+	ln.parked = nil
+	ln.parkGen++
+}
+
+func (t *faultTransport) Send(ei int, lagged bool, m pipeMsg) bool {
+	li := 2 * ei
+	if lagged {
+		li++
+	}
+	ln := &t.lanes[li]
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	idx := ln.next
+	ln.next++
+	act := t.inj.Decide(li, idx)
+	last := (idx+1)%ln.quota == 0
+	ok := true
+	switch {
+	case act.Stall:
+		// A hung peer: never deliver, never return. The abort channel (the
+		// watchdog or a Close) is the only way out, so the sender unwinds
+		// cleanly instead of leaking.
+		<-t.abort
+		return false
+	case act.Drop:
+		t.ps.putBuf(m.data)
+	case act.Hold && !last && ln.parked == nil:
+		// Reorder: park the message so its successor on the lane is
+		// delivered first (a within-window adjacent swap — the only
+		// reordering that cannot deadlock the wavefront: any scheme that
+		// waits indefinitely for a later message forms circular waits
+		// across lanes). A timed fallback delivers the parked message in
+		// place if no successor arrives promptly, so liveness never
+		// depends on another message; the window's last index is never
+		// parked, keeping every delivery inside its own quota window.
+		pm := m
+		ln.parked = &pm
+		gen := ln.parkGen
+		go func() {
+			tm := time.NewTimer(parkRelease)
+			defer tm.Stop()
+			select {
+			case <-tm.C:
+			case <-t.abort:
+			}
+			ln.mu.Lock()
+			if ln.parkGen == gen {
+				t.flushParked(ei, lagged, ln)
+			}
+			ln.mu.Unlock()
+		}()
+		return true
+	default:
+		if act.Delay > 0 {
+			// Sleep while holding the lane: per-lane FIFO is a protocol
+			// invariant, so link latency delays everything behind it too.
+			tm := time.NewTimer(act.Delay)
+			select {
+			case <-tm.C:
+			case <-t.abort:
+				tm.Stop()
+				return false
+			}
+		}
+		ok = t.inner.Send(ei, lagged, m)
+	}
+	// The successor (or the window's guaranteed-delivered last index)
+	// completes a pending swap: the parked message follows it out, still
+	// within its own quota window.
+	t.flushParked(ei, lagged, ln)
+	return ok
+}

@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 
 	"unsnap/internal/fem"
@@ -282,6 +283,13 @@ type Config struct {
 	// Table II (small overhead per local solve, as the paper notes).
 	Instrument bool
 
+	// HealthChecks enables the numerical-health guards: a NaN/Inf scan of
+	// the scalar flux after every inner iteration and a divergence monitor
+	// over the inner flux-change sequence, both surfaced as a typed
+	// *HealthError (see health.go). Off by default — a healthy sweep pays
+	// one extra pass over phi per inner when enabled.
+	HealthChecks bool
+
 	// Boundary supplies halo data on subdomain boundaries (block Jacobi);
 	// nil means vacuum everywhere.
 	Boundary BoundaryFlux
@@ -341,6 +349,9 @@ func (c Config) validate() error {
 	if c.Lib == nil || c.Lib.NumGroups < 1 {
 		return fmt.Errorf("core: config needs a cross-section library")
 	}
+	if err := validateLibrary(c.Lib); err != nil {
+		return err
+	}
 	if c.Scheme < 0 || c.Scheme >= numSchemes {
 		return fmt.Errorf("core: unknown scheme %d", c.Scheme)
 	}
@@ -376,6 +387,41 @@ func (c Config) validate() error {
 	if c.External != nil {
 		if err := c.validateExternal(); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// validateLibrary rejects NaN or negative cross sections up front: a
+// single poisoned sigma_t or P0 scattering entry propagates NaNs (or
+// negative sources) through every sweep that touches it, surfacing as
+// inscrutable downstream results instead of a one-line setup error. P1
+// first-moment data is legitimately signed, so only NaN is rejected
+// there.
+func validateLibrary(lib *xs.Library) error {
+	for m := range lib.Total {
+		for g, v := range lib.Total[m] {
+			if math.IsNaN(v) || v < 0 {
+				return fmt.Errorf("core: cross-section library: total sigma of material %d group %d is %v (NaN/negative rejected)", m, g, v)
+			}
+		}
+	}
+	for m := range lib.Scatter {
+		for gp := range lib.Scatter[m] {
+			for g, v := range lib.Scatter[m][gp] {
+				if math.IsNaN(v) || v < 0 {
+					return fmt.Errorf("core: cross-section library: scatter sigma of material %d, group %d->%d is %v (NaN/negative rejected)", m, gp, g, v)
+				}
+			}
+		}
+	}
+	for m := range lib.ScatterP1 {
+		for gp := range lib.ScatterP1[m] {
+			for g, v := range lib.ScatterP1[m][gp] {
+				if math.IsNaN(v) {
+					return fmt.Errorf("core: cross-section library: P1 scatter sigma of material %d, group %d->%d is NaN", m, gp, g)
+				}
+			}
 		}
 	}
 	return nil

@@ -332,8 +332,13 @@ func (s *Solver) ensureEngine() *engine {
 // process that holds many solvers alive should Close the ones it is done
 // sweeping with. The solver remains fully usable: state queries work,
 // and a later sweep simply builds a fresh worker pool. Safe to call
-// multiple times.
+// multiple times, including concurrently: a mutex serialises the
+// teardown, so the second Close observes the cleared engine and is a
+// no-op. (Close concurrent with an in-flight sweep remains the caller's
+// responsibility — the comm driver aborts and joins its run first.)
 func (s *Solver) Close() {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
 	if s.engine != nil {
 		s.engine.shutdown()
 		s.engine = nil

@@ -239,6 +239,51 @@ func (s *Solver) InitSweepEngine() {
 	}
 }
 
+// SweepProgress reports the installed sweep job's unfinished task count
+// and its unresolved streamed-dependency count (zeroes when no job is
+// installed). Safe from any goroutine; the comm driver's deadline
+// watchdog uses it to name how much work a stuck rank still holds.
+func (s *Solver) SweepProgress() (remaining, extPending int64) {
+	eng := s.engine
+	if eng == nil || eng.pool == nil {
+		return 0, 0
+	}
+	p := eng.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.job == nil {
+		return 0, 0
+	}
+	return p.job.remaining.Load(), p.job.extPending.Load()
+}
+
+// FirstBlockedExternal scans the installed sweep for the first task that
+// both depends on a streamed cross-rank face and has not fired, returning
+// its (ordinate, local element). It is a diagnostic for the deadline
+// watchdog — the task it names is blocked on (at least transitively) an
+// external resolution that never arrived. The scan runs under the pool
+// mutex with atomic counter reads: ArmSweep's non-atomic counter reset
+// happens strictly before the job is installed, so a scan that observes a
+// job races only with the workers' atomic decrements.
+func (s *Solver) FirstBlockedExternal() (angle, elem int, ok bool) {
+	eng := s.engine
+	if eng == nil || eng.pool == nil || eng.extDeg == nil {
+		return 0, 0, false
+	}
+	p := eng.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.job == nil {
+		return 0, 0, false
+	}
+	for t := range eng.extDeg {
+		if eng.extDeg[t] > 0 && atomic.LoadInt32(&eng.counts[t]) > 0 {
+			return t / s.nE, t % s.nE, true
+		}
+	}
+	return 0, 0, false
+}
+
 // cancelJob fails the currently-installed job, releasing all workers.
 func (e *engine) cancelJob() {
 	p := e.pool

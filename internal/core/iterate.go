@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"time"
 )
@@ -129,16 +131,29 @@ func (s *Solver) MaxRelChange() float64 {
 // MaxInners inner sweeps each, with convergence exits unless
 // ForceIterations is set. It returns the iteration record together with
 // the particle balance of the final flux.
-func (s *Solver) Run() (*Result, error) {
+func (s *Solver) Run() (*Result, error) { return s.RunContext(context.Background()) }
+
+// RunContext is Run under a context: cancellation (or a deadline on ctx)
+// is checked between inner iterations — a single-domain sweep cannot
+// block on anything external, so per-inner granularity bounds the
+// response time by one sweep — and surfaces as ctx.Err(). With
+// Config.HealthChecks the flux is scanned for NaN/Inf after every inner
+// and the flux-change sequence is watched for divergence, both reported
+// as a typed *HealthError.
+func (s *Solver) RunContext(ctx context.Context) (*Result, error) {
 	res := &Result{SetupTime: s.setupTime}
 	s.asmNS, s.solveNS = 0, 0
 	outerPrev := make([]float64, len(s.phi))
+	var mon DivergenceMonitor
 
 	for outer := 0; outer < s.cfg.MaxOuters; outer++ {
 		copy(outerPrev, s.phi)
 		s.ComputeOuterSource()
 		res.Outers++
 		for inner := 0; inner < s.cfg.MaxInners; inner++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: run cancelled after %d inners: %w", res.Inners, err)
+			}
 			s.PrepareInner()
 			t0 := time.Now()
 			if err := s.SweepAllAngles(); err != nil {
@@ -149,6 +164,14 @@ func (s *Solver) Run() (*Result, error) {
 			res.DFHistory = append(res.DFHistory, df)
 			res.FinalDF = df
 			res.Inners++
+			if s.cfg.HealthChecks {
+				if err := s.ScanFluxHealth(); err != nil {
+					return nil, err
+				}
+				if err := mon.Observe(df); err != nil {
+					return nil, err
+				}
+			}
 			if !s.cfg.ForceIterations && df < s.cfg.Epsi {
 				break
 			}

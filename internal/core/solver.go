@@ -102,6 +102,12 @@ type Solver struct {
 	ext       *extState
 	cancelled atomic.Bool
 
+	// closeMu serialises Close against itself: concurrent or repeated
+	// Closes (a driver unwinding a failed run while the owner also shuts
+	// down) must each see a consistent engine pointer and tear the pool
+	// down exactly once. Close-vs-sweep remains the caller's contract.
+	closeMu sync.Mutex
+
 	// pre-assembled factored matrices (PreAssembled mode):
 	// preA[(a*nE+e)*nG+g] and prePiv likewise.
 	preA   []la.Matrix
@@ -398,6 +404,42 @@ func (s *Solver) ResetLagSnapshot() {
 	}
 }
 
+// ResetState zeroes every iterate the solver accumulates across sweeps —
+// angular and scalar flux (both lag buffers), the source arrays, the P1
+// current state, the time-stepping history and the streamed-inflow slots —
+// returning the solver to the state of a fresh New. The comm driver's
+// retry policy calls it between attempts so a rerun after a failed or
+// timed-out sweep starts from the identical zero iterate a fresh solver
+// would, preserving the determinism guarantees of the retried run.
+func (s *Solver) ResetState() {
+	zero := func(v []float64) {
+		for i := range v {
+			v[i] = 0
+		}
+	}
+	zero(s.psi)
+	if s.psiLag != nil {
+		zero(s.psiLag)
+	}
+	zero(s.phi)
+	zero(s.phiOld)
+	zero(s.qOuter)
+	zero(s.qTot)
+	if s.psiPrev != nil {
+		zero(s.psiPrev)
+	}
+	for d := 0; d < 3; d++ {
+		if s.cur[d] != nil {
+			zero(s.cur[d])
+			zero(s.qOuter1[d])
+			zero(s.qTot1[d])
+		}
+	}
+	if s.ext != nil {
+		zero(s.ext.data)
+	}
+}
+
 // rotateLagSnapshot swaps the previous-iterate snapshot into psiLag at the
 // start of a sweep: psi (about to be fully overwritten) takes the stale
 // buffer, psiLag holds the sweep that just finished. Lagged couplings read
@@ -467,6 +509,12 @@ func (s *Solver) psiIdx(a, e, g int) int {
 
 // NumElems returns the element count.
 func (s *Solver) NumElems() int { return s.nE }
+
+// Mesh returns the mesh the solver was built on. Mutating it after
+// construction is only safe for per-element source data (the chaos
+// tests' NaN poisoning); geometry and connectivity are baked into the
+// schedules at New.
+func (s *Solver) Mesh() *mesh.Mesh { return s.cfg.Mesh }
 
 // NumGroups returns the energy group count.
 func (s *Solver) NumGroups() int { return s.nG }

@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func edges2() []Edge {
+	return []Edge{{From: 0, To: 1, Quota: 4}, {From: 1, To: 0, Quota: 4}}
+}
+
+// TestFaultDeterministicStreams pins the determinism contract: two
+// injectors compiled from the same schedule make identical decisions,
+// message by message, attempt by attempt.
+func TestFaultDeterministicStreams(t *testing.T) {
+	sched := &Schedule{Seed: 42, Rules: []Rule{
+		{From: -1, To: -1, Kind: Delay, Delay: time.Millisecond},
+		{From: 0, To: 1, Kind: Reorder},
+	}}
+	a := New(sched, edges2())
+	b := New(sched, edges2())
+	for attempt := 0; attempt < 3; attempt++ {
+		for ei := range edges2() {
+			for m := 0; m < 32; m++ {
+				if got, want := a.Decide(ei, m), b.Decide(ei, m); got != want {
+					t.Fatalf("attempt %d edge %d msg %d: %v vs %v", attempt, ei, m, got, want)
+				}
+			}
+		}
+		a.BeginAttempt()
+		b.BeginAttempt()
+	}
+}
+
+// TestFaultAttemptsDiffer checks retries get fresh pseudo-random streams:
+// the delay pattern of attempt 1 differs from attempt 0 (same seed, same
+// edge).
+func TestFaultAttemptsDiffer(t *testing.T) {
+	sched := &Schedule{Seed: 7, Rules: []Rule{{From: -1, To: -1, Kind: Delay, Delay: time.Second}}}
+	in := New(sched, edges2())
+	var first [16]Action
+	for m := range first {
+		first[m] = in.Decide(0, m)
+	}
+	in.BeginAttempt()
+	same := true
+	for m := range first {
+		if in.Decide(0, m) != first[m] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("attempt 1 replayed attempt 0's delay stream exactly")
+	}
+}
+
+// TestFaultAttemptGating pins the retry-escape mechanism: a rule limited
+// to the first attempt stops firing on the second.
+func TestFaultAttemptGating(t *testing.T) {
+	sched := &Schedule{Rules: []Rule{{From: 0, To: 1, Kind: Drop, Msg: 0, Count: 3, Attempts: 1}}}
+	in := New(sched, edges2())
+	if !in.Decide(0, 0).Drop || !in.Decide(0, 2).Drop {
+		t.Fatalf("drop rule did not fire on attempt 0")
+	}
+	if in.Decide(0, 3).Drop {
+		t.Fatalf("drop rule fired past Count")
+	}
+	if in.Decide(1, 0).Drop {
+		t.Fatalf("drop rule fired on an unmatched edge")
+	}
+	in.BeginAttempt()
+	if in.Decide(0, 0).Drop {
+		t.Fatalf("drop rule with Attempts=1 fired on attempt 1")
+	}
+}
+
+// TestFaultStallCrashSweeps checks sweep-indexed rules convert message
+// indices through the edge quota.
+func TestFaultStallCrashSweeps(t *testing.T) {
+	sched := &Schedule{Rules: []Rule{
+		{From: 0, To: 1, Kind: Stall, Sweep: 2},
+		{From: 1, To: 0, Kind: Crash, Sweep: 1},
+	}}
+	in := New(sched, edges2()) // quota 4
+	if in.Decide(0, 7).Stall {
+		t.Fatalf("stall fired before sweep 2 (msg 7, quota 4)")
+	}
+	if !in.Decide(0, 8).Stall {
+		t.Fatalf("stall did not fire at sweep 2 (msg 8, quota 4)")
+	}
+	if in.Decide(1, 3).Drop {
+		t.Fatalf("crash fired during sweep 0")
+	}
+	if !in.Decide(1, 4).Drop {
+		t.Fatalf("crash did not fire at sweep 1")
+	}
+}
+
+// TestFaultScheduleValidate covers the structured rejection of malformed
+// schedules.
+func TestFaultScheduleValidate(t *testing.T) {
+	bad := []Schedule{
+		{Rules: []Rule{{From: -2, To: 0, Kind: Drop}}},
+		{Rules: []Rule{{Kind: Kind(99)}}},
+		{Rules: []Rule{{Kind: Delay, Delay: -time.Second}}},
+		{Rules: []Rule{{Kind: Delay}}},
+		{Rules: []Rule{{Kind: Stall, Sweep: -1}}},
+		{Rules: []Rule{{Kind: Drop, Count: -2}}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Errorf("schedule %d validated", i)
+		}
+	}
+	ok := Schedule{Seed: 1, Rules: []Rule{{From: -1, To: -1, Kind: Reorder}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+	if New(nil, edges2()) != nil {
+		t.Errorf("nil schedule should compile to a nil injector")
+	}
+	if in := New(&Schedule{}, edges2()); !(in != nil && !in.Active()) {
+		t.Errorf("empty schedule should compile to an inert injector")
+	}
+}

@@ -49,6 +49,13 @@ type CommRow struct {
 	LaggedNsOp    float64 `json:"lagged_ns_op"`
 	PipelinedNsOp float64 `json:"pipelined_ns_op"`
 	Speedup       float64 `json:"speedup"`
+	// InjectorNsOp repeats the pipelined measurement with a rule-free
+	// fault schedule installed, so the transport runs behind the
+	// injector decorator with every fault disabled. InjectorOverhead is
+	// its ratio to the bare pipelined time — the guard that the
+	// failure-domain layer costs ~nothing when it has nothing to do.
+	InjectorNsOp     float64 `json:"injector_ns_op"`
+	InjectorOverhead float64 `json:"injector_overhead"`
 }
 
 // CommConvRow records the iteration cost of the lagged coupling at one
@@ -107,13 +114,24 @@ func RunComm(cfg CommConfig) ([]CommRow, []CommConvRow, error) {
 				}
 				nsop[i] = wall * 1e9 / float64(cfg.Inners)
 			}
+			// Injector-overhead point: same pipelined run behind a
+			// rule-free fault schedule (the decorator with every fault
+			// disabled).
+			inert := forced
+			inert.Fault = &unsnap.FaultSchedule{}
+			_, injWall, err := runWall(grid, threads, unsnap.CommPipelined, inert)
+			if err != nil {
+				return nil, nil, err
+			}
 			row := CommRow{
 				Grid:       fmt.Sprintf("%dx%d", grid[0], grid[1]),
 				Threads:    threads,
 				LaggedNsOp: nsop[0], PipelinedNsOp: nsop[1],
+				InjectorNsOp: injWall * 1e9 / float64(cfg.Inners),
 			}
 			if nsop[1] > 0 {
 				row.Speedup = nsop[0] / nsop[1]
+				row.InjectorOverhead = row.InjectorNsOp / nsop[1]
 			}
 			rows = append(rows, row)
 		}
@@ -164,10 +182,11 @@ func CommSectionOf(cfg CommConfig, rows []CommRow, conv []CommConvRow) *CommSect
 // FprintComm writes the comparison tables.
 func FprintComm(w io.Writer, cfg CommConfig, rows []CommRow, conv []CommConvRow) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "Ranks\tThreads/rank\tlagged (ns/sweep)\tpipelined (ns/sweep)\tspeedup\n")
+	fmt.Fprintf(tw, "Ranks\tThreads/rank\tlagged (ns/sweep)\tpipelined (ns/sweep)\tspeedup\t+injector (ns/sweep)\toverhead\n")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.0f\t%.2fx\n",
-			r.Grid, r.Threads, r.LaggedNsOp, r.PipelinedNsOp, r.Speedup)
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.0f\t%.2fx\t%.0f\t%.2fx\n",
+			r.Grid, r.Threads, r.LaggedNsOp, r.PipelinedNsOp, r.Speedup,
+			r.InjectorNsOp, r.InjectorOverhead)
 	}
 	tw.Flush()
 	fmt.Fprintf(w, "\nInners to df < %g:\n", cfg.Epsi)

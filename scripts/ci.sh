@@ -34,4 +34,10 @@ go run ./cmd/unsnap-bench -experiment engine,comm,cycles -smoke
 # lagged snapshot reads and the shifted cross-rank channel are exactly
 # the kind of concurrency the detector exists for.
 go test -race -run 'Cyclic|CycleOrder|FeedbackArc' ./internal/core ./internal/comm .
+# Chaos smoke pass: the seeded fault-injection suite (delay/reorder
+# parity, drop+retry recovery, stall-within-deadline, degrade-to-lagged,
+# Close-mid-fault, goroutine-leak checks) under the race detector — the
+# failure-domain layer's whole contract is concurrency-shaped, so it
+# only counts when the detector watches it.
+go test -race -run 'Fault|Chaos|Deadline' ./internal/fault ./internal/comm .
 go test -race -short ./...

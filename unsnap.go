@@ -21,10 +21,14 @@
 package unsnap
 
 import (
+	"context"
 	"fmt"
+	"math"
+	"time"
 
 	"unsnap/internal/comm"
 	"unsnap/internal/core"
+	"unsnap/internal/fault"
 	"unsnap/internal/mesh"
 	"unsnap/internal/quadrature"
 	"unsnap/internal/sweep"
@@ -330,6 +334,100 @@ type Options struct {
 	// SNAP-style synthetic values (fastest at the highest energy).
 	TimeSteps int
 	TimeDt    float64
+
+	// Deadline bounds each Run's wall-clock time. When it expires the run
+	// unwinds cleanly — no hung sweep, no leaked goroutines — and returns
+	// a structured error: a *SweepError naming the stuck rank, peer edge,
+	// ordinate and remaining task count for a distributed sweep, or a
+	// context deadline error for the single-domain iteration (checked
+	// between inners). Zero means no deadline; RunContext composes an
+	// external context with it.
+	Deadline time.Duration
+
+	// FailurePolicy decides what a distributed pipelined driver does when
+	// a sweep fails or times out: fail fast (default), retry with bounded
+	// backoff, or degrade to the lagged BSP protocol for the remainder of
+	// the driver's life. Ignored by the single-domain solver and the
+	// lagged protocol (which have no retryable failure domain).
+	FailurePolicy FailurePolicy
+
+	// HealthChecks scans the scalar flux for NaN/Inf after every inner
+	// iteration and monitors the convergence history for divergence,
+	// surfacing problems as a typed *HealthError instead of silently
+	// iterating on poisoned data. Costs one pass over phi per inner.
+	HealthChecks bool
+
+	// Fault installs a deterministic fault-injection schedule on the
+	// distributed pipelined transport (chaos testing; see FaultSchedule).
+	// Only valid with NewDistributed and CommPipelined.
+	Fault *FaultSchedule
+}
+
+// Failure-domain types, re-exported so callers configure fault injection
+// and failure policies without importing internal packages.
+type (
+	// FaultSchedule is a seeded, deterministic fault-injection schedule
+	// for the pipelined transport; see Options.Fault.
+	FaultSchedule = fault.Schedule
+	// FaultRule is one rule of a FaultSchedule.
+	FaultRule = fault.Rule
+	// FaultKind names one fault mechanism of a FaultRule.
+	FaultKind = fault.Kind
+	// FailurePolicy configures retry/degrade behaviour; see
+	// Options.FailurePolicy.
+	FailurePolicy = comm.FailurePolicy
+	// FailureMode is the policy's mode knob.
+	FailureMode = comm.FailureMode
+	// SweepError reports a failed or timed-out distributed sweep,
+	// naming the stuck rank, upstream peer, ordinate and remaining
+	// tasks. Unwraps to context.DeadlineExceeded on deadline expiry.
+	SweepError = comm.SweepError
+	// HealthError reports a NaN/Inf flux or a diverging iteration
+	// detected by Options.HealthChecks.
+	HealthError = core.HealthError
+)
+
+// Fault kinds (see the fault package for exact semantics).
+const (
+	FaultDelay   = fault.Delay
+	FaultDrop    = fault.Drop
+	FaultReorder = fault.Reorder
+	FaultStall   = fault.Stall
+	FaultCrash   = fault.Crash
+)
+
+// Failure policy modes.
+const (
+	// FailFast surfaces the first sweep failure to the caller (default).
+	FailFast = comm.FailFast
+	// FailRetry resets and retries a failed pipelined sweep up to
+	// MaxRetries times with bounded backoff.
+	FailRetry = comm.FailRetry
+	// FailDegrade retries like FailRetry, then permanently degrades the
+	// driver to the lagged BSP protocol — same converged answer, minus
+	// the mid-sweep streaming — once retries are exhausted.
+	FailDegrade = comm.FailDegrade
+)
+
+// validateOptions rejects option combinations before any solver is built.
+// distributed distinguishes NewDistributed (which forwards the
+// failure-domain knobs to the comm driver) from NewSolver.
+func validateOptions(o Options, distributed bool) error {
+	if math.IsNaN(o.Epsi) || math.IsInf(o.Epsi, 0) {
+		return fmt.Errorf("unsnap: epsi %v invalid", o.Epsi)
+	}
+	if o.Deadline < 0 {
+		return fmt.Errorf("unsnap: negative deadline %v", o.Deadline)
+	}
+	if !distributed {
+		if o.Fault != nil {
+			return fmt.Errorf("unsnap: fault injection requires NewDistributed with CommPipelined")
+		}
+		if o.FailurePolicy != (FailurePolicy{}) {
+			return fmt.Errorf("unsnap: failure policies apply only to NewDistributed drivers")
+		}
+	}
+	return nil
 }
 
 // StepRecord reports one time step of a time-dependent run.
@@ -356,6 +454,13 @@ type Result struct {
 	FinalDF   float64
 	DFHistory []float64
 	Balance   Balance
+
+	// Attempts counts the sweep attempts a distributed run took (1 when
+	// the first attempt succeeded; always 1 for single-domain runs).
+	Attempts int
+	// Degraded reports that a distributed driver has fallen back to the
+	// lagged BSP protocol under a FailDegrade policy.
+	Degraded bool
 
 	SetupSeconds    float64
 	SweepSeconds    float64
@@ -407,6 +512,7 @@ func coreConfig(p Problem, o Options, m *mesh.Mesh, q *quadrature.Set, lib *xs.L
 		PreAssembled:    o.PreAssembled,
 		Instrument:      o.Instrument,
 		ScatOrder:       p.ScatOrder,
+		HealthChecks:    o.HealthChecks,
 	}
 	if o.TimeSteps > 0 {
 		cfg.Time = &core.TimeConfig{
@@ -419,7 +525,8 @@ func coreConfig(p Problem, o Options, m *mesh.Mesh, q *quadrature.Set, lib *xs.L
 
 func fromCoreResult(r *core.Result) *Result {
 	return &Result{
-		Outers: r.Outers, Inners: r.Inners,
+		Attempts: 1,
+		Outers:   r.Outers, Inners: r.Inners,
 		Converged: r.Converged, FinalDF: r.FinalDF,
 		DFHistory: append([]float64(nil), r.DFHistory...),
 		Balance: Balance{
@@ -437,12 +544,16 @@ func fromCoreResult(r *core.Result) *Result {
 
 // Solver is a single-domain UnSNAP solver.
 type Solver struct {
-	inner *core.Solver
-	prob  Problem
+	inner    *core.Solver
+	prob     Problem
+	deadline time.Duration
 }
 
 // NewSolver builds a single-domain solver for the problem.
 func NewSolver(p Problem, o Options) (*Solver, error) {
+	if err := validateOptions(o, false); err != nil {
+		return nil, err
+	}
 	m, q, lib, err := buildParts(p)
 	if err != nil {
 		return nil, err
@@ -455,12 +566,25 @@ func NewSolver(p Problem, o Options) (*Solver, error) {
 		s.SetBoundary(core.ReflectiveBoundary(s, o.Reflect))
 		s.SetBalanceSkip(core.ReflectiveSkip(s, o.Reflect))
 	}
-	return &Solver{inner: s, prob: p}, nil
+	return &Solver{inner: s, prob: p, deadline: o.Deadline}, nil
 }
 
 // Run executes the iteration and reports the result.
 func (s *Solver) Run() (*Result, error) {
-	r, err := s.inner.Run()
+	return s.RunContext(context.Background())
+}
+
+// RunContext executes the iteration under a context; cancellation (and
+// Options.Deadline, composed on top) is observed between inner
+// iterations, so a cancelled run returns promptly with a structured
+// error instead of finishing the solve.
+func (s *Solver) RunContext(ctx context.Context) (*Result, error) {
+	if s.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.deadline)
+		defer cancel()
+	}
+	r, err := s.inner.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -523,6 +647,20 @@ func (s *Solver) Close() { s.inner.Close() }
 func (p Problem) Validate() error {
 	if p.NX < 1 || p.NY < 1 || p.NZ < 1 {
 		return fmt.Errorf("unsnap: grid %dx%dx%d invalid", p.NX, p.NY, p.NZ)
+	}
+	for _, d := range [...]struct {
+		name string
+		v    float64
+	}{{"LX", p.LX}, {"LY", p.LY}, {"LZ", p.LZ}} {
+		if math.IsNaN(d.v) || math.IsInf(d.v, 0) || d.v <= 0 {
+			return fmt.Errorf("unsnap: %s = %v invalid (need a finite positive length)", d.name, d.v)
+		}
+	}
+	if math.IsNaN(p.Twist) || math.IsInf(p.Twist, 0) {
+		return fmt.Errorf("unsnap: twist %v invalid (need a finite angle)", p.Twist)
+	}
+	if math.IsNaN(p.TwistPeriods) || math.IsInf(p.TwistPeriods, 0) || p.TwistPeriods < 0 {
+		return fmt.Errorf("unsnap: twist periods %v invalid (need a finite non-negative count)", p.TwistPeriods)
 	}
 	if p.Order < 1 {
 		return fmt.Errorf("unsnap: order %d invalid", p.Order)
