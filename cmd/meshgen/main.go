@@ -235,6 +235,7 @@ func stats(m *mesh.Mesh, order, nang int, schedOrder sweep.CycleOrder) error {
 	}
 	fmt.Println()
 	fmt.Printf("  boundary faces %d, total volume %.6f\n", boundary, vol)
+	fmt.Printf("  fingerprint %s\n", m.Fingerprint())
 	fmt.Printf("  element order %d: %d nodes/element, %d DoF/group/angle\n",
 		order, re.N, re.N*m.NumElems())
 

@@ -12,7 +12,7 @@
 //	unsnap-bench -experiment all
 //
 // Experiments (comma-separable): table1, table2, fig3, fig4, tradeoffs,
-// jacobi, atomic, preassembled, engine, comm, cycles, all. The engine
+// jacobi, atomic, preassembled, engine, comm, cycles, setup, all. The engine
 // experiment compares the persistent worker-pool sweep engine against a
 // legacy bucket executor; the comm experiment compares the lagged (block
 // Jacobi) and pipelined (mid-sweep streaming) halo protocols across rank
@@ -64,7 +64,7 @@ func parseThreads(s string) ([]int, error) {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("unsnap-bench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "comma-separated list of table1|table2|fig3|fig4|tradeoffs|jacobi|atomic|preassembled|engine|comm|cycles|all")
+	experiment := fs.String("experiment", "all", "comma-separated list of table1|table2|fig3|fig4|tradeoffs|jacobi|atomic|preassembled|engine|comm|cycles|setup|all")
 	threadsFlag := fs.String("threads", "1,2", "comma-separated worker counts for scaling experiments")
 	jsonPath := fs.String("json", "", "write the engine experiment's comparison to this JSON file")
 	commit := fs.String("commit", "", "git revision to stamp into the engine JSON report")
@@ -119,6 +119,7 @@ func run(args []string) error {
 	var engSection *harness.EngineSection
 	var commSection *harness.CommSection
 	var cyclesSection *harness.CyclesSection
+	var setupSection *harness.SetupSection
 
 	if want("table1") {
 		ran = true
@@ -309,11 +310,30 @@ func run(args []string) error {
 		fmt.Println()
 		cyclesSection = harness.CyclesSectionOf(cfg, rows, strats)
 	}
+	if want("setup") {
+		ran = true
+		cfg := harness.DefaultSetup()
+		if *smoke {
+			cfg.Problem.NX, cfg.Problem.NY, cfg.Problem.NZ = 4, 4, 4
+			cfg.Problem.AnglesPerOctant, cfg.Problem.Groups = 2, 2
+			cfg.Warm = 2
+		}
+		override(&cfg.Problem)
+		fmt.Printf("== Problem build: cold artifact build vs warm cache fetch (%d^3 elements, %d ang/oct, %d groups) ==\n",
+			cfg.Problem.NX, cfg.Problem.AnglesPerOctant, cfg.Problem.Groups)
+		sec, err := harness.RunSetup(cfg)
+		if err != nil {
+			return err
+		}
+		harness.FprintSetup(os.Stdout, sec)
+		fmt.Println()
+		setupSection = sec
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
-	if *jsonPath != "" && (engSection != nil || commSection != nil || cyclesSection != nil) {
-		if err := harness.WriteSweepJSON(*jsonPath, *commit, engSection, commSection, cyclesSection); err != nil {
+	if *jsonPath != "" && (engSection != nil || commSection != nil || cyclesSection != nil || setupSection != nil) {
+		if err := harness.WriteSweepJSON(*jsonPath, *commit, engSection, commSection, cyclesSection, setupSection); err != nil {
 			return err
 		}
 		fmt.Println("wrote", *jsonPath)

@@ -5,8 +5,6 @@ import (
 	"fmt"
 
 	"unsnap/internal/comm"
-	"unsnap/internal/core"
-	"unsnap/internal/sweep"
 )
 
 // Distributed is a multi-rank solver: the mesh is split over a PY x PZ
@@ -43,18 +41,12 @@ func NewDistributed(p Problem, o Options, py, pz int) (*Distributed, error) {
 	if err != nil {
 		return nil, err
 	}
+	rank := coreConfig(p, o, nil, q, lib)
 	d, err := comm.New(comm.Config{
 		Mesh: m, PY: py, PZ: pz,
-		Order: p.Order, Quad: q, Lib: lib,
 		Protocol: comm.Protocol(o.Protocol),
-		Scheme:   core.Scheme(o.Scheme), ThreadsPerRank: o.Threads,
-		Solver: core.SolverKind(o.Solver), Octants: core.OctantMode(o.Octants),
-		AllowCycles: o.AllowCycles, CycleOrder: sweep.CycleOrder(o.CycleOrder),
-		PreAssembled: o.PreAssembled,
-		Epsi:         o.Epsi, MaxInners: o.MaxInners, MaxOuters: o.MaxOuters,
-		ForceIterations: o.ForceIterations, Instrument: o.Instrument,
-		Deadline: o.Deadline, Policy: o.FailurePolicy,
-		HealthChecks: o.HealthChecks, Fault: o.Fault,
+		Rank:     rank,
+		Deadline: o.Deadline, Policy: o.FailurePolicy, Fault: o.Fault,
 	})
 	if err != nil {
 		return nil, err

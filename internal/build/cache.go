@@ -1,0 +1,154 @@
+package build
+
+import (
+	"container/list"
+	"sync"
+)
+
+// sized is anything the cache can account by bytes: build Artifacts and
+// the distributed driver's LagSets share one keyspace and one budget.
+type sized interface{ SizeBytes() int64 }
+
+// CacheStats is a point-in-time snapshot of a Cache's counters.
+type CacheStats struct {
+	// Hits counts lookups served from a resident entry, including
+	// callers that joined an in-flight build of the same key.
+	Hits int64
+	// Misses counts lookups that had to run the build.
+	Misses int64
+	// Evictions counts entries dropped to fit the byte budget.
+	Evictions int64
+	// Entries and Bytes describe the current residency.
+	Entries int
+	Bytes   int64
+}
+
+// Cache is a size-bounded, content-addressed artifact cache: least
+// recently used entries are evicted (by byte budget, not count) and
+// concurrent requests for one missing key run a single build that all
+// waiters share. Safe for concurrent use; one Cache is meant to be
+// shared by every solver and every rank that might see the same mesh.
+type Cache struct {
+	mu      sync.Mutex
+	limit   int64
+	bytes   int64
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	pending map[string]*pendingBuild
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	val sized
+}
+
+type pendingBuild struct {
+	done chan struct{}
+	val  sized
+	err  error
+}
+
+// NewCache returns a cache bounded at limitBytes of artifact payload
+// (limitBytes <= 0 means unbounded).
+func NewCache(limitBytes int64) *Cache {
+	return &Cache{
+		limit:   limitBytes,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+		pending: make(map[string]*pendingBuild),
+	}
+}
+
+// GetOrBuild returns the cached artifact for spec, building and
+// inserting it on a miss. Specs carrying an anonymous CycleLag closure
+// are not content-addressable and bypass the cache entirely (no counter
+// movement).
+func (c *Cache) GetOrBuild(spec Spec) (*Artifact, error) {
+	if c == nil || !spec.Cacheable() {
+		return Build(spec)
+	}
+	v, err := c.getOrBuild(spec.Key(), func() (sized, error) { return Build(spec) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Artifact), nil
+}
+
+// getOrBuild is the generic lookup: a resident entry is a hit, a missing
+// key runs build exactly once no matter how many goroutines ask for it
+// concurrently (waiters count as hits — they did no work). Failed builds
+// are not cached.
+func (c *Cache) getOrBuild(key string, build func() (sized, error)) (sized, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.ll.MoveToFront(el)
+			c.hits++
+			v := el.Value.(*cacheEntry).val
+			c.mu.Unlock()
+			return v, nil
+		}
+		if p, ok := c.pending[key]; ok {
+			c.hits++
+			c.mu.Unlock()
+			<-p.done
+			if p.err == nil {
+				return p.val, nil
+			}
+			// The build we joined failed; retry from the top (another
+			// caller may have since succeeded, or we run it ourselves).
+			c.mu.Lock()
+			c.hits--
+			c.mu.Unlock()
+			continue
+		}
+		p := &pendingBuild{done: make(chan struct{})}
+		c.pending[key] = p
+		c.misses++
+		c.mu.Unlock()
+
+		p.val, p.err = build()
+		c.mu.Lock()
+		delete(c.pending, key)
+		if p.err == nil {
+			c.insertLocked(key, p.val)
+		}
+		c.mu.Unlock()
+		close(p.done)
+		return p.val, p.err
+	}
+}
+
+// insertLocked adds the entry at the MRU position and evicts from the
+// LRU end until the budget holds. A single entry larger than the whole
+// budget stays resident — evicting it would just rebuild it forever.
+func (c *Cache) insertLocked(key string, val sized) {
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.bytes += val.SizeBytes()
+	if c.limit <= 0 {
+		return
+	}
+	for c.bytes > c.limit && c.ll.Len() > 1 {
+		el := c.ll.Back()
+		ent := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.entries, ent.key)
+		c.bytes -= ent.val.SizeBytes()
+		c.evictions++
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+	}
+}

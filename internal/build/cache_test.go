@@ -1,0 +1,188 @@
+package build
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"unsnap/internal/mesh"
+	"unsnap/internal/quadrature"
+)
+
+type fakeSized int64
+
+func (f fakeSized) SizeBytes() int64 { return int64(f) }
+
+// TestCacheLRUEviction pins the byte-budget LRU contract: eviction is by
+// bytes from the least recently used end, a lookup refreshes recency,
+// and a single entry larger than the whole budget stays resident.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(100)
+	get := func(key string, size int64) {
+		t.Helper()
+		if _, err := c.getOrBuild(key, func() (sized, error) { return fakeSized(size), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a", 40)
+	get("b", 40)
+	get("a", 40) // refresh a: LRU order is now b, a
+	get("c", 40) // over budget: b (LRU) must go, not a
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 80 {
+		t.Fatalf("after eviction: %+v, want 1 eviction, 2 entries, 80 bytes", st)
+	}
+	hits := st.Hits
+	get("a", 40) // must still be resident
+	get("b", 40) // must have been evicted: rebuilds
+	st = c.Stats()
+	if st.Hits != hits+1 {
+		t.Errorf("a was evicted instead of b (hits %d, want %d)", st.Hits, hits+1)
+	}
+	if st.Misses != 4 { // a, b, c cold + b rebuilt
+		t.Errorf("misses %d, want 4", st.Misses)
+	}
+
+	// One entry bigger than the whole budget stays (evicting it would
+	// just rebuild it forever).
+	c = NewCache(10)
+	get = func(key string, size int64) {
+		t.Helper()
+		if _, err := c.getOrBuild(key, func() (sized, error) { return fakeSized(size), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("huge", 1000)
+	if st := c.Stats(); st.Entries != 1 || st.Evictions != 0 {
+		t.Fatalf("oversized entry handling: %+v, want it resident with no evictions", st)
+	}
+}
+
+// TestCacheSingleflight pins the concurrent-miss contract: any number of
+// goroutines asking for one missing key run exactly one build, and the
+// waiters count as hits (they did no build work).
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(0)
+	var builds atomic.Int64
+	release := make(chan struct{})
+	const n = 8
+	var wg sync.WaitGroup
+	vals := make([]sized, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.getOrBuild("k", func() (sized, error) {
+				builds.Add(1)
+				<-release // hold the build open so the others must join it
+				return fakeSized(7), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i] = v
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("%d builds ran for one key, want 1", got)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != n-1 {
+		t.Fatalf("stats %+v, want 1 miss and %d hits", st, n-1)
+	}
+	for i, v := range vals {
+		if v != vals[0] {
+			t.Fatalf("caller %d got a different value", i)
+		}
+	}
+}
+
+// TestCacheFailedBuildRetries pins that a failed build is not cached and
+// does not wedge the key: the next caller builds again and can succeed.
+func TestCacheFailedBuildRetries(t *testing.T) {
+	c := NewCache(0)
+	fail := true
+	build := func() (sized, error) {
+		if fail {
+			return nil, fmt.Errorf("transient")
+		}
+		return fakeSized(1), nil
+	}
+	if _, err := c.getOrBuild("k", build); err == nil {
+		t.Fatal("first build should have failed")
+	}
+	fail = false
+	if _, err := c.getOrBuild("k", build); err != nil {
+		t.Fatalf("retry after failed build: %v", err)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("stats %+v, want the retried value cached", st)
+	}
+}
+
+func testSpec(t *testing.T) Spec {
+	t.Helper()
+	m, err := mesh.New(mesh.Config{NX: 3, NY: 3, NZ: 3, LX: 1, LY: 1, LZ: 1,
+		Twist: 0.001, MatOpt: 1, SrcOpt: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := quadrature.NewSNAP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Spec{Mesh: m, Order: 1, Quad: q, Threads: 1}
+}
+
+// TestCacheWarmBuildDoesZeroWork is the artifact layer's core promise:
+// the second build of the same topology through one cache returns the
+// identical artifact and moves none of the work counters — no element
+// matrices, no face classification, no condensation.
+func TestCacheWarmBuildDoesZeroWork(t *testing.T) {
+	c := NewCache(0)
+	spec := testSpec(t)
+	cold, err := c.GetOrBuild(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0, cl0, co0 := Builds(), Classifications(), Condensations()
+	warm, err := c.GetOrBuild(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm != cold {
+		t.Fatal("warm build returned a different artifact")
+	}
+	if b, cl, co := Builds(), Classifications(), Condensations(); b != b0 || cl != cl0 || co != co0 {
+		t.Fatalf("warm build moved work counters: builds %+d classifications %+d condensations %+d",
+			b-b0, cl-cl0, co-co0)
+	}
+}
+
+// TestCacheUncacheableSpecBypasses pins that a spec carrying an opaque
+// CycleLag closure (no CycleLagKey naming its decisions) never enters
+// the cache: the closure's behaviour is not part of any key, so caching
+// it could alias two different topologies.
+func TestCacheUncacheableSpecBypasses(t *testing.T) {
+	c := NewCache(0)
+	spec := testSpec(t)
+	spec.AllowCycles = true
+	spec.CycleLag = func(angle, from, to int) bool { return false }
+	a1, err := c.GetOrBuild(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := c.GetOrBuild(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == a2 {
+		t.Fatal("uncacheable spec was cached")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("uncacheable spec moved cache counters: %+v", st)
+	}
+}

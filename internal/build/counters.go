@@ -1,0 +1,84 @@
+package build
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"unsnap/internal/quadrature"
+)
+
+// Package-wide work counters. They count the expensive build phases
+// process-wide — every Build call, every per-ordinate classification
+// scan, every schedule/condensation actually computed (dedup hits and
+// cache hits don't count) — so tests can pin the amortisation contract:
+// a warm-cache solve must move none of them.
+var (
+	builds          atomic.Int64
+	classifications atomic.Int64
+	condensations   atomic.Int64
+)
+
+// Builds returns the process-wide count of Build calls that ran (cache
+// hits excluded).
+func Builds() int64 { return builds.Load() }
+
+// Classifications returns the process-wide count of per-ordinate face
+// classification scans.
+func Classifications() int64 { return classifications.Load() }
+
+// Condensations returns the process-wide count of sweep schedules
+// actually computed (including SCC condensations); deduplicated
+// ordinates and cache hits don't count.
+func Condensations() int64 { return condensations.Load() }
+
+// quadFingerprint hashes the quadrature set's content: octant layout and
+// every ordinate's direction and weight at exact float64 bits.
+func quadFingerprint(q *quadrature.Set) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeU64(uint64(q.PerOctant))
+	for i := range q.Angles {
+		a := &q.Angles[i]
+		for d := 0; d < 3; d++ {
+			writeU64(math.Float64bits(a.Omega[d]))
+		}
+		writeU64(math.Float64bits(a.Weight))
+		writeU64(uint64(int64(a.Octant)))
+	}
+	sum := h.Sum(nil)
+	return fmt.Sprintf("q%x", sum[:8])
+}
+
+// externalFingerprint hashes the external-face declarations: location,
+// canonical normal bits and side.
+func externalFingerprint(ext []ExternalFace) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeU64(uint64(len(ext)))
+	for i := range ext {
+		ef := &ext[i]
+		writeU64(uint64(int64(ef.Elem)))
+		writeU64(uint64(int64(ef.Face)))
+		for d := 0; d < 3; d++ {
+			writeU64(math.Float64bits(ef.Normal[d]))
+		}
+		if ef.Canonical {
+			writeU64(1)
+		} else {
+			writeU64(0)
+		}
+	}
+	sum := h.Sum(nil)
+	return fmt.Sprintf("x%x", sum[:8])
+}

@@ -1,0 +1,35 @@
+package build
+
+// ExternalFace declares one boundary face of a subdomain mesh whose
+// inflow is streamed from a peer rather than supplied by a boundary
+// condition. It lives in the build layer because the declaration shapes
+// the sweep topology (the classification consults the canonical pair
+// normal); core re-exports the type for solve-side use.
+type ExternalFace struct {
+	// Elem and Face locate the face on the local (subdomain) mesh; the
+	// mesh must report no neighbour there (Faces[Face].Neighbor < 0).
+	Elem int
+	Face int
+	// Normal is the canonical pair normal of the global face shared with
+	// the peer: the unit outward normal of the lower-global-index
+	// element's side, so both subdomains classify the face identically.
+	Normal [3]float64
+	// Canonical reports whether the local side is the lower-global-index
+	// side (Normal points out of the local element).
+	Canonical bool
+}
+
+// ExternalInflow reports whether the external face is an inflow face of
+// the local element for direction om, under the canonical pair normal
+// convention: the canonical side owns the face when the direction flows
+// out of it (dot >= 0), the other side when it flows in. Matching the
+// single-domain lower-element-side classification exactly — including
+// the dot == 0 tie — is what keeps the distributed sweep bitwise
+// equivalent to the single-domain one.
+func ExternalInflow(om, normal [3]float64, canonical bool) bool {
+	dot := om[0]*normal[0] + om[1]*normal[1] + om[2]*normal[2]
+	if canonical {
+		return dot < 0
+	}
+	return dot >= 0
+}

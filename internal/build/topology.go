@@ -1,0 +1,48 @@
+package build
+
+import (
+	"unsnap/internal/fem"
+	"unsnap/internal/sweep"
+)
+
+// Topology is the per-ordinate sweep topology: the inflow-face bitmap
+// the assembly consults, the lagged-face bitmap marking cycle-cut
+// couplings, the wavefront schedule, and the dependency-counter graph
+// the persistent engine executes. Ordinates whose classifications
+// coincide share one Topology (see Artifact.Distinct); all fields are
+// read-only after Build returns.
+type Topology struct {
+	// Inflow marks the faces upwind of their element for this ordinate,
+	// one bit per (elem, face).
+	Inflow []uint64
+	// Lagged marks the inflow faces whose upwind coupling is read from
+	// the previous iteration's snapshot (cycle-closing edges chosen by
+	// the condensation or an external cut rule); nil when the ordinate's
+	// dependency graph is acyclic and uncut.
+	Lagged []uint64
+	// Sched is the wavefront (bucket) schedule over elements.
+	Sched *sweep.Schedule
+	// Graph is the dependency-counter task graph for the persistent
+	// engine, built for every ordinate so one artifact serves every
+	// concurrency scheme.
+	Graph *sweep.Graph
+}
+
+// IsInflow reports whether face f of element e is an inflow face.
+func (t *Topology) IsInflow(e, f int) bool {
+	bit := uint(e*fem.NumFaces + f)
+	return t.Inflow[bit/64]&(1<<(bit%64)) != 0
+}
+
+// IsLagged reports whether face f of element e is a lagged inflow face.
+func (t *Topology) IsLagged(e, f int) bool {
+	bit := uint(e*fem.NumFaces + f)
+	return t.Lagged[bit/64]&(1<<(bit%64)) != 0
+}
+
+func (t *Topology) setInflow(e, f int) { setFaceBit(t.Inflow, e, f) }
+
+func setFaceBit(bits []uint64, e, f int) {
+	bit := uint(e*fem.NumFaces + f)
+	bits[bit/64] |= 1 << (bit % 64)
+}

@@ -23,9 +23,10 @@ import (
 // chaosConfig is the shared small pipelined problem of the suite.
 func chaosConfig(t *testing.T, py, pz int) Config {
 	m, q, lib := testParts(t, 4, 2, 2, 0.001)
-	return Config{Mesh: m, PY: py, PZ: pz, Order: 1, Quad: q, Lib: lib,
-		Protocol: Pipelined, Scheme: core.SchemeEngine, ThreadsPerRank: 2,
-		MaxInners: 3, MaxOuters: 2, ForceIterations: true}
+	return Config{Mesh: m, PY: py, PZ: pz, Protocol: Pipelined,
+		Rank: core.Config{Order: 1, Quad: q, Lib: lib,
+			Scheme: core.SchemeEngine, Threads: 2,
+			MaxInners: 3, MaxOuters: 2, ForceIterations: true}}
 }
 
 // chaosSingleFlux solves the matching single-domain problem.
@@ -227,9 +228,10 @@ func TestChaosDegradeToLagged(t *testing.T) {
 	want := s.FluxIntegral(0)
 
 	m2, q2, lib2 := testParts(t, 4, 1, 1, 0)
-	d, err := New(Config{Mesh: m2, PY: 2, PZ: 1, Order: 1, Quad: q2, Lib: lib2,
-		Protocol: Pipelined, Scheme: core.SchemeEngine,
-		Epsi: epsi, MaxInners: 2000, MaxOuters: 50,
+	d, err := New(Config{Mesh: m2, PY: 2, PZ: 1, Protocol: Pipelined,
+		Rank: core.Config{Order: 1, Quad: q2, Lib: lib2,
+			Scheme: core.SchemeEngine,
+			Epsi:   epsi, MaxInners: 2000, MaxOuters: 50},
 		Deadline: 400 * time.Millisecond,
 		Policy:   FailurePolicy{Mode: FailDegrade},
 		Fault: &fault.Schedule{Seed: 9, Rules: []fault.Rule{
@@ -338,9 +340,9 @@ func TestDeadlineContextCancel(t *testing.T) {
 // and still surfaces as a SweepError.
 func TestDeadlineLagged(t *testing.T) {
 	m, q, lib := testParts(t, 4, 2, 2, 0.001)
-	d, err := New(Config{Mesh: m, PY: 2, PZ: 1, Order: 1, Quad: q, Lib: lib,
-		Scheme: core.SchemeAEG, Deadline: time.Nanosecond,
-		MaxInners: 50, MaxOuters: 4, ForceIterations: true})
+	d, err := New(Config{Mesh: m, PY: 2, PZ: 1, Deadline: time.Nanosecond,
+		Rank: core.Config{Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeAEG,
+			MaxInners: 50, MaxOuters: 4, ForceIterations: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +361,8 @@ func TestDeadlineLagged(t *testing.T) {
 // validation: structured one-line errors, no downstream panics.
 func TestFaultConfigValidation(t *testing.T) {
 	m, q, lib := testParts(t, 4, 1, 1, 0)
-	base := Config{Mesh: m, PY: 2, PZ: 1, Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeEngine}
+	base := Config{Mesh: m, PY: 2, PZ: 1,
+		Rank: core.Config{Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeEngine}}
 
 	cfg := base
 	cfg.Deadline = -time.Second
@@ -402,10 +405,11 @@ func TestFaultConfigValidation(t *testing.T) {
 func TestFaultHealthChecksPipelined(t *testing.T) {
 	m, q, lib := testParts(t, 4, 1, 1, 0)
 	m.Elems[0].Source = math.NaN()
-	d, err := New(Config{Mesh: m, PY: 2, PZ: 1, Order: 1, Quad: q, Lib: lib,
-		Protocol: Pipelined, Scheme: core.SchemeEngine, HealthChecks: true,
-		Policy:    FailurePolicy{Mode: FailRetry, MaxRetries: 3, Backoff: time.Millisecond},
-		MaxInners: 3, MaxOuters: 1, ForceIterations: true})
+	d, err := New(Config{Mesh: m, PY: 2, PZ: 1, Protocol: Pipelined,
+		Policy: FailurePolicy{Mode: FailRetry, MaxRetries: 3, Backoff: time.Millisecond},
+		Rank: core.Config{Order: 1, Quad: q, Lib: lib,
+			Scheme: core.SchemeEngine, HealthChecks: true,
+			MaxInners: 3, MaxOuters: 1, ForceIterations: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,9 +428,10 @@ func TestFaultHealthChecksPipelined(t *testing.T) {
 func TestFaultHealthChecksLagged(t *testing.T) {
 	m, q, lib := testParts(t, 4, 1, 1, 0)
 	m.Elems[0].Source = math.NaN()
-	d, err := New(Config{Mesh: m, PY: 2, PZ: 1, Order: 1, Quad: q, Lib: lib,
-		Scheme: core.SchemeAEG, HealthChecks: true,
-		MaxInners: 3, MaxOuters: 1, ForceIterations: true})
+	d, err := New(Config{Mesh: m, PY: 2, PZ: 1,
+		Rank: core.Config{Order: 1, Quad: q, Lib: lib,
+			Scheme: core.SchemeAEG, HealthChecks: true,
+			MaxInners: 3, MaxOuters: 1, ForceIterations: true}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -49,9 +49,6 @@ import (
 	"unsnap/internal/fault"
 	"unsnap/internal/fem"
 	"unsnap/internal/mesh"
-	"unsnap/internal/quadrature"
-	"unsnap/internal/sweep"
-	"unsnap/internal/xs"
 )
 
 // errDriverClosed aborts a pipelined Run whose driver was Closed mid-run.
@@ -83,53 +80,39 @@ func (p Protocol) String() string {
 	}
 }
 
-// Config describes a partitioned run. The solver settings mirror
-// core.Config and apply to every rank.
+// Config describes a partitioned run: the global mesh and rank grid, the
+// protocol coupling the ranks, and one core.Config template stamped onto
+// every rank.
 type Config struct {
 	Mesh   *mesh.Mesh
 	PY, PZ int // rank grid (KBA-style: Y and Z split, X kept whole)
 
-	Order int
-	Quad  *quadrature.Set
-	Lib   *xs.Library
-
 	// Protocol selects the halo scheme; see the package comment.
 	Protocol Protocol
 
-	Scheme         core.Scheme
-	ThreadsPerRank int
-	Solver         core.SolverKind
-	// Octants is forwarded to every rank solver. Under the lagged
-	// protocol the halo boundary callback forces sequential octant phases
-	// regardless, so requesting OctantsFused there is rejected as
-	// impossible; the pipelined protocol requires the fused cross-octant
-	// phase, so OctantsSequential is rejected in turn.
-	Octants core.OctantMode
-
-	// AllowCycles enables cycle-aware sweep topologies on cyclic meshes.
-	// Under the lagged protocol each rank condenses its own subdomain
-	// (block Jacobi needs no global agreement); under the pipelined
-	// protocol one global SCC condensation is computed up front and
-	// distributed — intra-rank lagged couplings read each rank's
-	// previous-iterate snapshot, cross-rank lagged couplings are consumed
-	// one sweep late on a dedicated channel, and everything else still
-	// streams mid-sweep, preserving the single-domain flux parity.
-	AllowCycles bool
-	// CycleOrder selects the within-SCC cut rule of the cycle
-	// condensation (see core.Config.CycleOrder). The driver applies one
-	// strategy everywhere cycles are decided — the global pipelined
-	// condensation and every rank's own (lagged-protocol) condensation —
-	// so no rank can break a cycle under a different rule than its
-	// peers or the single-domain solver.
-	CycleOrder sweep.CycleOrder
-	// PreAssembled pre-factorises every rank's local matrices at setup.
-	PreAssembled bool
-
-	Epsi            float64
-	MaxInners       int
-	MaxOuters       int
-	ForceIterations bool
-	Instrument      bool
+	// Rank is the solver-configuration template applied identically to
+	// every rank: set the solver knobs — Order, Quad, Lib, Scheme,
+	// Threads (per rank), Solver, Octants, AllowCycles, CycleOrder,
+	// PreAssembled, Epsi, MaxInners, MaxOuters, ForceIterations,
+	// Instrument, HealthChecks, ScatOrder — exactly as for a
+	// single-domain core.Config. Leave Mesh and the coupling fields
+	// (Boundary, External, CycleLag/CycleLagKey, Artifact, Time) unset:
+	// the driver owns those per rank and rejects a template that sets
+	// them. Rank.Cache, when set, is consulted by every rank's build —
+	// ranks whose subdomains share a topology share one artifact instead
+	// of re-deduping independently, and the pipelined protocol's global
+	// condensation joins the same cache.
+	//
+	// Octant-phasing note: under the lagged protocol the halo boundary
+	// callback forces sequential octant phases regardless, so requesting
+	// OctantsFused there is rejected as impossible; the pipelined
+	// protocol requires the fused cross-octant phase, so
+	// OctantsSequential is rejected in turn. Under the pipelined protocol
+	// one global SCC condensation is computed up front (AllowCycles) and
+	// distributed via each rank's CycleLag, preserving single-domain flux
+	// parity; under the lagged protocol each rank condenses its own
+	// subdomain.
+	Rank core.Config
 
 	// Deadline bounds each Run (each attempt, under a retrying Policy):
 	// a pipelined run that cannot complete within it — a peer stalled, a
@@ -145,12 +128,6 @@ type Config struct {
 	// retries are exhausted. See FailurePolicy.
 	Policy FailurePolicy
 
-	// HealthChecks enables the per-inner numerical-health guards on every
-	// rank (NaN/Inf flux scan plus divergence detection), surfaced as a
-	// typed *core.HealthError. Health failures are terminal under every
-	// failure policy — a diverging problem diverges on retry too.
-	HealthChecks bool
-
 	// Fault installs a deterministic fault injector on the pipelined
 	// transport (chaos tests and failure drills; see internal/fault). Nil
 	// keeps the raw channel transport — the hot path pays nothing. A
@@ -159,18 +136,33 @@ type Config struct {
 	Fault *fault.Schedule
 }
 
-// validate rejects protocol/knob combinations that could never apply.
+// validate rejects protocol/knob combinations that could never apply,
+// and Rank templates that set the per-rank fields the driver owns.
 func (cfg Config) validate() error {
+	switch {
+	case cfg.Rank.Mesh != nil:
+		return fmt.Errorf("comm: Rank.Mesh is set per rank by the driver; configure the global mesh via Config.Mesh")
+	case cfg.Rank.Boundary != nil:
+		return fmt.Errorf("comm: Rank.Boundary is owned by the lagged protocol's halo exchange; it cannot be set in the template")
+	case cfg.Rank.External != nil:
+		return fmt.Errorf("comm: Rank.External is owned by the pipelined protocol; it cannot be set in the template")
+	case cfg.Rank.CycleLag != nil || cfg.Rank.CycleLagKey != "":
+		return fmt.Errorf("comm: Rank.CycleLag is owned by the pipelined protocol's global condensation; it cannot be set in the template")
+	case cfg.Rank.Artifact != nil:
+		return fmt.Errorf("comm: Rank.Artifact cannot serve every subdomain; share builds across ranks via Rank.Cache instead")
+	case cfg.Rank.Time != nil:
+		return fmt.Errorf("comm: time-dependent mode is not supported under the partitioned driver")
+	}
 	switch cfg.Protocol {
 	case Lagged:
-		if cfg.Octants == core.OctantsFused {
+		if cfg.Rank.Octants == core.OctantsFused {
 			return fmt.Errorf("comm: octant fusion can never engage under the lagged protocol (halo callbacks force sequential octant phases); use OctantsAuto, or the pipelined protocol")
 		}
 	case Pipelined:
-		if !cfg.Scheme.EngineBacked() {
-			return fmt.Errorf("comm: the pipelined protocol requires an engine-backed scheme (%v is a bucket executor that cannot hold latent remote dependencies)", cfg.Scheme)
+		if !cfg.Rank.Scheme.EngineBacked() {
+			return fmt.Errorf("comm: the pipelined protocol requires an engine-backed scheme (%v is a bucket executor that cannot hold latent remote dependencies)", cfg.Rank.Scheme)
 		}
-		if cfg.Octants == core.OctantsSequential {
+		if cfg.Rank.Octants == core.OctantsSequential {
 			return fmt.Errorf("comm: the pipelined protocol streams resolutions into all octants at once and requires the fused cross-octant phase; OctantsSequential cannot apply")
 		}
 	default:
@@ -226,8 +218,8 @@ func New(cfg Config) (*Driver, error) {
 	if cfg.Mesh == nil {
 		return nil, fmt.Errorf("comm: config needs a mesh")
 	}
-	if cfg.Epsi <= 0 {
-		cfg.Epsi = 1e-4
+	if cfg.Rank.Epsi <= 0 {
+		cfg.Rank.Epsi = 1e-4
 	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -236,11 +228,11 @@ func New(cfg Config) (*Driver, error) {
 	if err != nil {
 		return nil, err
 	}
-	re, err := fem.NewRefElement(cfg.Order)
+	re, err := fem.NewRefElement(cfg.Rank.Order)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Quad == nil || cfg.Lib == nil {
+	if cfg.Rank.Quad == nil || cfg.Rank.Lib == nil {
 		return nil, fmt.Errorf("comm: config needs quadrature and cross sections")
 	}
 	remote, err := part.RemoteFaces(re)
@@ -252,8 +244,8 @@ func New(cfg Config) (*Driver, error) {
 		part:   part,
 		re:     re,
 		remote: remote,
-		nG:     cfg.Lib.NumGroups,
-		nA:     cfg.Quad.NumAngles(),
+		nG:     cfg.Rank.Lib.NumGroups,
+		nA:     cfg.Rank.Quad.NumAngles(),
 		nF:     re.NF,
 	}
 	d.solvers = make([]*core.Solver, len(part.Subs))
@@ -281,17 +273,14 @@ func New(cfg Config) (*Driver, error) {
 	return d, nil
 }
 
-// rankConfig assembles the shared part of one rank's solver config.
+// rankConfig stamps the Rank template onto rank r's subdomain: the whole
+// solver configuration (including a shared Cache) is the template
+// verbatim, only the mesh — and, per protocol, the coupling fields the
+// caller layers on afterwards — differs between ranks.
 func (d *Driver) rankConfig(r int) core.Config {
-	return core.Config{
-		Mesh: d.part.Subs[r].Mesh, Order: d.cfg.Order, Quad: d.cfg.Quad, Lib: d.cfg.Lib,
-		Scheme: d.cfg.Scheme, Threads: d.cfg.ThreadsPerRank, Solver: d.cfg.Solver,
-		Octants: d.cfg.Octants, AllowCycles: d.cfg.AllowCycles,
-		CycleOrder:   d.cfg.CycleOrder,
-		PreAssembled: d.cfg.PreAssembled,
-		Epsi:         d.cfg.Epsi, MaxInners: d.cfg.MaxInners, MaxOuters: d.cfg.MaxOuters,
-		ForceIterations: d.cfg.ForceIterations, Instrument: d.cfg.Instrument,
-	}
+	cfg := d.cfg.Rank
+	cfg.Mesh = d.part.Subs[r].Mesh
+	return cfg
 }
 
 // NumRanks returns the rank count.
@@ -429,11 +418,11 @@ func (d *Driver) FluxIntegral(g int) float64 {
 
 // maxIterLimits applies the shared iteration-limit defaults.
 func (d *Driver) maxIterLimits() (maxOuters, maxInners int) {
-	maxOuters = d.cfg.MaxOuters
+	maxOuters = d.cfg.Rank.MaxOuters
 	if maxOuters <= 0 {
 		maxOuters = 1
 	}
-	maxInners = d.cfg.MaxInners
+	maxInners = d.cfg.Rank.MaxInners
 	if maxInners <= 0 {
 		maxInners = 5
 	}

@@ -30,21 +30,24 @@ func testParts(t *testing.T, n, groups, nang int, twist float64) (*mesh.Mesh, *q
 
 func TestNewInvalid(t *testing.T) {
 	m, q, lib := testParts(t, 4, 1, 1, 0)
-	if _, err := New(Config{Mesh: nil, PY: 1, PZ: 1, Order: 1, Quad: q, Lib: lib}); err == nil {
+	if _, err := New(Config{Mesh: nil, PY: 1, PZ: 1,
+		Rank: core.Config{Order: 1, Quad: q, Lib: lib}}); err == nil {
 		t.Fatal("expected error for nil mesh")
 	}
-	if _, err := New(Config{Mesh: m, PY: 0, PZ: 1, Order: 1, Quad: q, Lib: lib}); err == nil {
+	if _, err := New(Config{Mesh: m, PY: 0, PZ: 1,
+		Rank: core.Config{Order: 1, Quad: q, Lib: lib}}); err == nil {
 		t.Fatal("expected error for bad rank grid")
 	}
-	if _, err := New(Config{Mesh: m, PY: 1, PZ: 1, Order: 1, Quad: nil, Lib: lib}); err == nil {
+	if _, err := New(Config{Mesh: m, PY: 1, PZ: 1,
+		Rank: core.Config{Order: 1, Quad: nil, Lib: lib}}); err == nil {
 		t.Fatal("expected error for nil quadrature")
 	}
 }
 
 func TestSingleRankMatchesSingleDomain(t *testing.T) {
 	m, q, lib := testParts(t, 3, 2, 2, 0.002)
-	d, err := New(Config{Mesh: m, PY: 1, PZ: 1, Order: 1, Quad: q, Lib: lib,
-		Scheme: core.SchemeAEG, MaxInners: 3, MaxOuters: 2, ForceIterations: true})
+	d, err := New(Config{Mesh: m, PY: 1, PZ: 1,
+		Rank: core.Config{Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeAEG, MaxInners: 3, MaxOuters: 2, ForceIterations: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,8 +83,8 @@ func TestSingleRankMatchesSingleDomain(t *testing.T) {
 
 func TestMultiRankConvergesWithBalance(t *testing.T) {
 	m, q, lib := testParts(t, 4, 2, 2, 0.001)
-	d, err := New(Config{Mesh: m, PY: 2, PZ: 2, Order: 1, Quad: q, Lib: lib,
-		Scheme: core.SchemeAEG, Epsi: 1e-9, MaxInners: 400, MaxOuters: 60})
+	d, err := New(Config{Mesh: m, PY: 2, PZ: 2,
+		Rank: core.Config{Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeAEG, Epsi: 1e-9, MaxInners: 400, MaxOuters: 60}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,8 +109,8 @@ func TestMultiRankConvergesWithBalance(t *testing.T) {
 func TestMultiRankMatchesSingleDomainSolution(t *testing.T) {
 	run := func(py, pz int) float64 {
 		m, q, lib := testParts(t, 4, 1, 1, 0)
-		d, err := New(Config{Mesh: m, PY: py, PZ: pz, Order: 1, Quad: q, Lib: lib,
-			Scheme: core.SchemeAEG, Epsi: 1e-10, MaxInners: 500, MaxOuters: 50})
+		d, err := New(Config{Mesh: m, PY: py, PZ: pz,
+			Rank: core.Config{Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeAEG, Epsi: 1e-10, MaxInners: 500, MaxOuters: 50}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,8 +137,8 @@ func TestJacobiConvergenceDegradesWithRanks(t *testing.T) {
 	// must not decrease.
 	iters := func(py, pz int) int {
 		m, q, lib := testParts(t, 4, 1, 1, 0)
-		d, err := New(Config{Mesh: m, PY: py, PZ: pz, Order: 1, Quad: q, Lib: lib,
-			Scheme: core.SchemeAEG, Epsi: 1e-8, MaxInners: 500, MaxOuters: 1})
+		d, err := New(Config{Mesh: m, PY: py, PZ: pz,
+			Rank: core.Config{Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeAEG, Epsi: 1e-8, MaxInners: 500, MaxOuters: 1}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -159,9 +162,8 @@ func TestJacobiConvergenceDegradesWithRanks(t *testing.T) {
 func TestDistributedSchemesAgree(t *testing.T) {
 	run := func(scheme core.Scheme) float64 {
 		m, q, lib := testParts(t, 4, 2, 1, 0.001)
-		d, err := New(Config{Mesh: m, PY: 2, PZ: 2, Order: 1, Quad: q, Lib: lib,
-			Scheme: scheme, ThreadsPerRank: 2,
-			MaxInners: 3, MaxOuters: 1, ForceIterations: true})
+		d, err := New(Config{Mesh: m, PY: 2, PZ: 2,
+			Rank: core.Config{Order: 1, Quad: q, Lib: lib, Scheme: scheme, Threads: 2, MaxInners: 3, MaxOuters: 1, ForceIterations: true}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -183,8 +185,8 @@ func TestGlobalBalanceExcludesInternalFaces(t *testing.T) {
 	// Summing naive per-rank balances double-counts internal faces as
 	// leakage; GlobalBalance must not.
 	m, q, lib := testParts(t, 4, 1, 1, 0)
-	d, err := New(Config{Mesh: m, PY: 2, PZ: 1, Order: 1, Quad: q, Lib: lib,
-		Scheme: core.SchemeAEG, Epsi: 1e-9, MaxInners: 300, MaxOuters: 1})
+	d, err := New(Config{Mesh: m, PY: 2, PZ: 1,
+		Rank: core.Config{Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeAEG, Epsi: 1e-9, MaxInners: 300, MaxOuters: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -37,8 +37,8 @@ func cyclicParts(t *testing.T) (*mesh.Mesh, *quadrature.Set, *xs.Library) {
 // deadlock mid-sweep.
 func TestPipelinedRejectsCyclicWithoutAllowCycles(t *testing.T) {
 	m, q, lib := cyclicParts(t)
-	_, err := New(Config{Mesh: m, PY: 2, PZ: 1, Order: 1, Quad: q, Lib: lib,
-		Protocol: Pipelined, Scheme: core.SchemeEngine})
+	_, err := New(Config{Mesh: m, PY: 2, PZ: 1, Protocol: Pipelined,
+		Rank: core.Config{Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeEngine}})
 	if err == nil {
 		t.Fatal("cyclic mesh without AllowCycles must be rejected")
 	}
@@ -74,9 +74,8 @@ func TestPipelinedCyclicMatchesSingleDomain(t *testing.T) {
 	// cross-rank lagged transfers.
 	for _, grid := range [][2]int{{1, 1}, {2, 1}, {2, 2}} {
 		m, q, lib := cyclicParts(t)
-		d, err := New(Config{Mesh: m, PY: grid[0], PZ: grid[1], Order: 1, Quad: q, Lib: lib,
-			Protocol: Pipelined, Scheme: core.SchemeEngine, ThreadsPerRank: 2,
-			AllowCycles: true, Epsi: epsi, MaxInners: 50, MaxOuters: 8})
+		d, err := New(Config{Mesh: m, PY: grid[0], PZ: grid[1], Protocol: Pipelined,
+			Rank: core.Config{Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeEngine, Threads: 2, AllowCycles: true, Epsi: epsi, MaxInners: 50, MaxOuters: 8}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,10 +149,8 @@ func TestPipelinedCyclicFeedbackArcMatchesSingleDomain(t *testing.T) {
 
 	for _, grid := range [][2]int{{2, 1}, {2, 2}} {
 		m, q, lib := cyclicParts(t)
-		d, err := New(Config{Mesh: m, PY: grid[0], PZ: grid[1], Order: 1, Quad: q, Lib: lib,
-			Protocol: Pipelined, Scheme: core.SchemeEngine, ThreadsPerRank: 2,
-			AllowCycles: true, CycleOrder: sweep.OrderFeedbackArc,
-			Epsi: epsi, MaxInners: 50, MaxOuters: 8})
+		d, err := New(Config{Mesh: m, PY: grid[0], PZ: grid[1], Protocol: Pipelined,
+			Rank: core.Config{Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeEngine, Threads: 2, AllowCycles: true, CycleOrder: sweep.OrderFeedbackArc, Epsi: epsi, MaxInners: 50, MaxOuters: 8}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,10 +213,8 @@ func TestLaggedProtocolCyclicFeedbackArc(t *testing.T) {
 	want := ss.FluxIntegral(0)
 
 	m, q, lib = cyclicParts(t)
-	d, err := New(Config{Mesh: m, PY: 2, PZ: 1, Order: 1, Quad: q, Lib: lib,
-		Protocol: Lagged, Scheme: core.SchemeEngine, ThreadsPerRank: 2,
-		AllowCycles: true, CycleOrder: sweep.OrderFeedbackArc,
-		Epsi: epsi, MaxInners: 100, MaxOuters: 10})
+	d, err := New(Config{Mesh: m, PY: 2, PZ: 1, Protocol: Lagged,
+		Rank: core.Config{Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeEngine, Threads: 2, AllowCycles: true, CycleOrder: sweep.OrderFeedbackArc, Epsi: epsi, MaxInners: 100, MaxOuters: 10}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,9 +251,8 @@ func TestPipelinedCyclicForcedFreeRun(t *testing.T) {
 
 	for _, threads := range []int{1, 2, 4} {
 		m, q, lib := cyclicParts(t)
-		d, err := New(Config{Mesh: m, PY: 2, PZ: 2, Order: 1, Quad: q, Lib: lib,
-			Protocol: Pipelined, Scheme: core.SchemeEngine, ThreadsPerRank: threads,
-			AllowCycles: true, MaxInners: 4, MaxOuters: 2, ForceIterations: true})
+		d, err := New(Config{Mesh: m, PY: 2, PZ: 2, Protocol: Pipelined,
+			Rank: core.Config{Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeEngine, Threads: threads, AllowCycles: true, MaxInners: 4, MaxOuters: 2, ForceIterations: true}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -284,9 +278,8 @@ func TestPipelinedCyclicForcedFreeRun(t *testing.T) {
 func TestPipelinedCyclicRepeatRun(t *testing.T) {
 	runTwice := func() float64 {
 		m, q, lib := cyclicParts(t)
-		d, err := New(Config{Mesh: m, PY: 2, PZ: 1, Order: 1, Quad: q, Lib: lib,
-			Protocol: Pipelined, Scheme: core.SchemeEngine, ThreadsPerRank: 2,
-			AllowCycles: true, MaxInners: 3, MaxOuters: 1, ForceIterations: true})
+		d, err := New(Config{Mesh: m, PY: 2, PZ: 1, Protocol: Pipelined,
+			Rank: core.Config{Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeEngine, Threads: 2, AllowCycles: true, MaxInners: 3, MaxOuters: 1, ForceIterations: true}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -323,9 +316,8 @@ func TestLaggedProtocolCyclicMesh(t *testing.T) {
 	want := ss.FluxIntegral(0)
 
 	m, q, lib = cyclicParts(t)
-	d, err := New(Config{Mesh: m, PY: 2, PZ: 1, Order: 1, Quad: q, Lib: lib,
-		Protocol: Lagged, Scheme: core.SchemeEngine, ThreadsPerRank: 2,
-		AllowCycles: true, Epsi: epsi, MaxInners: 100, MaxOuters: 10})
+	d, err := New(Config{Mesh: m, PY: 2, PZ: 1, Protocol: Lagged,
+		Rank: core.Config{Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeEngine, Threads: 2, AllowCycles: true, Epsi: epsi, MaxInners: 100, MaxOuters: 10}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -86,7 +86,7 @@ func (d *Driver) sweepDeadlineError(deadline time.Duration) *SweepError {
 // element e on rank r for ordinate a (-1 when e has none — the task was
 // blocked transitively).
 func (d *Driver) upstreamOf(r, a, e int) int {
-	angles := d.cfg.Quad.Angles
+	angles := d.cfg.Rank.Quad.Angles
 	for _, rf := range d.remote[r] {
 		if rf.Key.Elem == e && core.ExternalInflow(angles[a].Omega, rf.Normal, rf.Canonical) {
 			return rf.Ref.Rank
@@ -244,10 +244,10 @@ func (d *Driver) degradeToLagged() error {
 	}
 	d.pipe = nil
 	d.inj = nil
-	if d.cfg.Octants == core.OctantsFused {
+	if d.cfg.Rank.Octants == core.OctantsFused {
 		// Octant fusion can never engage under halo callbacks; fall back
 		// rather than reject mid-solve.
-		d.cfg.Octants = core.OctantsAuto
+		d.cfg.Rank.Octants = core.OctantsAuto
 	}
 	if err := d.buildLagged(); err != nil {
 		return fmt.Errorf("comm: degrading to the lagged protocol: %w", err)

@@ -141,7 +141,7 @@ func (d *Driver) runLagged(ctx context.Context) (*Result, error) {
 			res.DFHistory = append(res.DFHistory, df)
 			res.FinalDF = df
 			res.Inners++
-			if d.cfg.HealthChecks {
+			if d.cfg.Rank.HealthChecks {
 				for r, s := range d.solvers {
 					if herr := s.ScanFluxHealth(); herr != nil {
 						return nil, fmt.Errorf("comm: rank %d: %w", r, herr)
@@ -154,18 +154,18 @@ func (d *Driver) runLagged(ctx context.Context) (*Result, error) {
 			if err := checkpoint(); err != nil {
 				return nil, err
 			}
-			if !d.cfg.ForceIterations && df < d.cfg.Epsi {
+			if !d.cfg.Rank.ForceIterations && df < d.cfg.Rank.Epsi {
 				break
 			}
 		}
-		if !d.cfg.ForceIterations {
+		if !d.cfg.Rank.ForceIterations {
 			outerDF := 0.0
 			for r, s := range d.solvers {
 				if v := s.MaxRelDiff(prev[r]); v > outerDF {
 					outerDF = v
 				}
 			}
-			if outerDF <= 10*d.cfg.Epsi {
+			if outerDF <= 10*d.cfg.Rank.Epsi {
 				res.Converged = true
 				break
 			}

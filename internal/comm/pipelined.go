@@ -6,8 +6,8 @@ import (
 	"sync"
 	"time"
 
+	"unsnap/internal/build"
 	"unsnap/internal/core"
-	"unsnap/internal/fem"
 	"unsnap/internal/mesh"
 	"unsnap/internal/sweep"
 )
@@ -130,10 +130,15 @@ func (ps *pipelinedState) isLagOut(r, i, a int) bool {
 // external-coupled solver per rank (distributing the global lag decisions)
 // and wires the publish hooks.
 func (d *Driver) buildPipelined() error {
-	lagOf, anyLag, err := d.buildGlobalLagSets()
+	// The global condensation is a pure function of (mesh, quadrature,
+	// cycle order); through Rank.Cache it joins the artifact cache, so a
+	// driver rebuilt on a hot mesh skips it entirely.
+	lagSets, err := build.CachedGlobalLagSets(d.cfg.Rank.Cache, d.cfg.Mesh, d.re,
+		d.cfg.Rank.Quad, d.cfg.Rank.CycleOrder, d.cfg.Rank.AllowCycles)
 	if err != nil {
 		return err
 	}
+	lagOf, anyLag := lagSets.Of, lagSets.AnyLag
 	nRanks := len(d.part.Subs)
 	ps := &pipelinedState{
 		inOf:   make([][]int, nRanks),
@@ -153,7 +158,7 @@ func (d *Driver) buildPipelined() error {
 	var rawLags []rawLag
 	streamQ := make(map[[2]int]int) // (from, to) -> streamed messages per sweep
 	lagQ := make(map[[2]int]int)    // (from, to) -> lagged messages per sweep
-	angles := d.cfg.Quad.Angles
+	angles := d.cfg.Rank.Quad.Angles
 	aw := (d.nA + 63) / 64
 	for r := range d.part.Subs {
 		sub := d.part.Subs[r]
@@ -193,7 +198,7 @@ func (d *Driver) buildPipelined() error {
 		}
 		cfg := d.rankConfig(r)
 		cfg.External = ext
-		if d.cfg.AllowCycles {
+		if d.cfg.Rank.AllowCycles {
 			// Distribute the global condensation: a rank lags exactly the
 			// intra-rank edges the single-domain solver would, looked up by
 			// global element ids.
@@ -202,6 +207,11 @@ func (d *Driver) buildPipelined() error {
 				ls := lagOf[a]
 				return ls != nil && ls[sweep.Edge{From: subG[from], To: subG[to]}]
 			}
+			// The closure's decision content is fully named by the global
+			// lag-set key plus this rank's place in the partition, so the
+			// rank's build stays content-addressable (and cache-shareable
+			// across drivers on the same mesh and grid).
+			cfg.CycleLagKey = fmt.Sprintf("%s|p%dx%d|r%d", lagSets.Key, d.cfg.PY, d.cfg.PZ, r)
 		}
 		s, err := core.New(cfg)
 		if err != nil {
@@ -236,85 +246,6 @@ func (d *Driver) buildPipelined() error {
 		d.solvers[r].SetPublish(func(a, e, f int) { d.publishFace(r, a, e, f) })
 	}
 	return nil
-}
-
-// buildGlobalLagSets classifies every ordinate over the whole-domain mesh
-// — deduplicated through the same bitmap mechanism core.buildTopologies
-// uses, so identical-topology ordinates are condensed once — and runs the
-// shared SCC condensation on each distinct classification, under the
-// driver's CycleOrder (the identical strategy each rank solver is
-// configured with, so the distributed decisions can never diverge from a
-// rank's own view of the rule). The returned per-angle lag sets (nil for
-// acyclic ordinates) use global element ids;
-// anyLag reports whether any ordinate needed lagging. Without AllowCycles
-// a cyclic ordinate is rejected, preserving the old build-time guarantee.
-// The classification replicates the single-domain rule (every interior
-// face judged from its lower-element side), so a mesh condensed here lags
-// exactly the edges the single-domain engine lags.
-func (d *Driver) buildGlobalLagSets() (lagOf []map[sweep.Edge]bool, anyLag bool, err error) {
-	m := d.cfg.Mesh
-	nE := m.NumElems()
-	type pair struct {
-		e, nb int
-		n     [3]float64
-	}
-	var pairs []pair
-	for e := 0; e < nE; e++ {
-		geo := m.Elems[e].Geometry()
-		for f := 0; f < fem.NumFaces; f++ {
-			if nb := m.Elems[e].Faces[f].Neighbor; nb > e {
-				pairs = append(pairs, pair{e: e, nb: nb, n: d.re.FaceUnitNormal(geo, f)})
-			}
-		}
-	}
-	words := (len(pairs) + 63) / 64
-	dedup := sweep.NewBitmapDedup()
-	var distinct []map[sweep.Edge]bool
-	lagOf = make([]map[sweep.Edge]bool, d.nA)
-	for a := 0; a < d.nA; a++ {
-		om := d.cfg.Quad.Angles[a].Omega
-		bits := make([]uint64, words)
-		for p, pr := range pairs {
-			if om[0]*pr.n[0]+om[1]*pr.n[1]+om[2]*pr.n[2] < 0 {
-				bits[p/64] |= 1 << (p % 64)
-			}
-		}
-		if idx := dedup.Lookup(bits); idx >= 0 {
-			lagOf[a] = distinct[idx]
-			if lagOf[a] != nil {
-				anyLag = true
-			}
-			continue
-		}
-		up := make([][]int, nE)
-		for p, pr := range pairs {
-			if bits[p/64]&(1<<(p%64)) != 0 {
-				up[pr.e] = append(up[pr.e], pr.nb)
-			} else {
-				up[pr.nb] = append(up[pr.nb], pr.e)
-			}
-		}
-		cond, err := sweep.Condense(sweep.Input{NumElems: nE, Upwind: up}, d.cfg.CycleOrder)
-		if err != nil {
-			return nil, false, fmt.Errorf("comm: condensing angle %d (omega %v): %w", a, om, err)
-		}
-		var ls map[sweep.Edge]bool
-		if len(cond.Lagged) > 0 {
-			if !d.cfg.AllowCycles {
-				return nil, false, fmt.Errorf("comm: angle %d (omega %v) has a cyclic sweep (largest SCC %d elements): %w (enable AllowCycles to lag the cycle-closing couplings)",
-					a, om, cond.MaxComp, sweep.ErrCycle)
-			}
-			ls = make(map[sweep.Edge]bool, len(cond.Lagged))
-			for _, l := range cond.Lagged {
-				ls[l] = true
-			}
-			anyLag = true
-		}
-		dedup.Insert(bits, len(distinct))
-		distinct = append(distinct, ls)
-		lagOf[a] = ls
-	}
-	return lagOf, anyLag, nil
 }
 
 // publishFace is the engine's publish hook: gather the finished face flux
@@ -550,7 +481,7 @@ func (pr *pipeRun) broadcast(dec pipeDecision) {
 // change — the one scalar exchanged per inner iteration.
 func (pr *pipeRun) coordinate() {
 	maxOuters, maxInners := pr.d.maxIterLimits()
-	epsi := pr.d.cfg.Epsi
+	epsi := pr.d.cfg.Rank.Epsi
 	for outer := 0; outer < maxOuters; outer++ {
 		for inner := 0; inner < maxInners; inner++ {
 			df, err := pr.collect()
@@ -610,7 +541,7 @@ func (pr *pipeRun) rankLoop(r int) (res rankResult) {
 		t0 := time.Now()
 		df, err := pr.sweepOnce(r)
 		res.sweep += time.Since(t0)
-		if err == nil && d.cfg.HealthChecks {
+		if err == nil && d.cfg.Rank.HealthChecks {
 			if herr := s.ScanFluxHealth(); herr != nil {
 				err = fmt.Errorf("comm: rank %d: %w", r, herr)
 			} else if herr := mon.Observe(df); herr != nil {
@@ -620,7 +551,7 @@ func (pr *pipeRun) rankLoop(r int) (res rankResult) {
 		return df, err
 	}
 
-	if d.cfg.ForceIterations {
+	if d.cfg.Rank.ForceIterations {
 		for outer := 0; outer < maxOuters; outer++ {
 			s.ComputeOuterSource()
 			res.outers++
@@ -791,7 +722,7 @@ func (d *Driver) runPipelined(ctx context.Context) (*Result, error) {
 			go func(ei int) { defer pr.aux.Done(); pr.lagReceiver(ei) }(ei)
 		}
 	}
-	if !d.cfg.ForceIterations {
+	if !d.cfg.Rank.ForceIterations {
 		pr.reports = make(chan pipeReport, pr.n)
 		pr.decide = make([]chan pipeDecision, pr.n)
 		for r := range pr.decide {

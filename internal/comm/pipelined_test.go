@@ -35,9 +35,8 @@ func TestPipelinedMatchesSingleDomainExactly(t *testing.T) {
 
 	for _, grid := range [][2]int{{1, 1}, {2, 1}, {1, 2}, {2, 2}} {
 		m, q, lib := testParts(t, 4, 2, 2, 0.001)
-		d, err := New(Config{Mesh: m, PY: grid[0], PZ: grid[1], Order: 1, Quad: q, Lib: lib,
-			Protocol: Pipelined, Scheme: core.SchemeEngine, ThreadsPerRank: 2,
-			Epsi: epsi, MaxInners: 50, MaxOuters: 8})
+		d, err := New(Config{Mesh: m, PY: grid[0], PZ: grid[1], Protocol: Pipelined,
+			Rank: core.Config{Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeEngine, Threads: 2, Epsi: epsi, MaxInners: 50, MaxOuters: 8}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -94,9 +93,8 @@ func TestPipelinedMatchesSingleDomainExactly(t *testing.T) {
 func TestPipelinedForcedFreeRun(t *testing.T) {
 	run := func(threads int) float64 {
 		m, q, lib := testParts(t, 4, 2, 2, 0.002)
-		d, err := New(Config{Mesh: m, PY: 2, PZ: 2, Order: 1, Quad: q, Lib: lib,
-			Protocol: Pipelined, Scheme: core.SchemeEngine, ThreadsPerRank: threads,
-			MaxInners: 4, MaxOuters: 2, ForceIterations: true})
+		d, err := New(Config{Mesh: m, PY: 2, PZ: 2, Protocol: Pipelined,
+			Rank: core.Config{Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeEngine, Threads: threads, MaxInners: 4, MaxOuters: 2, ForceIterations: true}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -135,9 +133,8 @@ func TestPipelinedForcedFreeRun(t *testing.T) {
 // particle balance.
 func TestPipelinedConvergesWithBalance(t *testing.T) {
 	m, q, lib := testParts(t, 4, 2, 2, 0.001)
-	d, err := New(Config{Mesh: m, PY: 2, PZ: 2, Order: 1, Quad: q, Lib: lib,
-		Protocol: Pipelined, Scheme: core.SchemeEngine, ThreadsPerRank: 2,
-		Epsi: 1e-9, MaxInners: 400, MaxOuters: 60})
+	d, err := New(Config{Mesh: m, PY: 2, PZ: 2, Protocol: Pipelined,
+		Rank: core.Config{Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeEngine, Threads: 2, Epsi: 1e-9, MaxInners: 400, MaxOuters: 60}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,9 +157,8 @@ func TestPipelinedConvergesWithBalance(t *testing.T) {
 func TestPipelinedBeatsLaggedIterationCount(t *testing.T) {
 	inners := func(p Protocol) int {
 		m, q, lib := testParts(t, 4, 1, 1, 0)
-		d, err := New(Config{Mesh: m, PY: 2, PZ: 2, Order: 1, Quad: q, Lib: lib,
-			Protocol: p, Scheme: core.SchemeEngine,
-			Epsi: 1e-8, MaxInners: 500, MaxOuters: 1})
+		d, err := New(Config{Mesh: m, PY: 2, PZ: 2, Protocol: p,
+			Rank: core.Config{Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeEngine, Epsi: 1e-8, MaxInners: 500, MaxOuters: 1}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -186,11 +182,12 @@ func TestPipelinedBeatsLaggedIterationCount(t *testing.T) {
 // NewDistributed and comm.New must reject up front.
 func TestProtocolValidation(t *testing.T) {
 	m, q, lib := testParts(t, 4, 1, 1, 0)
-	base := Config{Mesh: m, PY: 2, PZ: 1, Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeEngine}
+	base := Config{Mesh: m, PY: 2, PZ: 1,
+		Rank: core.Config{Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeEngine}}
 
 	cfg := base
 	cfg.Protocol = Pipelined
-	cfg.AllowCycles = true
+	cfg.Rank.AllowCycles = true
 	if d, err := New(cfg); err != nil {
 		t.Fatalf("pipelined + AllowCycles should be accepted (cycle-aware protocol): %v", err)
 	} else {
@@ -198,18 +195,18 @@ func TestProtocolValidation(t *testing.T) {
 	}
 	cfg = base
 	cfg.Protocol = Pipelined
-	cfg.Octants = core.OctantsSequential
+	cfg.Rank.Octants = core.OctantsSequential
 	if _, err := New(cfg); err == nil {
 		t.Fatal("pipelined + OctantsSequential should be rejected")
 	}
 	cfg = base
 	cfg.Protocol = Pipelined
-	cfg.Scheme = core.SchemeAEG
+	cfg.Rank.Scheme = core.SchemeAEG
 	if _, err := New(cfg); err == nil {
 		t.Fatal("pipelined + bucket scheme should be rejected")
 	}
 	cfg = base
-	cfg.Octants = core.OctantsFused
+	cfg.Rank.Octants = core.OctantsFused
 	if _, err := New(cfg); err == nil {
 		t.Fatal("lagged + OctantsFused should be rejected (fusion can never engage)")
 	}
@@ -233,9 +230,8 @@ func TestProtocolValidation(t *testing.T) {
 // usable afterwards.
 func TestPipelinedCloseMidSweep(t *testing.T) {
 	m, q, lib := testParts(t, 6, 4, 3, 0.001)
-	d, err := New(Config{Mesh: m, PY: 2, PZ: 1, Order: 1, Quad: q, Lib: lib,
-		Protocol: Pipelined, Scheme: core.SchemeEngine, ThreadsPerRank: 2,
-		MaxInners: 400, MaxOuters: 1, ForceIterations: true})
+	d, err := New(Config{Mesh: m, PY: 2, PZ: 1, Protocol: Pipelined,
+		Rank: core.Config{Order: 1, Quad: q, Lib: lib, Scheme: core.SchemeEngine, Threads: 2, MaxInners: 400, MaxOuters: 1, ForceIterations: true}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -69,7 +69,7 @@ func (s *Solver) ComputeBalanceExcluding(skip func(elem, face int) bool) Balance
 				continue
 			}
 			for a := 0; a < s.nA; a++ {
-				if s.topos[a].isInflow(e, f) {
+				if s.topos[a].IsInflow(e, f) {
 					continue
 				}
 				om := s.cfg.Quad.Angles[a].Omega

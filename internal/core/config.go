@@ -18,6 +18,7 @@ import (
 	"math"
 	"runtime"
 
+	"unsnap/internal/build"
 	"unsnap/internal/fem"
 	"unsnap/internal/mesh"
 	"unsnap/internal/quadrature"
@@ -319,6 +320,44 @@ type Config struct {
 	// the current J = sum_a w_a Omega_a psi_a and the angular source
 	// gains the term 3 Omega . (sigma_s1 J).
 	ScatOrder int
+
+	// Artifact injects a pre-built problem artifact (see unsnap.Build /
+	// BuildArtifact): New skips the whole build phase — matching, element
+	// integration, classification, condensation — and only allocates the
+	// per-solve state. The artifact must be compatible with the rest of
+	// the configuration (checked by content key where possible).
+	Artifact *build.Artifact
+
+	// Cache, when set (and Artifact is nil), is consulted for the
+	// problem's build artifact by content key before building: solvers —
+	// and the ranks of one distributed driver — sharing a cache share one
+	// artifact per distinct topology. Nil builds privately, preserving
+	// the old behaviour.
+	Cache *build.Cache
+
+	// CycleLagKey names the decision content of CycleLag canonically (the
+	// distributed driver derives it from its global lag-set key and the
+	// rank coordinates). A CycleLag closure is opaque, so without a key
+	// the build product is uncacheable and Cache is bypassed; with one it
+	// joins the artifact's content key. Meaningless without CycleLag.
+	CycleLagKey string
+}
+
+// buildSpec projects the topology-relevant configuration into the build
+// layer's Spec — the single place that decides which knobs shape the
+// artifact (and therefore its cache key).
+func (c Config) buildSpec() build.Spec {
+	return build.Spec{
+		Mesh:        c.Mesh,
+		Order:       c.Order,
+		Quad:        c.Quad,
+		Threads:     c.Threads,
+		AllowCycles: c.AllowCycles,
+		CycleOrder:  c.CycleOrder,
+		CycleLag:    c.CycleLag,
+		CycleLagKey: c.CycleLagKey,
+		External:    c.External,
+	}
 }
 
 // withDefaults fills unset fields.
@@ -368,6 +407,9 @@ func (c Config) validate() error {
 	}
 	if c.CycleLag != nil && !c.AllowCycles {
 		return fmt.Errorf("core: CycleLag decisions are only meaningful with AllowCycles")
+	}
+	if c.CycleLagKey != "" && c.CycleLag == nil {
+		return fmt.Errorf("core: CycleLagKey names CycleLag decisions; set it only alongside CycleLag")
 	}
 	if !c.CycleOrder.Valid() {
 		return fmt.Errorf("core: unknown cycle order %d", int(c.CycleOrder))

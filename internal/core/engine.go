@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"unsnap/internal/build"
 	"unsnap/internal/fem"
 	"unsnap/internal/la"
 	"unsnap/internal/sweep"
@@ -263,7 +264,7 @@ func newEngine(s *Solver) *engine {
 	e.initCounts = make([]int32, total)
 	e.graphs = make([]*sweep.Graph, s.nA)
 	for a := range e.graphs {
-		e.graphs[a] = s.topos[a].graph
+		e.graphs[a] = s.topos[a].Graph
 	}
 	if s.ext != nil {
 		e.buildExternalSchedule(s)
@@ -649,33 +650,39 @@ func (s *Solver) OctantsFused() bool {
 
 // ---- pre-fused per-angle face matrices ----
 
-// fusedFaceCacheLimit caps the fused face-matrix cache; above it the
-// cache drops to a per-octant slab (rebuilt at each sequential octant
-// phase), and only above eight slabs' worth of headroom per octant does
-// the assembly fall back to fusing on the fly (the cache is an
-// optimisation, not a requirement). The paper-scale Figure 3 problem
-// (288 ordinates, 4096 elements) needs ~0.9 GiB for the full cache and
-// ~113 MiB per slab, so it runs in slab mode.
-const fusedFaceCacheLimit = 512 << 20
+// The fused face-matrix cache is capped at build.FusedFaceCacheLimit;
+// above it the cache drops to a per-octant slab (rebuilt at each
+// sequential octant phase), and only above eight slabs' worth of
+// headroom per octant does the assembly fall back to fusing on the fly
+// (the cache is an optimisation, not a requirement). The paper-scale
+// Figure 3 problem (288 ordinates, 4096 elements) needs ~0.9 GiB for the
+// full cache and ~113 MiB per slab, so it runs in slab mode.
 
 // fusedCachePlan decides the cache tier for the given problem shape:
 // full (every angle resident), a per-octant slab, or neither. block is
-// the per-face matrix size NF*NF.
+// the per-face matrix size NF*NF. The decision lives in the build layer
+// (the full tier is precomputed into the shared artifact); this wrapper
+// keeps solver code and tests on one name.
 func fusedCachePlan(nA, perOctant, nE, block int) (full, slab bool) {
-	full = nA*nE*fem.NumFaces*block*8 <= fusedFaceCacheLimit
-	slab = !full && perOctant*nE*fem.NumFaces*block*8 <= fusedFaceCacheLimit
-	return full, slab
+	return build.FusedCachePlan(nA, perOctant, nE, block)
 }
 
-// buildFusedFaces precomputes om·Fx + om·Fy + om·Fz for every (angle,
-// element, face) into one flat cache, shared by matrix and RHS assembly.
-// When the full cache would exceed fusedFaceCacheLimit it allocates a
-// single-octant slab instead, filled per octant by prepareFusedOctant.
+// buildFusedFaces attaches or builds the fused om·Fx + om·Fy + om·Fz
+// face-matrix cache shared by matrix and RHS assembly. The full tier
+// (every angle resident) was precomputed into the artifact at build time
+// and is attached read-only — solvers sharing a cached artifact share
+// one copy, and nothing on the solve side ever writes it (fillFusedFaces
+// only runs in slab mode). Above the limit a single-octant slab is
+// allocated per solver instead, filled per octant by prepareFusedOctant.
 func (s *Solver) buildFusedFaces() {
+	if s.art.FusedFull != nil {
+		s.fusedFace = s.art.FusedFull
+		return
+	}
 	nf := s.re.NF
 	block := nf * nf
 	per := s.cfg.Quad.PerOctant
-	full, slab := fusedCachePlan(s.nA, per, s.nE, block)
+	_, slab := fusedCachePlan(s.nA, per, s.nE, block)
 	if (s.cfg.Octants == OctantsFused || s.ext != nil) && s.octantOverlapSafe() {
 		// The caller chose octant overlap over the slab cache: a slab can
 		// only track sequential phases, so it is full cache or nothing.
@@ -685,11 +692,7 @@ func (s *Solver) buildFusedFaces() {
 		// address tasks of any octant — so they make the same choice.
 		slab = false
 	}
-	switch {
-	case full:
-		s.fusedFace = make([]float64, s.nA*s.nE*fem.NumFaces*block)
-		s.fillFusedFaces(0, s.nA)
-	case slab:
+	if slab {
 		s.fusedFace = make([]float64, per*s.nE*fem.NumFaces*block)
 		s.fusedSlab = true
 		s.fusedOct = -1

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"unsnap/internal/build"
 	"unsnap/internal/fem"
 )
 
@@ -27,12 +28,10 @@ import (
 // canonical normal, so for every ordinate exactly one side treats the face
 // as upwind (a task-graph dependency) and the other as downwind (a
 // publish), mirroring the single-domain rule that classifies every
-// interior face from its lower-element side.
-type ExternalFace struct {
-	Elem, Face int
-	Normal     [3]float64
-	Canonical  bool
-}
+// interior face from its lower-element side. The type itself lives in the
+// build layer (the declarations shape the sweep topology and join the
+// artifact cache key); this alias keeps the solver API self-contained.
+type ExternalFace = build.ExternalFace
 
 // ExternalInflow is the shared upwind classification of an external face:
 // it reports whether the side described by canonical is downwind of the
@@ -40,11 +39,7 @@ type ExternalFace struct {
 // the same function to size its per-edge message quotas, so driver and
 // engine can never disagree about which transfers exist.
 func ExternalInflow(om, normal [3]float64, canonical bool) bool {
-	dot := om[0]*normal[0] + om[1]*normal[1] + om[2]*normal[2]
-	if canonical {
-		return dot < 0
-	}
-	return dot >= 0
+	return build.ExternalInflow(om, normal, canonical)
 }
 
 // errSweepCancelled reports a sweep torn down by CancelSweep before all
@@ -310,7 +305,7 @@ func (e *engine) buildExternalSchedule(s *Solver) {
 		t := s.topos[a]
 		base := a * s.nE
 		for _, ef := range s.ext.faces {
-			if t.isInflow(ef.Elem, ef.Face) {
+			if t.IsInflow(ef.Elem, ef.Face) {
 				e.extDeg[base+ef.Elem]++
 				e.totalExt++
 			} else {
@@ -329,7 +324,7 @@ func (e *engine) buildExternalSchedule(s *Solver) {
 		t := s.topos[a]
 		base := a * s.nE
 		for i, ef := range s.ext.faces {
-			if !t.isInflow(ef.Elem, ef.Face) {
+			if !t.IsInflow(ef.Elem, ef.Face) {
 				tid := base + ef.Elem
 				e.pubFace[fill[tid]] = int32(i)
 				fill[tid]++

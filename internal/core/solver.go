@@ -6,59 +6,31 @@ import (
 	"sync/atomic"
 	"time"
 
+	"unsnap/internal/build"
 	"unsnap/internal/fem"
 	"unsnap/internal/la"
 	"unsnap/internal/mesh"
-	"unsnap/internal/sweep"
 )
-
-// topo is the per-ordinate sweep topology: the inflow classification of
-// every element face, the lagged (cycle-broken) couplings, and the
-// bucketed schedule they induce. Ordinates whose classifications coincide
-// (all angles of an octant, on mildly twisted meshes) share one topo.
-type topo struct {
-	inflow []uint64 // bitset over elem*6+face
-	// lagged marks the inflow faces whose coupling was demoted by the
-	// cycle condensation: both executors read them from the
-	// previous-iterate psi snapshot (psiLag) instead of the live flux.
-	// Nil when the ordinate's graph is acyclic (the common case), keeping
-	// the hot path free of the extra test.
-	lagged []uint64
-	sched  *sweep.Schedule
-	graph  *sweep.Graph // counter-driven view of the same dependencies
-}
-
-func (t *topo) isInflow(e, f int) bool {
-	bit := uint(e*fem.NumFaces + f)
-	return t.inflow[bit/64]&(1<<(bit%64)) != 0
-}
-
-func (t *topo) setInflow(e, f int) {
-	bit := uint(e*fem.NumFaces + f)
-	t.inflow[bit/64] |= 1 << (bit % 64)
-}
-
-func (t *topo) isLagged(e, f int) bool {
-	bit := uint(e*fem.NumFaces + f)
-	return t.lagged[bit/64]&(1<<(bit%64)) != 0
-}
-
-func setFaceBit(bits []uint64, e, f int) {
-	bit := uint(e*fem.NumFaces + f)
-	bits[bit/64] |= 1 << (bit % 64)
-}
 
 // Solver is a configured UnSNAP transport solver over one spatial domain
 // (the whole mesh, or one rank's subdomain under the block Jacobi driver).
+// Everything derived from the topology alone lives in the immutable,
+// possibly shared build artifact (art, with re/conn/em/topos as direct
+// views into it); everything the iteration mutates is allocated
+// per-solver.
 type Solver struct {
-	cfg  Config
+	cfg Config
+	// art is the problem's build artifact — read-only, possibly shared
+	// with sibling solvers through a build.Cache. Solver methods must
+	// never write through it.
+	art  *build.Artifact
 	re   *fem.RefElement
 	conn *mesh.Connectivity
 	em   []*fem.ElementMatrices
 
 	nE, nG, nN, nA int // elements, groups, nodes/element, angles
 
-	topos []*topo // per angle (deduplicated pointers)
+	topos []*build.Topology // per angle (deduplicated pointers)
 
 	psi []float64 // angular flux, layout per scheme
 	// psiLag is the previous sweep's angular flux (cyclic meshes only):
@@ -123,61 +95,38 @@ type Solver struct {
 	setupTime time.Duration
 }
 
-// New builds a solver: matches the mesh faces, integrates every element's
-// basis-pair matrices in parallel, classifies and schedules every
-// ordinate, and allocates the state arrays in the scheme's layout.
+// New builds a solver: acquires the problem's build artifact — injected
+// (Config.Artifact), cached (Config.Cache) or built privately — and
+// allocates the per-solve state arrays in the scheme's layout. The
+// artifact carries everything topology-derived (face matching, element
+// matrices, per-ordinate schedules and condensations, the full-tier
+// fused face cache); a cache hit therefore skips the entire build phase.
 func New(cfg Config) (*Solver, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	re, err := fem.NewRefElement(cfg.Order)
-	if err != nil {
-		return nil, err
-	}
-	conn, err := cfg.Mesh.Match(re)
+	art, err := BuildArtifact(cfg)
 	if err != nil {
 		return nil, err
 	}
 	s := &Solver{
-		cfg:  cfg,
-		re:   re,
-		conn: conn,
-		nE:   cfg.Mesh.NumElems(),
-		nG:   cfg.Lib.NumGroups,
-		nN:   re.N,
-		nA:   cfg.Quad.NumAngles(),
+		cfg:   cfg,
+		art:   art,
+		re:    art.Re,
+		conn:  art.Conn,
+		em:    art.EM,
+		topos: art.Topos,
+		nE:    cfg.Mesh.NumElems(),
+		nG:    cfg.Lib.NumGroups,
+		nN:    art.Re.N,
+		nA:    cfg.Quad.NumAngles(),
 	}
 
-	// Element matrices, computed in parallel: the twisted general path is
-	// the expensive part of setup.
-	s.em = make([]*fem.ElementMatrices, s.nE)
-	var emErr error
-	var emMu sync.Mutex
-	parallelFor(cfg.Threads, s.nE, func(_, e int) {
-		em, err := re.ComputeMatrices(cfg.Mesh.Elems[e].Geometry())
-		if err != nil {
-			emMu.Lock()
-			if emErr == nil {
-				emErr = fmt.Errorf("core: element %d: %w", e, err)
-			}
-			emMu.Unlock()
-			return
-		}
-		s.em[e] = em
-	})
-	if emErr != nil {
-		return nil, emErr
-	}
-
-	// The external-face index must exist before classification: topologies
-	// classify streamed faces by their canonical pair normal.
+	// Per-solve view of the streamed halo faces (the classification
+	// itself was baked into the artifact's topologies).
 	s.buildExternal()
-
-	if err := s.buildTopologies(); err != nil {
-		return nil, err
-	}
 
 	size := s.nE * s.nG * s.nN
 	s.psi = make([]float64, s.nA*size)
@@ -219,7 +168,7 @@ func New(cfg Config) (*Solver, error) {
 
 	s.workers = make([]*workerState, cfg.Threads)
 	for w := range s.workers {
-		s.workers[w] = newWorkerState(s.nN, re.NF, cfg.Scheme.engineBacked())
+		s.workers[w] = newWorkerState(s.nN, s.re.NF, cfg.Scheme.engineBacked())
 	}
 
 	if cfg.PreAssembled {
@@ -231,151 +180,35 @@ func New(cfg Config) (*Solver, error) {
 	return s, nil
 }
 
-// buildTopologies classifies every face for every ordinate and builds (or
-// reuses) the sweep schedule, cycle condensation and counter graph for
-// each distinct classification, deduplicated through the shared bitmap
-// mechanism (sweep.BitmapDedup). With AllowCycles the lag set comes from
-// the solver's own SCC condensation (sweep.BuildWithLagging, under the
-// configured Config.CycleOrder), or — in a partitioned pipelined run —
-// from the globally computed decisions in Config.CycleLag, which then
-// join the deduplication key (two ordinates with identical local inflow
-// may still differ in which cross-rank cycles pass through them). The
-// cycle-order strategy itself also joins the key whenever cycles are
-// allowed, so a cached topology can never be reused under a different
-// within-SCC cut rule.
-func (s *Solver) buildTopologies() error {
-	m := s.cfg.Mesh
-	words := (s.nE*fem.NumFaces + 63) / 64
-	dedup := sweep.NewBitmapDedup()
-	var distinct []*topo
-	s.topos = make([]*topo, s.nA)
-	lagCB := s.cfg.CycleLag
-
-	for a := 0; a < s.nA; a++ {
-		om := s.cfg.Quad.Angles[a].Omega
-		t := &topo{inflow: make([]uint64, words)}
-		var lagBits []uint64
-		var lagEdges []sweep.Edge
-		up := make([][]int, s.nE)
-		// addDep records the dependency of element e on upwind neighbour u
-		// through face f of e, consulting the external lag decisions when
-		// a partitioned run supplies them.
-		addDep := func(u, e, f int) {
-			up[e] = append(up[e], u)
-			if lagCB != nil && lagCB(a, u, e) {
-				if lagBits == nil {
-					lagBits = make([]uint64, words)
-				}
-				setFaceBit(lagBits, e, f)
-				lagEdges = append(lagEdges, sweep.Edge{From: u, To: e})
-			}
-		}
-		for e := 0; e < s.nE; e++ {
-			for f := 0; f < fem.NumFaces; f++ {
-				fc := m.Elems[e].Faces[f]
-				nrm := s.em[e].Normal[f]
-				on := om[0]*nrm[0] + om[1]*nrm[1] + om[2]*nrm[2]
-				if fc.Neighbor < 0 {
-					if s.ext != nil {
-						if fi := s.ext.faceIdx[e*fem.NumFaces+f]; fi >= 0 {
-							// Streamed cross-rank face: classify by the pair's
-							// canonical normal so both sides agree exactly (and
-							// match the single-domain lower-element-side rule)
-							// even when the direction is nearly tangent.
-							ef := &s.ext.faces[fi]
-							if ExternalInflow(om, ef.Normal, ef.Canonical) {
-								t.setInflow(e, f)
-							}
-							continue
-						}
-					}
-					if on < 0 {
-						t.setInflow(e, f)
-					}
-					continue
-				}
-				// Classify each interior face once, from the lower element
-				// index side, so both sides always agree even when the
-				// direction is nearly tangent to a twisted face.
-				if fc.Neighbor > e {
-					if on < 0 {
-						t.setInflow(e, f)
-						addDep(fc.Neighbor, e, f)
-					} else {
-						t.setInflow(fc.Neighbor, fc.NeighborFace)
-						addDep(e, fc.Neighbor, fc.NeighborFace)
-					}
-				}
-			}
-		}
-		// Deduplicate on the classification bitmap; externally supplied
-		// lag decisions join the key (with the solver's own condensation
-		// the lag set is a pure function of the inflow bits and the
-		// cycle-order strategy). The strategy word also joins the key
-		// under AllowCycles — redundant today, since one solver holds one
-		// strategy and the dedup table is per-build, but it makes the key
-		// self-describing so any future sharing of classified topologies
-		// across configurations stays sound by construction.
-		key := t.inflow
-		if s.cfg.AllowCycles || lagBits != nil {
-			key = append(make([]uint64, 0, 2*words+1), t.inflow...)
-			if lagBits != nil {
-				key = append(key, lagBits...)
-			}
-			key = append(key, uint64(s.cfg.CycleOrder))
-		}
-		if idx := dedup.Lookup(key); idx >= 0 {
-			s.topos[a] = distinct[idx]
-			continue
-		}
-		in := sweep.Input{NumElems: s.nE, Upwind: up}
-		var sched *sweep.Schedule
-		var err error
-		switch {
-		case !s.cfg.AllowCycles:
-			sched, err = sweep.Build(in)
-		case lagCB != nil:
-			sched, err = sweep.BuildCut(in, lagEdges)
-		default:
-			sched, err = sweep.BuildWithLagging(in, s.cfg.CycleOrder)
-		}
-		if err != nil {
-			return fmt.Errorf("core: scheduling angle %d (omega %v): %w", a, om, err)
-		}
-		t.sched = sched
-		if lagCB == nil && len(sched.Lagged) > 0 {
-			// Own-condensation path: derive the per-face lag marks from the
-			// lag set (the callback path set them during the scan).
-			lagBits = make([]uint64, words)
-			for _, l := range sched.Lagged {
-				for f := 0; f < fem.NumFaces; f++ {
-					if m.Elems[l.To].Faces[f].Neighbor == l.From && t.isInflow(l.To, f) {
-						setFaceBit(lagBits, l.To, f)
-					}
-				}
-			}
-		}
-		t.lagged = lagBits
-		if s.cfg.Scheme.engineBacked() {
-			// Legacy bucket schemes never read the counter view; skip its
-			// build (and its failure modes) for them.
-			t.graph, err = sweep.BuildGraph(in, sched.Lagged)
-			if err != nil {
-				return fmt.Errorf("core: task graph for angle %d (omega %v): %w", a, om, err)
-			}
-		}
-		dedup.Insert(key, len(distinct))
-		distinct = append(distinct, t)
-		s.topos[a] = t
+// BuildArtifact resolves the configuration's build artifact: the
+// injected Config.Artifact after a compatibility check, a cache lookup
+// when Config.Cache is set and the problem is content-addressable, or a
+// private build. The one-shot New routes through it, so cached and
+// uncached construction share one code path; drivers that want the
+// build/solve split explicitly call it directly (unsnap.Build).
+func BuildArtifact(cfg Config) (*build.Artifact, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	return nil
+	spec := cfg.buildSpec()
+	if cfg.Artifact != nil {
+		if err := cfg.Artifact.Compatible(&spec); err != nil {
+			return nil, err
+		}
+		return cfg.Artifact, nil
+	}
+	if cfg.Cache != nil {
+		return cfg.Cache.GetOrBuild(spec)
+	}
+	return build.Build(spec)
 }
 
 // hasLaggedTopo reports whether any ordinate's topology carries lagged
 // (cycle-broken) couplings, which require the psiLag snapshot buffer.
 func (s *Solver) hasLaggedTopo() bool {
 	for _, t := range s.topos {
-		if t.lagged != nil {
+		if t.Lagged != nil {
 			return true
 		}
 	}
@@ -579,23 +412,19 @@ func (s *Solver) FluxIntegral(g int) float64 {
 // ScheduleStats summarises the sweep schedules: the number of distinct
 // topologies, and bucket counts/sizes of the first ordinate's schedule.
 func (s *Solver) ScheduleStats() (distinct int, buckets int, maxBucket int, avgBucket float64) {
-	seen := make(map[*topo]bool)
-	for _, t := range s.topos {
-		seen[t] = true
-	}
 	t0 := s.topos[0]
-	return len(seen), len(t0.sched.Buckets), t0.sched.MaxBucket(), t0.sched.AvgBucket()
+	return s.art.Distinct, len(t0.Sched.Buckets), t0.Sched.MaxBucket(), t0.Sched.AvgBucket()
 }
 
 // Lagged reports how many dependency edges were lagged (cycle breaking)
 // across all distinct topologies.
 func (s *Solver) Lagged() int {
-	seen := make(map[*topo]bool)
+	seen := make(map[*build.Topology]bool)
 	n := 0
 	for _, t := range s.topos {
 		if !seen[t] {
 			seen[t] = true
-			n += len(t.sched.Lagged)
+			n += len(t.Sched.Lagged)
 		}
 	}
 	return n
@@ -604,6 +433,10 @@ func (s *Solver) Lagged() int {
 // RefElement exposes the solver's reference element (for diagnostics and
 // error analysis in examples).
 func (s *Solver) RefElement() *fem.RefElement { return s.re }
+
+// Artifact returns the solver's build artifact — possibly shared with
+// sibling solvers through a build.Cache, and read-only either way.
+func (s *Solver) Artifact() *build.Artifact { return s.art }
 
 // PhaseTimes reports the accumulated per-solve assembly and dense-solve
 // times (only meaningful with Config.Instrument). Callers driving the

@@ -77,7 +77,7 @@ func (s *Solver) addOutflowFaces(a, e int, dst []float64) {
 	nf := s.re.NF
 	t := s.topos[a]
 	for f := 0; f < fem.NumFaces; f++ {
-		if t.isInflow(e, f) {
+		if t.IsInflow(e, f) {
 			continue
 		}
 		fn := s.re.FaceNodes[f]
@@ -147,7 +147,7 @@ func (s *Solver) assembleRHS(st *workerState, a, e, g int) {
 	}
 	t := s.topos[a]
 	for f := 0; f < fem.NumFaces; f++ {
-		if !t.isInflow(e, f) {
+		if !t.IsInflow(e, f) {
 			continue
 		}
 		fc := s.cfg.Mesh.Elems[e].Faces[f]
@@ -159,7 +159,7 @@ func (s *Solver) assembleRHS(st *workerState, a, e, g int) {
 			// previous-iterate snapshot instead: its values are immutable
 			// for the whole sweep, so the read is order-independent.
 			src := s.psi
-			if t.lagged != nil && t.isLagged(e, f) {
+			if t.Lagged != nil && t.IsLagged(e, f) {
 				src = s.psiLag
 			}
 			perm := s.conn.Perm[e][f]
@@ -377,7 +377,7 @@ func (s *Solver) SweepAllAngles() error {
 func (s *Solver) sweepAngle(a int, record func(error)) {
 	t := s.topos[a]
 	nw := s.cfg.Threads
-	for _, bucket := range t.sched.Buckets {
+	for _, bucket := range t.Sched.Buckets {
 		nb := len(bucket)
 		switch s.cfg.Scheme {
 		case SchemeAEg, SchemeAgE:

@@ -101,6 +101,7 @@ type SweepReport struct {
 	Engine *EngineSection `json:"engine,omitempty"`
 	Comm   *CommSection   `json:"comm,omitempty"`
 	Cycles *CyclesSection `json:"cycles,omitempty"`
+	Setup  *SetupSection  `json:"setup,omitempty"`
 }
 
 // RunEngine measures all three executors at every thread count: the
@@ -170,7 +171,7 @@ func FprintEngine(w io.Writer, cfg EngineConfig, rows []EngineRow) {
 // commit stamp — so refreshing one experiment never rewrites the others'
 // history. An existing file that does not parse is an error, not a
 // silent overwrite.
-func WriteSweepJSON(path, commit string, eng *EngineSection, comm *CommSection, cycles *CyclesSection) error {
+func WriteSweepJSON(path, commit string, eng *EngineSection, comm *CommSection, cycles *CyclesSection, setup *SetupSection) error {
 	var rep SweepReport
 	if prev, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(prev, &rep); err != nil {
@@ -195,6 +196,11 @@ func WriteSweepJSON(path, commit string, eng *EngineSection, comm *CommSection, 
 		sec := *cycles
 		sec.Commit = commit
 		rep.Cycles = &sec
+	}
+	if setup != nil {
+		sec := *setup
+		sec.Commit = commit
+		rep.Setup = &sec
 	}
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

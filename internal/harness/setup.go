@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"unsnap"
+)
+
+// SetupConfig drives the problem-build cost experiment: the cold
+// construction of a topology artifact (mesh matching, element matrices,
+// face classification, schedule/condensation per ordinate) against the
+// warm path that fetches the same artifact from an ArtifactCache.
+type SetupConfig struct {
+	Problem unsnap.Problem
+	// Warm is the number of warm rebuilds measured after the cold one;
+	// the reported warm figure is their minimum (cache lookups are
+	// nanosecond-scale, so the min rejects scheduler noise).
+	Warm int
+}
+
+// DefaultSetup measures on the engine experiment's 6^3 workload — large
+// enough that the cold build does real classification and scheduling
+// work, small enough to finish instantly.
+func DefaultSetup() SetupConfig {
+	p := unsnap.DefaultProblem()
+	p.NX, p.NY, p.NZ = 6, 6, 6
+	p.AnglesPerOctant = 4
+	p.Groups = 8
+	return SetupConfig{Problem: p, Warm: 5}
+}
+
+// SetupSection is the serialised build-cost comparison of
+// BENCH_sweep.json.
+type SetupSection struct {
+	Commit  string       `json:"commit,omitempty"`
+	Problem ProblemShape `json:"problem"`
+	// ColdNs is one uncached artifact build; WarmNs the best cache fetch
+	// of the same artifact.
+	ColdNs  float64 `json:"cold_build_ns"`
+	WarmNs  float64 `json:"warm_build_ns"`
+	Speedup float64 `json:"speedup"`
+	// HitRate is hits/(hits+misses) over the whole experiment — with W
+	// warm fetches after one miss it should be W/(W+1).
+	HitRate       float64 `json:"cache_hit_rate"`
+	ArtifactBytes int64   `json:"artifact_bytes"`
+}
+
+// RunSetup measures the cold and warm build paths through one cache and
+// guards the contract the tests pin: every warm fetch must return the
+// identical artifact pointer (shared, not rebuilt).
+func RunSetup(cfg SetupConfig) (*SetupSection, error) {
+	cache := unsnap.NewCache(0)
+	opts := unsnap.Options{Cache: cache}
+
+	t0 := time.Now()
+	art, err := unsnap.Build(cfg.Problem, opts)
+	cold := time.Since(t0)
+	if err != nil {
+		return nil, fmt.Errorf("harness: setup experiment cold build: %w", err)
+	}
+
+	warm := time.Duration(1<<63 - 1)
+	for i := 0; i < cfg.Warm; i++ {
+		t0 = time.Now()
+		again, err := unsnap.Build(cfg.Problem, opts)
+		d := time.Since(t0)
+		if err != nil {
+			return nil, fmt.Errorf("harness: setup experiment warm build %d: %w", i, err)
+		}
+		if again != art {
+			return nil, fmt.Errorf("harness: setup experiment: warm build %d returned a different artifact (cache sharing broken)", i)
+		}
+		if d < warm {
+			warm = d
+		}
+	}
+
+	stats := cache.Stats()
+	sec := &SetupSection{
+		Problem:       shapeOf(cfg.Problem),
+		ColdNs:        float64(cold.Nanoseconds()),
+		WarmNs:        float64(warm.Nanoseconds()),
+		ArtifactBytes: art.SizeBytes(),
+	}
+	if warm > 0 {
+		sec.Speedup = float64(cold) / float64(warm)
+	}
+	if total := stats.Hits + stats.Misses; total > 0 {
+		sec.HitRate = float64(stats.Hits) / float64(total)
+	}
+	return sec, nil
+}
+
+// FprintSetup writes the build-cost table.
+func FprintSetup(w io.Writer, sec *SetupSection) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Cold build (ms)\twarm fetch (us)\tspeedup\tcache hit rate\tartifact (MB)")
+	fmt.Fprintf(tw, "%.2f\t%.1f\t%.0fx\t%.0f%%\t%.2f\n",
+		sec.ColdNs/1e6, sec.WarmNs/1e3, sec.Speedup, 100*sec.HitRate,
+		float64(sec.ArtifactBytes)/(1<<20))
+	tw.Flush()
+}

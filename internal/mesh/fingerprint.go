@@ -1,0 +1,53 @@
+package mesh
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"unsnap/internal/fem"
+)
+
+// Fingerprint returns a stable content hash of the mesh's geometry and
+// connectivity: the element count, every element's corner coordinates
+// (exact float64 bits) and every face link (neighbour element and face).
+// Two meshes share a fingerprint exactly when every topology-derived
+// build product — face-node matching, element matrices, per-ordinate
+// sweep classification, cycle condensation — would come out identical,
+// which is what makes the fingerprint a sound artifact-cache key
+// component (see internal/build).
+//
+// Material and source assignments are deliberately excluded: they feed
+// the solve (cross sections, fixed source), never the sweep topology, so
+// two problems that differ only in mat_opt/src_opt still share one
+// cached artifact.
+//
+// The hash walks elements in index order. Element order is meaningful —
+// sweep schedules, cycle cut rules and the structured provenance all
+// speak element indices — so two meshes listing the same cells in a
+// different order are genuinely different build inputs and fingerprint
+// differently.
+func (m *Mesh) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeU64(uint64(len(m.Elems)))
+	for e := range m.Elems {
+		el := &m.Elems[e]
+		for c := 0; c < 8; c++ {
+			for d := 0; d < 3; d++ {
+				writeU64(math.Float64bits(el.Corners[c][d]))
+			}
+		}
+		for f := 0; f < fem.NumFaces; f++ {
+			writeU64(uint64(int64(el.Faces[f].Neighbor)))
+			writeU64(uint64(int64(el.Faces[f].NeighborFace)))
+		}
+	}
+	sum := h.Sum(nil)
+	return fmt.Sprintf("m%x", sum[:12])
+}

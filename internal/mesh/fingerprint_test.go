@@ -1,0 +1,56 @@
+package mesh
+
+import "testing"
+
+func fpMesh(t *testing.T, twist, periods float64, matOpt int) *Mesh {
+	t.Helper()
+	m, err := New(Config{NX: 4, NY: 3, NZ: 2, LX: 1, LY: 1, LZ: 1,
+		Twist: twist, TwistPeriods: periods, MatOpt: matOpt, SrcOpt: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestFingerprintGolden pins the fingerprint strings of fixed meshes: the
+// fingerprint keys shared artifact-cache entries across processes and
+// BENCH history, so it must never drift silently. A legitimate format
+// change (new geometry fields, different hash layout) must update these
+// constants — and with them, every persisted key — deliberately.
+func TestFingerprintGolden(t *testing.T) {
+	golden := []struct {
+		name    string
+		twist   float64
+		periods float64
+		want    string
+	}{
+		{"twisted", 0.001, 0, "m517c661bb0f430d52c906a13"},
+		{"oscillating", 0.001, 2, "m56de3f2ea7b777ab52369d64"},
+		{"flat", 0, 0, "m220ac523d2e3e8ab8a0428ad"},
+	}
+	for _, g := range golden {
+		if got := fpMesh(t, g.twist, g.periods, 1).Fingerprint(); got != g.want {
+			t.Errorf("%s mesh fingerprint %q, want pinned %q", g.name, got, g.want)
+		}
+	}
+}
+
+// TestFingerprintSensitivity checks what the fingerprint must and must
+// not see: geometry and connectivity are in, material/source layout is
+// out (topology-derived artifacts do not depend on it), and repeated
+// calls on one mesh are stable.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpMesh(t, 0.001, 0, 1)
+	if a, b := base.Fingerprint(), base.Fingerprint(); a != b {
+		t.Fatalf("fingerprint not stable: %q then %q", a, b)
+	}
+	if got := fpMesh(t, 0.002, 0, 1).Fingerprint(); got == base.Fingerprint() {
+		t.Error("twist change did not change the fingerprint")
+	}
+	if got := fpMesh(t, 0.001, 2, 1).Fingerprint(); got == base.Fingerprint() {
+		t.Error("twist-profile change did not change the fingerprint")
+	}
+	if got := fpMesh(t, 0.001, 0, 0).Fingerprint(); got != base.Fingerprint() {
+		t.Errorf("material layout leaked into the fingerprint: %q vs %q", got, base.Fingerprint())
+	}
+}

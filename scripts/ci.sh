@@ -27,7 +27,13 @@ go build ./examples/...
 # orders) executes end to end on tiny problems — seconds, not minutes —
 # so the bench plumbing cannot bit-rot between real BENCH_sweep.json
 # refreshes. -smoke never writes JSON.
-go run ./cmd/unsnap-bench -experiment engine,comm,cycles -smoke
+go run ./cmd/unsnap-bench -experiment engine,comm,cycles,setup -smoke
+# Artifact-cache smoke: two solves of one problem through one cache must
+# hit on the second build and match bitwise. The binary prints a
+# machine-checkable verdict line; grep pins it so a silent cache miss
+# (or a flux divergence between cached and uncached builds) fails CI.
+go run ./cmd/unsnap -nx 4 -nang 2 -ng 2 -iitm 4 -oitm 1 -force-iterations -cache-stats \
+	| grep -q 'cache-stats: warm hit true, flux bitwise match true'
 # Cyclic-mesh equivalence first (engine vs legacy bucket path, pipelined
 # vs single domain, 1e-12 — including the per-cycle-order strategy
 # equivalence tests) under the race detector: the cycle-aware engine's

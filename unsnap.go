@@ -26,6 +26,7 @@ import (
 	"math"
 	"time"
 
+	"unsnap/internal/build"
 	"unsnap/internal/comm"
 	"unsnap/internal/core"
 	"unsnap/internal/fault"
@@ -361,6 +362,58 @@ type Options struct {
 	// distributed pipelined transport (chaos testing; see FaultSchedule).
 	// Only valid with NewDistributed and CommPipelined.
 	Fault *FaultSchedule
+
+	// Artifact injects a pre-built topology artifact (from Build) so the
+	// solver skips mesh matching, face classification and cycle
+	// condensation entirely. The artifact must be compatible with the
+	// problem — same mesh content, element order, quadrature and cycle
+	// settings — or NewSolver fails. Only supported by the single-domain
+	// solver; distributed drivers share builds through Cache instead.
+	Artifact *Artifact
+	// Cache, when set, is consulted for the problem's build artifact
+	// before building one (and populated on a miss). Solvers for the same
+	// mesh/order/quadrature share one artifact; a distributed driver's
+	// ranks likewise share one entry per distinct rank topology plus the
+	// global cycle lag sets. Ignored when Artifact is set.
+	Cache *ArtifactCache
+}
+
+// Build artifacts, re-exported so callers manage the problem-build /
+// solve split without importing internal packages.
+type (
+	// Artifact is an immutable bundle of everything derivable from a
+	// problem's topology — reference element, face matching, per-element
+	// matrices, per-ordinate sweep schedules and task graphs — keyed by a
+	// canonical content fingerprint. Safe to share across solvers and
+	// goroutines; produced by Build or an ArtifactCache.
+	Artifact = build.Artifact
+	// ArtifactCache is a size-bounded, LRU-by-bytes cache of build
+	// artifacts; see NewCache and Options.Cache.
+	ArtifactCache = build.Cache
+	// CacheStats is an ArtifactCache counter snapshot.
+	CacheStats = build.CacheStats
+)
+
+// NewCache returns an artifact cache evicting least-recently-used
+// entries once the total exceeds limitBytes (<= 0 means unbounded).
+func NewCache(limitBytes int64) *ArtifactCache { return build.NewCache(limitBytes) }
+
+// Build constructs the problem's topology artifact without building a
+// solver: the mesh, its face matching, the per-element DG matrices and
+// the per-ordinate sweep schedules (including cycle condensation under
+// Options.AllowCycles). The result can be injected into any number of
+// solvers via Options.Artifact, or shared implicitly via Options.Cache
+// (which Build itself consults when set). Solve-time knobs (Scheme,
+// Threads, Epsi, ...) do not affect the artifact.
+func Build(p Problem, o Options) (*Artifact, error) {
+	if err := validateOptions(o, false); err != nil {
+		return nil, err
+	}
+	m, q, lib, err := buildParts(p)
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildArtifact(coreConfig(p, o, m, q, lib))
 }
 
 // Failure-domain types, re-exported so callers configure fault injection
@@ -426,6 +479,8 @@ func validateOptions(o Options, distributed bool) error {
 		if o.FailurePolicy != (FailurePolicy{}) {
 			return fmt.Errorf("unsnap: failure policies apply only to NewDistributed drivers")
 		}
+	} else if o.Artifact != nil {
+		return fmt.Errorf("unsnap: Artifact injection is single-domain only; ranks share builds through Options.Cache")
 	}
 	return nil
 }
@@ -513,6 +568,8 @@ func coreConfig(p Problem, o Options, m *mesh.Mesh, q *quadrature.Set, lib *xs.L
 		Instrument:      o.Instrument,
 		ScatOrder:       p.ScatOrder,
 		HealthChecks:    o.HealthChecks,
+		Artifact:        o.Artifact,
+		Cache:           o.Cache,
 	}
 	if o.TimeSteps > 0 {
 		cfg.Time = &core.TimeConfig{
@@ -631,6 +688,11 @@ func (s *Solver) ScheduleStats() (int, int, int, float64) {
 
 // Problem returns the problem this solver was built for.
 func (s *Solver) Problem() Problem { return s.prob }
+
+// Artifact returns the solver's build artifact (shared, read-only). Two
+// solvers built through one cache on the same problem return the same
+// pointer.
+func (s *Solver) Artifact() *Artifact { return s.inner.Artifact() }
 
 // Internal exposes the underlying core solver for advanced callers
 // (benchmark drivers that step PrepareInner/SweepAllAngles manually).

@@ -146,7 +146,11 @@ func TestDistributedFaultRetryFacade(t *testing.T) {
 	d, err := NewDistributed(p, Options{
 		Scheme: Engine, Threads: 2, Protocol: CommPipelined,
 		Epsi: 1e-8, MaxInners: 100, MaxOuters: 30,
-		Deadline:      2 * time.Second,
+		// Wide enough that the clean retry attempt can never race the
+		// watchdog on a slow/loaded box (the -race solve alone runs ~2s
+		// there); the stalled first attempt pays this in full, so keep it
+		// bounded.
+		Deadline:      8 * time.Second,
 		FailurePolicy: FailurePolicy{Mode: FailRetry, MaxRetries: 2, Backoff: time.Millisecond},
 		Fault: &FaultSchedule{Seed: 7, Rules: []FaultRule{
 			{From: 0, To: 1, Kind: FaultStall, Attempts: 1},
