@@ -12,29 +12,39 @@
 //	unsnap-bench -experiment all
 //
 // Experiments (comma-separable): table1, table2, fig3, fig4, tradeoffs,
-// jacobi, atomic, preassembled, engine, comm, cycles, setup, all. The engine
-// experiment compares the persistent worker-pool sweep engine against a
-// legacy bucket executor; the comm experiment compares the lagged (block
-// Jacobi) and pipelined (mid-sweep streaming) halo protocols across rank
-// grids; the cycles experiment runs a genuinely cyclic twisted mesh
-// (AllowCycles) through the legacy lagged bucket path, the cycle-aware
-// engine under both within-SCC cut rules (element-index and
-// feedback-arc, with a per-strategy lag-set and inners-to-convergence
-// comparison) and the engine behind the pipelined protocol. With -json,
-// all record their measurements for the perf trajectory: sections merge
-// by key, so refreshing one experiment preserves the others' history
-// (scripts/bench.sh runs them and writes BENCH_sweep.json). -smoke
-// shrinks the three sweep experiments (engine, comm, cycles) to a
-// seconds-scale correctness pass — tiny meshes, one forced inner, no
-// JSON write — so CI can exercise the bench paths on every push without
-// bit-rot between real refreshes; the paper-table experiments are not
-// shrunk and keep their bench-scale defaults.
+// jacobi, atomic, preassembled, engine, comm, cycles, setup, kernel, all.
+// The engine experiment compares the persistent worker-pool sweep engine
+// against a legacy bucket executor; the comm experiment compares the
+// lagged (block Jacobi) and pipelined (mid-sweep streaming) halo
+// protocols across rank grids; the cycles experiment runs a genuinely
+// cyclic twisted mesh (AllowCycles) through the legacy lagged bucket
+// path, the cycle-aware engine under both within-SCC cut rules
+// (element-index and feedback-arc, with a per-strategy lag-set and
+// inners-to-convergence comparison) and the engine behind the pipelined
+// protocol; the kernel experiment compares the engine's batched
+// (group-blocked, allocation-free) task body against the scalar
+// per-group body, reporting per-task nanoseconds and steady-state
+// allocations per task. With -json, all record their measurements for
+// the perf trajectory: sections merge by key, so refreshing one
+// experiment preserves the others' history (scripts/bench.sh runs them
+// and writes BENCH_sweep.json). -smoke shrinks the sweep experiments
+// (engine, comm, cycles, kernel) to a seconds-scale correctness pass —
+// tiny meshes, one forced inner, no JSON write — so CI can exercise the
+// bench paths on every push without bit-rot between real refreshes; the
+// paper-table experiments are not shrunk and keep their bench-scale
+// defaults.
+//
+// -cpuprofile / -memprofile write pprof profiles covering the selected
+// experiments (see the README's benchmarking section for the analysis
+// workflow).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -64,7 +74,7 @@ func parseThreads(s string) ([]int, error) {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("unsnap-bench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "comma-separated list of table1|table2|fig3|fig4|tradeoffs|jacobi|atomic|preassembled|engine|comm|cycles|setup|all")
+	experiment := fs.String("experiment", "all", "comma-separated list of table1|table2|fig3|fig4|tradeoffs|jacobi|atomic|preassembled|engine|comm|cycles|setup|kernel|all")
 	threadsFlag := fs.String("threads", "1,2", "comma-separated worker counts for scaling experiments")
 	jsonPath := fs.String("json", "", "write the engine experiment's comparison to this JSON file")
 	commit := fs.String("commit", "", "git revision to stamp into the engine JSON report")
@@ -74,8 +84,36 @@ func run(args []string) error {
 	nang := fs.Int("nang", 0, "override angles per octant")
 	ng := fs.Int("ng", 0, "override energy groups")
 	inners := fs.Int("inners", 5, "inner iterations (timing runs; the engine experiment defaults to 10 unless set)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (after the experiments) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			// One final collection so the heap profile reflects live
+			// steady-state memory, not transient garbage.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "unsnap-bench: heap profile:", err)
+			}
+			f.Close()
+		}()
 	}
 	threads, err := parseThreads(*threadsFlag)
 	if err != nil {
@@ -116,10 +154,7 @@ func run(args []string) error {
 	}
 	want := func(name string) bool { return wanted[name] || wanted["all"] }
 	ran := false
-	var engSection *harness.EngineSection
-	var commSection *harness.CommSection
-	var cyclesSection *harness.CyclesSection
-	var setupSection *harness.SetupSection
+	var sections harness.Sections
 
 	if want("table1") {
 		ran = true
@@ -258,7 +293,7 @@ func run(args []string) error {
 		}
 		harness.FprintEngine(os.Stdout, cfg, rows)
 		fmt.Println()
-		engSection = harness.EngineSectionOf(cfg, rows)
+		sections.Engine = harness.EngineSectionOf(cfg, rows)
 	}
 	if want("comm") {
 		ran = true
@@ -281,7 +316,7 @@ func run(args []string) error {
 		}
 		harness.FprintComm(os.Stdout, cfg, rows, conv)
 		fmt.Println()
-		commSection = harness.CommSectionOf(cfg, rows, conv)
+		sections.Comm = harness.CommSectionOf(cfg, rows, conv)
 	}
 	if want("cycles") {
 		ran = true
@@ -308,7 +343,7 @@ func run(args []string) error {
 		}
 		harness.FprintCycles(os.Stdout, cfg, rows, strats)
 		fmt.Println()
-		cyclesSection = harness.CyclesSectionOf(cfg, rows, strats)
+		sections.Cycles = harness.CyclesSectionOf(cfg, rows, strats)
 	}
 	if want("setup") {
 		ran = true
@@ -327,13 +362,36 @@ func run(args []string) error {
 		}
 		harness.FprintSetup(os.Stdout, sec)
 		fmt.Println()
-		setupSection = sec
+		sections.Setup = sec
+	}
+	if want("kernel") {
+		ran = true
+		cfg := harness.DefaultKernel()
+		if *smoke {
+			cfg.Problem.NX, cfg.Problem.NY, cfg.Problem.NZ = 4, 4, 4
+			cfg.Problem.AnglesPerOctant, cfg.Problem.Groups = 2, 2
+			cfg.AllocSweeps = 2
+		}
+		override(&cfg.Problem)
+		cfg.Threads = threads
+		if innersSet {
+			cfg.Inners = *inners
+		}
+		fmt.Printf("== Task kernel: batched vs scalar bodies (%d^3 elements, %d ang/oct, %d groups) ==\n",
+			cfg.Problem.NX, cfg.Problem.AnglesPerOctant, cfg.Problem.Groups)
+		rows, err := harness.RunKernel(cfg)
+		if err != nil {
+			return err
+		}
+		harness.FprintKernel(os.Stdout, cfg, rows)
+		fmt.Println()
+		sections.Kernel = harness.KernelSectionOf(cfg, rows)
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
-	if *jsonPath != "" && (engSection != nil || commSection != nil || cyclesSection != nil || setupSection != nil) {
-		if err := harness.WriteSweepJSON(*jsonPath, *commit, engSection, commSection, cyclesSection, setupSection); err != nil {
+	if *jsonPath != "" && sections != (harness.Sections{}) {
+		if err := harness.WriteSweepJSON(*jsonPath, *commit, sections); err != nil {
 			return err
 		}
 		fmt.Println("wrote", *jsonPath)

@@ -10,7 +10,7 @@ import "unsnap/internal/fem"
 // callback); the next sweep rebuilds them.
 func (s *Solver) SetBoundary(fn BoundaryFlux) {
 	s.cfg.Boundary = fn
-	s.Close()
+	s.closeEngine()
 	s.fusedFace = nil
 	s.fusedSlab = false
 	s.fusedOct = 0

@@ -208,6 +208,38 @@ func (k SolverKind) String() string {
 	}
 }
 
+// KernelMode selects the engine task-body implementation (the assemble +
+// small-dense-solve kernel run for every (ordinate, element) task).
+type KernelMode int
+
+const (
+	// KernelBatched (the default) runs all energy groups of a task as one
+	// batched kernel: the RHS block is assembled for every group in one
+	// pass (upwind gather indices and face-matrix blocks hoisted out of
+	// the group loop), and groups sharing a sigma_t value share one
+	// factorisation, solved as a multi-RHS block (la.SolveGEMulti /
+	// la.SolveFactoredMulti). Bitwise identical to KernelScalar: the
+	// batching reorders work across independent groups, never the
+	// floating-point sequence within one.
+	KernelBatched KernelMode = iota
+	// KernelScalar runs the pre-batching per-group kernel (assemble and
+	// solve each group independently), kept as the A/B baseline for the
+	// kernel benchmark and the bitwise-parity tests.
+	KernelScalar
+)
+
+// String names the kernel mode.
+func (k KernelMode) String() string {
+	switch k {
+	case KernelBatched:
+		return "batched"
+	case KernelScalar:
+		return "scalar"
+	default:
+		return fmt.Sprintf("KernelMode(%d)", int(k))
+	}
+}
+
 // BoundaryFlux supplies incoming nodal angular flux on a subdomain
 // boundary face, enabling the block Jacobi coupling between ranks. It is
 // called for inflow boundary faces with a scratch buffer of face-node
@@ -226,6 +258,7 @@ type Config struct {
 	Threads int        // worker pool size; <= 0 means GOMAXPROCS
 	Solver  SolverKind // local solver choice
 	Octants OctantMode // octant phasing of the sweep engine
+	Kernel  KernelMode // engine task-body implementation (see KernelMode)
 
 	Epsi      float64 // pointwise relative convergence tolerance
 	MaxInners int     // inner (within-group source) iterations per outer
@@ -399,6 +432,9 @@ func (c Config) validate() error {
 	}
 	if c.Octants != OctantsAuto && c.Octants != OctantsSequential && c.Octants != OctantsFused {
 		return fmt.Errorf("core: unknown octant mode %d", c.Octants)
+	}
+	if c.Kernel != KernelBatched && c.Kernel != KernelScalar {
+		return fmt.Errorf("core: unknown kernel mode %d", c.Kernel)
 	}
 	for _, e := range c.Mesh.Elems {
 		if e.Material < 0 || e.Material >= xs.NumMaterials {

@@ -203,6 +203,10 @@ type engine struct {
 
 	counts []int32 // working counters of the current phase
 
+	// phaseJob is the reusable job of self-driven phases (runPhase); see
+	// the reset comment there.
+	phaseJob engineJob
+
 	// cleanup is the GC-path stop registration for the pool; shutdown
 	// cancels it so Close/Run cycles do not accumulate cleanup records
 	// (and retained stopped pools) on the solver.
@@ -338,12 +342,34 @@ func (s *Solver) ensureEngine() *engine {
 // no-op. (Close concurrent with an in-flight sweep remains the caller's
 // responsibility — the comm driver aborts and joins its run first.)
 func (s *Solver) Close() {
+	s.closeEngine()
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	s.fj.close()
+	s.fj = nil
+}
+
+// closeEngine tears down just the sweep engine, leaving the solver usable
+// (the next sweep rebuilds the pool): the SetBoundary path, which must
+// keep the fork-join helper alive for the sweeps that follow.
+func (s *Solver) closeEngine() {
 	s.closeMu.Lock()
 	defer s.closeMu.Unlock()
 	if s.engine != nil {
 		s.engine.shutdown()
 		s.engine = nil
 	}
+}
+
+// ensureForkJoin returns the between-phase fork-join pool, rebuilding it
+// if a Close discarded it — like the sweep engine, the pool comes back
+// lazily so a closed solver stays usable. Nil at one thread: run then
+// executes inline.
+func (s *Solver) ensureForkJoin() *forkJoin {
+	if s.fj == nil && s.cfg.Threads > 1 {
+		s.fj = newForkJoin(s.cfg.Threads)
+	}
+	return s.fj
 }
 
 // shutdown terminates the pool's background workers and joins them: on
@@ -397,7 +423,17 @@ func (e *engine) runPhase(lo, hi int, seeds []int32, record func(error)) (stalle
 	for _, d := range e.deques {
 		d.reset()
 	}
-	job := &engineJob{eng: e, seeds: seeds, record: record}
+	// Reuse the engine's phase job in place: the pool is quiescent between
+	// phases, so the reset races with nobody, and the steady-state sweep
+	// allocates nothing. Externally-driven sweeps (ArmSweep) build their
+	// own job — their lifetime spans FinishSweep, not one phase.
+	job := &e.phaseJob
+	job.eng = e
+	job.seeds = seeds
+	job.record = record
+	job.cursor.Store(0)
+	job.stalled.Store(false)
+	job.exited = 0
 	job.remaining.Store(int64(hi - lo))
 	if e.nw == 1 {
 		job.run(0)
@@ -591,22 +627,7 @@ func (j *engineJob) exec(w int, t int64) {
 // thread counts. Both layouts place psi of angle a at a*len(phi) plus
 // the scalar-flux offset, so the reduction is a strided daxpy stream.
 func (s *Solver) reduceFluxFromPsi() {
-	size := len(s.phi)
-	angles := s.cfg.Quad.Angles
-	p1 := s.cfg.ScatOrder >= 1
-	parallelRanges(s.cfg.Threads, size, func(_, lo, hi int) {
-		for a := range angles {
-			w := angles[a].Weight
-			ps := s.psi[a*size+lo : a*size+hi]
-			la.AddScaled(s.phi[lo:hi], ps, w)
-			if p1 {
-				om := angles[a].Omega
-				for d := 0; d < 3; d++ {
-					la.AddScaled(s.cur[d][lo:hi], ps, w*om[d])
-				}
-			}
-		}
-	})
+	s.ensureForkJoin().run(s.reduceRoundFn)
 }
 
 // ---- octant fusion eligibility ----

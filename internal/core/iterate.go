@@ -79,29 +79,7 @@ func (s *Solver) ComputeOuterSource() {
 // flux for the convergence test, and zeroes the accumulators (including
 // the P1 current when anisotropic scattering is on).
 func (s *Solver) PrepareInner() {
-	lib := s.cfg.Lib
-	p1 := s.cfg.ScatOrder >= 1
-	parallelFor(s.cfg.Threads, s.nE, func(_, e int) {
-		mat := s.cfg.Mesh.Elems[e].Material
-		for g := 0; g < s.nG; g++ {
-			base := s.phiIdx(e, g)
-			sc := lib.Scatter[mat][g][g]
-			for i := 0; i < s.nN; i++ {
-				s.qTot[base+i] = s.qOuter[base+i] + sc*s.phi[base+i]
-				s.phiOld[base+i] = s.phi[base+i]
-				s.phi[base+i] = 0
-			}
-			if p1 {
-				sc1 := lib.ScatterP1[mat][g][g]
-				for d := 0; d < 3; d++ {
-					for i := 0; i < s.nN; i++ {
-						s.qTot1[d][base+i] = s.qOuter1[d][base+i] + sc1*s.cur[d][base+i]
-						s.cur[d][base+i] = 0
-					}
-				}
-			}
-		}
-	})
+	s.ensureForkJoin().run(s.prepRoundFn)
 }
 
 // convergenceFloor guards the relative-change denominator, mirroring

@@ -34,6 +34,75 @@ func parallelFor(workers, n int, fn func(worker, i int)) {
 	wg.Wait()
 }
 
+// forkJoin is a persistent fork-join pool for the per-sweep loops that
+// run between task phases (source preparation, flux reduction). Unlike
+// parallelFor it spawns its workers once: every `go func` statement
+// heap-allocates its closure, so spawning per call would put a few
+// allocations back into the steady-state sweep that the task bodies
+// worked to eliminate (pinned by TestSweepAllocFree).
+type forkJoin struct {
+	// body is the current round's work, set by run before the workers are
+	// released; the channel send orders the write before each worker's
+	// read, and wg.Wait orders the reads before run returns.
+	body  func(w int)
+	start []chan struct{}
+	wg    sync.WaitGroup
+	quit  chan struct{}
+}
+
+// newForkJoin starts workers-1 parked goroutines (the caller acts as
+// worker 0).
+func newForkJoin(workers int) *forkJoin {
+	fj := &forkJoin{quit: make(chan struct{})}
+	if workers > 1 {
+		fj.start = make([]chan struct{}, workers-1)
+	}
+	quit := fj.quit
+	for i := range fj.start {
+		c := make(chan struct{}, 1)
+		fj.start[i] = c
+		w := i + 1
+		go func() {
+			for {
+				select {
+				case <-c:
+					fj.body(w)
+					fj.wg.Done()
+				case <-quit:
+					return
+				}
+			}
+		}()
+	}
+	return fj
+}
+
+// run executes body(w) on every worker (0 on the caller) and returns when
+// all have finished. body must be a persistent func value — a fresh
+// closure literal here would allocate per call, defeating the pool.
+func (fj *forkJoin) run(body func(w int)) {
+	if fj == nil || len(fj.start) == 0 {
+		body(0)
+		return
+	}
+	fj.body = body
+	fj.wg.Add(len(fj.start))
+	for _, c := range fj.start {
+		c <- struct{}{}
+	}
+	body(0)
+	fj.wg.Wait()
+}
+
+// close releases the parked workers; the pool must be idle. (Solver.Close
+// serialises callers and drops its pool reference, so close runs once.)
+func (fj *forkJoin) close() {
+	if fj != nil && fj.quit != nil {
+		close(fj.quit)
+		fj.quit = nil
+	}
+}
+
 // parallelRanges statically splits [0, n) into one contiguous range per
 // worker and runs fn(worker, lo, hi) on each — the chunked variant of
 // parallelFor for vector kernels that want whole slices rather than

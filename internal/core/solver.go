@@ -49,6 +49,11 @@ type Solver struct {
 	psiPrev []float64
 	sigtEff [][]float64
 
+	// sigtRuns[m] is the equal-sigma_t run decomposition of sigtEff[m] —
+	// the batched kernel factors once per run and multi-RHS-solves the
+	// run's group block (kernel.go).
+	sigtRuns [][]sigtRun
+
 	// P1 scattering state (ScatOrder 1): the current J per dimension and
 	// its source arrays, all in the scalar-flux layout; nil when
 	// isotropic.
@@ -84,6 +89,24 @@ type Solver struct {
 	// preA[(a*nE+e)*nG+g] and prePiv likewise.
 	preA   []la.Matrix
 	prePiv [][]int
+
+	// Persistent per-sweep helpers: the shared error sink every task of a
+	// self-driven sweep records into, plus the closures SweepAllAngles,
+	// PrepareInner and the flux reduction hand to the parallel loops —
+	// all built once at New so the steady-state sweep creates no garbage
+	// (pinned by TestSweepAllocFree).
+	sweepErrMu  sync.Mutex
+	sweepErr    error
+	recordFn    func(error)
+	prepInnerFn func(w, e int)
+	reduceFn    func(w, lo, hi int)
+
+	// fj runs those closures over a persistent worker pool (nil at one
+	// thread — the loops then run inline); prepRoundFn and reduceRoundFn
+	// are the statically-chunked per-worker round bodies handed to it.
+	fj            *forkJoin
+	prepRoundFn   func(w int)
+	reduceRoundFn func(w int)
 
 	// instrumentation totals (nanoseconds)
 	asmNS, solveNS int64
@@ -157,6 +180,7 @@ func New(cfg Config) (*Solver, error) {
 	} else {
 		s.sigtEff = cfg.Lib.Total
 	}
+	s.sigtRuns = buildSigtRuns(s.sigtEff)
 
 	if cfg.ScatOrder >= 1 {
 		for d := 0; d < 3; d++ {
@@ -168,7 +192,7 @@ func New(cfg Config) (*Solver, error) {
 
 	s.workers = make([]*workerState, cfg.Threads)
 	for w := range s.workers {
-		s.workers[w] = newWorkerState(s.nN, s.re.NF, cfg.Scheme.engineBacked())
+		s.workers[w] = newWorkerState(art.KernelDims(), cfg.Scheme.engineBacked())
 	}
 
 	if cfg.PreAssembled {
@@ -176,8 +200,80 @@ func New(cfg Config) (*Solver, error) {
 			return nil, err
 		}
 	}
+	s.initSweepClosures()
 	s.setupTime = time.Since(start)
 	return s, nil
+}
+
+// initSweepClosures builds the closures the per-sweep loops hand to the
+// parallel helpers. Creating them once here (instead of at every sweep)
+// keeps the steady-state sweep path allocation-free: a closure literal
+// passed to a non-inlined function heap-allocates its capture record on
+// every evaluation.
+func (s *Solver) initSweepClosures() {
+	s.recordFn = func(err error) {
+		if err != nil {
+			s.sweepErrMu.Lock()
+			if s.sweepErr == nil {
+				s.sweepErr = err
+			}
+			s.sweepErrMu.Unlock()
+		}
+	}
+
+	lib := s.cfg.Lib
+	p1 := s.cfg.ScatOrder >= 1
+	s.prepInnerFn = func(_, e int) {
+		mat := s.cfg.Mesh.Elems[e].Material
+		for g := 0; g < s.nG; g++ {
+			base := s.phiIdx(e, g)
+			sc := lib.Scatter[mat][g][g]
+			for i := 0; i < s.nN; i++ {
+				s.qTot[base+i] = s.qOuter[base+i] + sc*s.phi[base+i]
+				s.phiOld[base+i] = s.phi[base+i]
+				s.phi[base+i] = 0
+			}
+			if p1 {
+				sc1 := lib.ScatterP1[mat][g][g]
+				for d := 0; d < 3; d++ {
+					for i := 0; i < s.nN; i++ {
+						s.qTot1[d][base+i] = s.qOuter1[d][base+i] + sc1*s.cur[d][base+i]
+						s.cur[d][base+i] = 0
+					}
+				}
+			}
+		}
+	}
+
+	threads := s.cfg.Threads
+	s.prepRoundFn = func(w int) {
+		for e := w * s.nE / threads; e < (w+1)*s.nE/threads; e++ {
+			s.prepInnerFn(w, e)
+		}
+	}
+	s.reduceRoundFn = func(w int) {
+		n := len(s.phi)
+		if lo, hi := w*n/threads, (w+1)*n/threads; lo < hi {
+			s.reduceFn(w, lo, hi)
+		}
+	}
+	angles := s.cfg.Quad.Angles
+	size := s.nE * s.nG * s.nN
+	s.reduceFn = func(_, lo, hi int) {
+		// Read s.psi through the solver: rotateLagSnapshot swaps the
+		// buffers, so a captured slice would go stale.
+		for a := range angles {
+			w := angles[a].Weight
+			ps := s.psi[a*size+lo : a*size+hi]
+			la.AddScaled(s.phi[lo:hi], ps, w)
+			if p1 {
+				om := angles[a].Omega
+				for d := 0; d < 3; d++ {
+					la.AddScaled(s.cur[d][lo:hi], ps, w*om[d])
+				}
+			}
+		}
+	}
 }
 
 // BuildArtifact resolves the configuration's build artifact: the

@@ -3,9 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
+	"unsnap/internal/build"
 	"unsnap/internal/fem"
 	"unsnap/internal/la"
 )
@@ -16,28 +16,36 @@ import (
 var errEngineStalled = errors.New("core: sweep engine stalled with unfinished elements")
 
 // workerState is the per-worker scratch of the sweep loops: one dense
-// workspace plus the group-independent matrix base, face gather buffers
-// and local nanosecond accumulators (flushed into the solver's totals
-// after each sweep to avoid contention).
+// workspace plus the group-independent matrix base, the batched kernel's
+// gather-index scratch, face gather buffers and local nanosecond
+// accumulators (flushed into the solver's totals after each sweep to
+// avoid contention). Every buffer is pre-sized at pool creation from the
+// artifact's kernel dimensions — the steady-state task path performs
+// zero allocations (pinned by TestSweepTaskAllocFree). The batched
+// kernel needs no RHS scratch: it assembles and solves the group block
+// directly in the task's psi slab (see solveElemBatched).
 type workerState struct {
 	ws      *la.Workspace
 	base    []float64 // engine: -Omega·G + outflow faces, reused per group
+	gather  []int32   // engine: upwind gather node offsets of one face
 	up      []float64 // upwind nodal values in our face ordering
 	qt      []float64 // per-angle effective source (time-dependent runs)
 	asmNS   int64
 	solveNS int64
 }
 
-// newWorkerState allocates one worker's scratch; the base matrix is
+// newWorkerState allocates one worker's scratch, sized from the
+// artifact's kernel dimensions; the base matrix and gather scratch are
 // engine-only and skipped for the legacy bucket schemes.
-func newWorkerState(n, nf int, engine bool) *workerState {
+func newWorkerState(dims build.KernelDims, engine bool) *workerState {
 	st := &workerState{
-		ws: la.NewWorkspace(n),
-		up: make([]float64, nf),
-		qt: make([]float64, n),
+		ws: la.NewWorkspace(dims.NN),
+		up: make([]float64, dims.NF),
+		qt: make([]float64, dims.NN),
 	}
 	if engine {
-		st.base = make([]float64, n*n)
+		st.base = make([]float64, dims.NN*dims.NN)
+		st.gather = make([]int32, dims.NF)
 	}
 	return st
 }
@@ -283,13 +291,27 @@ func (s *Solver) solveOne(st *workerState, a, e, g int) error {
 }
 
 // solveElem is the engine's unit of work: all energy groups of one
-// (angle, elem) task. The group-independent matrix part is assembled once
-// and the per-group matrix formed by adding sigma_t M onto it. The scalar
-// flux is NOT accumulated here — the engine reduces it from psi once per
-// sweep, in deterministic ordinate order (see reduceFluxFromPsi). On a
+// (angle, elem) task. The default batched kernel (kernel.go) factors
+// once per sigma_t run and solves the run's groups as a multi-RHS block;
+// the scalar kernel below is the pre-batching baseline, kept for A/B
+// benchmarking and as the bitwise-parity reference (and it also carries
+// the pre-assembled-matrix mode, whose per-group factors leave nothing
+// to batch). The scalar flux is NOT accumulated here — the engine
+// reduces it from psi once per sweep, in deterministic ordinate order
+// (see reduceFluxFromPsi).
+func (s *Solver) solveElem(st *workerState, a, e int) error {
+	if s.preA == nil && s.cfg.Kernel == KernelBatched {
+		return s.solveElemBatched(st, a, e)
+	}
+	return s.solveElemScalar(st, a, e)
+}
+
+// solveElemScalar assembles and solves each group of one (angle, elem)
+// task independently. The group-independent matrix part is assembled once
+// and the per-group matrix formed by adding sigma_t M onto it. On a
 // solve failure the remaining groups still run (matching the legacy
 // executors) and the first error is returned.
-func (s *Solver) solveElem(st *workerState, a, e int) error {
+func (s *Solver) solveElemScalar(st *workerState, a, e int) error {
 	instr := s.cfg.Instrument
 	pre := s.preA != nil
 	var t0 time.Time
@@ -341,26 +363,19 @@ func (s *Solver) SweepAllAngles() error {
 		return fmt.Errorf("core: solver has External faces; drive sweeps with ArmSweep/FinishSweep")
 	}
 	s.rotateLagSnapshot()
-	var errMu sync.Mutex
-	var firstErr error
-	record := func(err error) {
-		if err != nil {
-			errMu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			errMu.Unlock()
-		}
-	}
+	// The error sink and its record closure are persistent solver state
+	// (initSweepClosures): a fresh closure per sweep would be steady-state
+	// garbage. The solver is quiescent here, so the unlocked reset is safe.
+	s.sweepErr = nil
 	if s.cfg.Scheme.engineBacked() {
 		eng := s.ensureEngine()
-		eng.runSweep(record)
+		eng.runSweep(s.recordFn)
 		s.reduceFluxFromPsi()
 	} else {
 		for o := 0; o < 8; o++ {
 			for m := 0; m < s.cfg.Quad.PerOctant; m++ {
 				a := s.cfg.Quad.AngleIndex(o, m)
-				s.sweepAngle(a, record)
+				s.sweepAngle(a, s.recordFn)
 			}
 		}
 	}
@@ -369,7 +384,7 @@ func (s *Solver) SweepAllAngles() error {
 		s.solveNS += st.solveNS
 		st.asmNS, st.solveNS = 0, 0
 	}
-	return firstErr
+	return s.sweepErr
 }
 
 // sweepAngle processes one ordinate bucket by bucket under the scheme's

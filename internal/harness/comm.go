@@ -74,6 +74,7 @@ type CommConvRow struct {
 // merged by key, so a partial refresh keeps the others).
 type CommSection struct {
 	Commit      string        `json:"commit,omitempty"`
+	Machine     *MachineInfo  `json:"machine,omitempty"`
 	Problem     ProblemShape  `json:"problem"`
 	Inners      int           `json:"inners_per_run"`
 	Epsi        float64       `json:"epsi"`

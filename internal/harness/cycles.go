@@ -82,6 +82,7 @@ type CyclesStrategyRow struct {
 // BENCH_sweep.json.
 type CyclesSection struct {
 	Commit  string       `json:"commit,omitempty"`
+	Machine *MachineInfo `json:"machine,omitempty"`
 	Problem ProblemShape `json:"problem"`
 	Twist   float64      `json:"twist"`
 	Periods float64      `json:"twist_periods"`

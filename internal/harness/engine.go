@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"text/tabwriter"
 
 	"unsnap"
@@ -68,12 +69,32 @@ func shapeOf(p unsnap.Problem) ProblemShape {
 	return ProblemShape{NX: p.NX, Order: p.Order, AnglesPerOctant: p.AnglesPerOctant, Groups: p.Groups}
 }
 
+// MachineInfo identifies the hardware and toolchain a bench section was
+// measured on. Like Commit it is per-section metadata: sections merge by
+// key, so numbers measured on different machines (or Go versions) keep
+// their own provenance.
+type MachineInfo struct {
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+func machineInfo() *MachineInfo {
+	return &MachineInfo{
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+}
+
 // EngineSection is the serialised engine-vs-legacy comparison. Commit is
 // the revision the section was last measured at: sections are merged by
 // key into BENCH_sweep.json (a partial bench refresh leaves the other
-// sections untouched), so each one carries its own stamp.
+// sections untouched), so each one carries its own stamp (and its
+// machine metadata).
 type EngineSection struct {
 	Commit       string       `json:"commit,omitempty"`
+	Machine      *MachineInfo `json:"machine,omitempty"`
 	Problem      ProblemShape `json:"problem"`
 	LegacyScheme string       `json:"legacy_scheme"`
 	Inners       int          `json:"inners_per_run"`
@@ -102,6 +123,17 @@ type SweepReport struct {
 	Comm   *CommSection   `json:"comm,omitempty"`
 	Cycles *CyclesSection `json:"cycles,omitempty"`
 	Setup  *SetupSection  `json:"setup,omitempty"`
+	Kernel *KernelSection `json:"kernel,omitempty"`
+}
+
+// Sections bundles the refreshed sections of one bench run for
+// WriteSweepJSON; nil members keep whatever the existing report holds.
+type Sections struct {
+	Engine *EngineSection
+	Comm   *CommSection
+	Cycles *CyclesSection
+	Setup  *SetupSection
+	Kernel *KernelSection
 }
 
 // RunEngine measures all three executors at every thread count: the
@@ -168,10 +200,10 @@ func FprintEngine(w io.Writer, cfg EngineConfig, rows []EngineRow) {
 // trajectory (scripts/bench.sh writes it to BENCH_sweep.json at the repo
 // root, stamping the measured git commit). Sections merge by key: a nil
 // section keeps whatever the existing file holds — with its original
-// commit stamp — so refreshing one experiment never rewrites the others'
-// history. An existing file that does not parse is an error, not a
-// silent overwrite.
-func WriteSweepJSON(path, commit string, eng *EngineSection, comm *CommSection, cycles *CyclesSection, setup *SetupSection) error {
+// commit and machine stamps — so refreshing one experiment never
+// rewrites the others' history. An existing file that does not parse is
+// an error, not a silent overwrite.
+func WriteSweepJSON(path, commit string, s Sections) error {
 	var rep SweepReport
 	if prev, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(prev, &rep); err != nil {
@@ -182,25 +214,31 @@ func WriteSweepJSON(path, commit string, eng *EngineSection, comm *CommSection, 
 	}
 	// Stamp copies: the caller's sections stay untouched.
 	rep.Commit = commit
-	if eng != nil {
-		sec := *eng
-		sec.Commit = commit
+	mi := machineInfo()
+	if s.Engine != nil {
+		sec := *s.Engine
+		sec.Commit, sec.Machine = commit, mi
 		rep.Engine = &sec
 	}
-	if comm != nil {
-		sec := *comm
-		sec.Commit = commit
+	if s.Comm != nil {
+		sec := *s.Comm
+		sec.Commit, sec.Machine = commit, mi
 		rep.Comm = &sec
 	}
-	if cycles != nil {
-		sec := *cycles
-		sec.Commit = commit
+	if s.Cycles != nil {
+		sec := *s.Cycles
+		sec.Commit, sec.Machine = commit, mi
 		rep.Cycles = &sec
 	}
-	if setup != nil {
-		sec := *setup
-		sec.Commit = commit
+	if s.Setup != nil {
+		sec := *s.Setup
+		sec.Commit, sec.Machine = commit, mi
 		rep.Setup = &sec
+	}
+	if s.Kernel != nil {
+		sec := *s.Kernel
+		sec.Commit, sec.Machine = commit, mi
+		rep.Kernel = &sec
 	}
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

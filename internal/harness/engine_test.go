@@ -36,7 +36,7 @@ func TestRunEngineTiny(t *testing.T) {
 	}
 
 	path := filepath.Join(t.TempDir(), "bench.json")
-	if err := WriteSweepJSON(path, "deadbeef", EngineSectionOf(cfg, rows), nil, nil, nil); err != nil {
+	if err := WriteSweepJSON(path, "deadbeef", Sections{Engine: EngineSectionOf(cfg, rows)}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -101,7 +101,7 @@ func TestRunCyclesTiny(t *testing.T) {
 	}
 
 	path := filepath.Join(t.TempDir(), "bench.json")
-	if err := WriteSweepJSON(path, "deadbeef", nil, nil, CyclesSectionOf(cfg, rows, strats), nil); err != nil {
+	if err := WriteSweepJSON(path, "deadbeef", Sections{Cycles: CyclesSectionOf(cfg, rows, strats)}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -125,7 +125,7 @@ func TestRunCyclesTiny(t *testing.T) {
 	engCfg := DefaultEngine()
 	engCfg.Problem = tinyProblem()
 	eng := EngineSectionOf(engCfg, []EngineRow{{Threads: 1, LegacyNsOp: 1, EngineNsOp: 1, OverlapNsOp: 1, Speedup: 1, OverlapSpeedup: 1}})
-	if err := WriteSweepJSON(path, "cafe1234", eng, nil, nil, nil); err != nil {
+	if err := WriteSweepJSON(path, "cafe1234", Sections{Engine: eng}); err != nil {
 		t.Fatal(err)
 	}
 	data, err = os.ReadFile(path)
@@ -148,7 +148,7 @@ func TestRunCyclesTiny(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteSweepJSON(bad, "cafe1234", eng, nil, nil, nil); err == nil {
+	if err := WriteSweepJSON(bad, "cafe1234", Sections{Engine: eng}); err == nil {
 		t.Fatal("corrupt existing report should refuse the write")
 	}
 }

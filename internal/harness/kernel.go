@@ -1,0 +1,255 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"text/tabwriter"
+
+	"unsnap"
+	"unsnap/internal/core"
+	"unsnap/internal/mesh"
+	"unsnap/internal/quadrature"
+	"unsnap/internal/xs"
+)
+
+// KernelConfig drives the task-kernel experiment: the engine's batched
+// (group-blocked, allocation-free) task body against the scalar
+// per-group body on the same problem, across thread counts, on both the
+// standard library (per-group sigma_t ramp — only the RHS batching and
+// allocation elimination pay) and a flat-sigma_t variant (every group of
+// a material shares one factorisation — the full multi-RHS regime).
+type KernelConfig struct {
+	Problem unsnap.Problem
+	Threads []int
+	Inners  int
+	// AllocSweeps is the number of steady-state sweeps the allocation
+	// probe averages over (after one warm-up sweep builds the engine).
+	AllocSweeps int
+}
+
+// DefaultKernel measures on the engine experiment's workload (6^3
+// elements, 4 angles per octant, 8 groups), so the kernel and engine
+// sections of BENCH_sweep.json are directly comparable.
+func DefaultKernel() KernelConfig {
+	p := unsnap.DefaultProblem()
+	p.NX, p.NY, p.NZ = 6, 6, 6
+	p.AnglesPerOctant = 4
+	p.Groups = 8
+	return KernelConfig{
+		Problem: p,
+		Threads: []int{1, 2, 4},
+		// 30 forced inners per timing run (vs the engine experiment's 10):
+		// the kernel comparison resolves single-digit-percent per-task
+		// deltas, which 10-inner windows bury in scheduler noise.
+		Inners:      30,
+		AllocSweeps: 3,
+	}
+}
+
+// KernelRow is one measured thread count. The ns figures are per sweep
+// task — one (ordinate, element) pair, all groups — so they are
+// comparable across thread counts and mesh sizes; Flat* columns rerun
+// both kernels on the flat-sigma_t library. AllocsPerTask is the
+// steady-state heap allocation rate of the batched engine sweep
+// (expected: zero).
+type KernelRow struct {
+	Threads       int     `json:"threads"`
+	ScalarTaskNs  float64 `json:"scalar_task_ns"`
+	BatchedTaskNs float64 `json:"batched_task_ns"`
+	Speedup       float64 `json:"speedup"`
+	FlatScalarNs  float64 `json:"flat_scalar_task_ns"`
+	FlatBatchedNs float64 `json:"flat_batched_task_ns"`
+	FlatSpeedup   float64 `json:"flat_speedup"`
+	AllocsPerTask float64 `json:"allocs_per_task"`
+}
+
+// KernelSection is the serialised kernel comparison for BENCH_sweep.json.
+type KernelSection struct {
+	Commit  string       `json:"commit,omitempty"`
+	Machine *MachineInfo `json:"machine,omitempty"`
+	Problem ProblemShape `json:"problem"`
+	Inners  int          `json:"inners_per_run"`
+	Rows    []KernelRow  `json:"rows"`
+}
+
+// KernelSectionOf packages a kernel run for WriteSweepJSON.
+func KernelSectionOf(cfg KernelConfig, rows []KernelRow) *KernelSection {
+	return &KernelSection{
+		Problem: shapeOf(cfg.Problem),
+		Inners:  cfg.Inners,
+		Rows:    rows,
+	}
+}
+
+// kernelParts builds the problem's mesh, quadrature and library the way
+// the facade does, optionally flattening each material's total cross
+// section to its group-0 value (the flat-sigma_t regime, where the whole
+// group block of a task shares one factorisation).
+func kernelParts(p unsnap.Problem, flat bool) (*mesh.Mesh, *quadrature.Set, *xs.Library, error) {
+	m, err := mesh.New(mesh.Config{
+		NX: p.NX, NY: p.NY, NZ: p.NZ,
+		LX: p.LX, LY: p.LY, LZ: p.LZ,
+		Twist: p.Twist, TwistPeriods: p.TwistPeriods,
+		MatOpt: p.MatOpt, SrcOpt: p.SrcOpt,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	q, err := quadrature.NewSNAP(p.AnglesPerOctant)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	lib, err := xs.NewLibrary(p.Groups)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if flat {
+		for mat := range lib.Total {
+			for g := range lib.Total[mat] {
+				lib.Total[mat][g] = lib.Total[mat][0]
+			}
+		}
+	}
+	return m, q, lib, nil
+}
+
+// newKernelSolver builds an engine solver with the given task kernel on
+// the (possibly flattened) problem.
+func newKernelSolver(p unsnap.Problem, threads, inners int, k core.KernelMode, flat bool) (*core.Solver, error) {
+	m, q, lib, err := kernelParts(p, flat)
+	if err != nil {
+		return nil, err
+	}
+	return core.New(core.Config{
+		Mesh: m, Order: p.Order, Quad: q, Lib: lib,
+		Scheme: core.SchemeEngine, Threads: threads, Kernel: k,
+		MaxInners: inners, MaxOuters: 1, ForceIterations: true,
+	})
+}
+
+// kernelTaskRepeats is the number of timing rounds per thread count; the
+// reported figure per variant is the minimum across rounds. Task bodies
+// are microsecond-scale and the comparison resolves single-digit-percent
+// deltas, so RunKernel interleaves the four variants within each round —
+// machine drift (a noisy neighbour, a frequency step) then lands on all
+// variants of a round alike instead of biasing whichever variant ran
+// during the bad stretch — and the min rejects the disturbed rounds.
+const kernelTaskRepeats = 7
+
+// kernelTaskNs times one kernel variant once and returns nanoseconds per
+// sweep task (one ordinate-element pair, all groups).
+func kernelTaskNs(p unsnap.Problem, threads, inners int, k core.KernelMode, flat bool) (float64, error) {
+	// Collect the previous measurement's garbage (each run builds its own
+	// mesh, library and artifact) so the collector does not run inside
+	// the timed sweep window of a later variant.
+	runtime.GC()
+	s, err := newKernelSolver(p, threads, inners, k, flat)
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+	res, err := s.Run()
+	if err != nil {
+		return 0, err
+	}
+	tasks := s.NumAngles() * s.NumElems()
+	return res.SweepTime.Seconds() * 1e9 / float64(inners*tasks), nil
+}
+
+// kernelAllocsPerTask measures the steady-state heap allocation rate of
+// the batched engine sweep: one warm-up sweep builds the engine and its
+// scratch, then each of AllocSweeps full sweeps is measured as its own
+// Mallocs delta and the minimum per-task rate is reported (like the warm
+// build fetch, the min rejects one-off runtime noise — goroutine stack
+// growth, background GC bookkeeping — that is not part of the sweep
+// path). The engine pre-sizes every task buffer at pool creation, so the
+// expected value is zero.
+func kernelAllocsPerTask(p unsnap.Problem, threads, sweeps int) (float64, error) {
+	s, err := newKernelSolver(p, threads, 1, core.KernelBatched, false)
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+	s.ComputeOuterSource()
+	s.PrepareInner()
+	if err := s.SweepAllAngles(); err != nil {
+		return 0, err
+	}
+	var m0, m1 runtime.MemStats
+	best := -1.0
+	for i := 0; i < sweeps; i++ {
+		runtime.ReadMemStats(&m0)
+		s.PrepareInner()
+		if err := s.SweepAllAngles(); err != nil {
+			return 0, err
+		}
+		runtime.ReadMemStats(&m1)
+		if d := float64(m1.Mallocs - m0.Mallocs); best < 0 || d < best {
+			best = d
+		}
+	}
+	tasks := s.NumAngles() * s.NumElems()
+	return best / float64(tasks), nil
+}
+
+// RunKernel measures both task kernels at every thread count, on the
+// standard and flat-sigma_t libraries, plus the batched sweep's
+// steady-state allocation rate.
+func RunKernel(cfg KernelConfig) ([]KernelRow, error) {
+	sweeps := cfg.AllocSweeps
+	if sweeps <= 0 {
+		sweeps = 3
+	}
+	variants := []struct {
+		kernel core.KernelMode
+		flat   bool
+	}{
+		{core.KernelScalar, false},
+		{core.KernelBatched, false},
+		{core.KernelScalar, true},
+		{core.KernelBatched, true},
+	}
+	rows := make([]KernelRow, 0, len(cfg.Threads))
+	for _, threads := range cfg.Threads {
+		row := KernelRow{Threads: threads}
+		var best [4]float64
+		for r := 0; r < kernelTaskRepeats; r++ {
+			for i, v := range variants {
+				ns, err := kernelTaskNs(cfg.Problem, threads, cfg.Inners, v.kernel, v.flat)
+				if err != nil {
+					return nil, fmt.Errorf("harness: kernel experiment threads %d: %w", threads, err)
+				}
+				if r == 0 || ns < best[i] {
+					best[i] = ns
+				}
+			}
+		}
+		row.ScalarTaskNs, row.BatchedTaskNs = best[0], best[1]
+		row.FlatScalarNs, row.FlatBatchedNs = best[2], best[3]
+		var err error
+		if row.AllocsPerTask, err = kernelAllocsPerTask(cfg.Problem, threads, sweeps); err != nil {
+			return nil, err
+		}
+		if row.BatchedTaskNs > 0 {
+			row.Speedup = row.ScalarTaskNs / row.BatchedTaskNs
+		}
+		if row.FlatBatchedNs > 0 {
+			row.FlatSpeedup = row.FlatScalarNs / row.FlatBatchedNs
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FprintKernel writes the kernel comparison table.
+func FprintKernel(w io.Writer, cfg KernelConfig, rows []KernelRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Threads\tscalar (ns/task)\tbatched (ns/task)\tspeedup\tflat scalar\tflat batched\tflat speedup\tallocs/task\n")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.0f\t%.0f\t%.2fx\t%.0f\t%.0f\t%.2fx\t%.3f\n",
+			r.Threads, r.ScalarTaskNs, r.BatchedTaskNs, r.Speedup,
+			r.FlatScalarNs, r.FlatBatchedNs, r.FlatSpeedup, r.AllocsPerTask)
+	}
+	tw.Flush()
+}

@@ -36,6 +36,7 @@ func DefaultSetup() SetupConfig {
 // BENCH_sweep.json.
 type SetupSection struct {
 	Commit  string       `json:"commit,omitempty"`
+	Machine *MachineInfo `json:"machine,omitempty"`
 	Problem ProblemShape `json:"problem"`
 	// ColdNs is one uncached artifact build; WarmNs the best cache fetch
 	// of the same artifact.

@@ -1,0 +1,170 @@
+package la
+
+// Multi-RHS ("batched") solve kernels. The sweep engine's unit of work is
+// all energy groups of one (ordinate, element): the local matrices of
+// those groups differ only through the sigma_t,g * M term, so groups with
+// equal sigma_t share one matrix bitwise and one factorisation serves the
+// whole run of them. The routines here solve such a run as a block of k
+// right-hand sides against a single matrix, amortising the O(n^3)
+// factorisation across the k O(n^2) solves.
+//
+// Bitwise contract: each column of the block undergoes exactly the
+// floating-point operation sequence the scalar routine (SolveFactored,
+// SolveGE) would apply to it — the batching only reorders work across
+// independent columns, never within one — so a batched solve produces
+// bit-identical solutions to k scalar solves of the same matrix. The
+// sweep's reproducibility pins rest on this property.
+//
+// Layout: the block bs holds the k right-hand sides RHS-major — column r
+// is the contiguous slice bs[r*n : (r+1)*n] — which is exactly how the
+// engine's per-task RHS scratch is laid out (group-major, node fastest).
+// The triangular passes iterate row-outer / column-inner so each factor
+// row is loaded once per row step and streamed against all k columns.
+
+// SolveFactoredMulti solves A X = B for k right-hand sides given the LU
+// factorisation produced by Factor or FactorBlocked. bs (length k*n,
+// RHS-major) is overwritten with the solutions. Each column's result is
+// bitwise identical to a SolveFactored call on that column alone.
+func SolveFactoredMulti(a *Matrix, piv []int, bs []float64, k int) {
+	n := a.N
+	ad := a.Data
+	if k == 1 {
+		SolveFactored(a, piv, bs[:n])
+		return
+	}
+	bs = bs[: k*n : k*n]
+	// Apply the recorded row interchanges to every column.
+	for kk := 0; kk < n; kk++ {
+		if p := piv[kk]; p != kk {
+			for r := 0; r < k; r++ {
+				b := bs[r*n : r*n+n]
+				b[kk], b[p] = b[p], b[kk]
+			}
+		}
+	}
+	// Forward solve L Y = P B (unit diagonal): row-outer so the factor
+	// row ad[i*n:i*n+i] is read once per i and reused across all columns.
+	// The head/tail reslices below mirror each range loop's length so the
+	// prove pass eliminates the inner-loop bounds checks (check_bce).
+	for i := 1; i < n; i++ {
+		row := ad[i*n : i*n+i]
+		for r := 0; r < k; r++ {
+			b := bs[r*n : r*n+n]
+			head := b[:len(row)]
+			s := b[i]
+			for j, v := range row {
+				s -= v * head[j]
+			}
+			b[i] = s
+		}
+	}
+	// Back solve U X = Y.
+	for i := n - 1; i >= 0; i-- {
+		row := ad[i*n : i*n+n]
+		inv := row[i]
+		tail := row[i+1:]
+		for r := 0; r < k; r++ {
+			b := bs[r*n : r*n+n]
+			bt := b[i+1:]
+			bt = bt[:len(tail)]
+			s := b[i]
+			for j, v := range tail {
+				s -= v * bt[j]
+			}
+			b[i] = s / inv
+		}
+	}
+}
+
+// SolveGEMulti solves A X = B for k right-hand sides by Gaussian
+// elimination with partial pivoting, running the elimination once and
+// applying each row operation to all k columns. A is overwritten by the
+// elimination; bs (length k*n, RHS-major) is overwritten with the
+// solutions. Each column's result is bitwise identical to a SolveGE call
+// on a fresh copy of A with that column alone.
+func SolveGEMulti(a *Matrix, bs []float64, k int) error {
+	n := a.N
+	ad := a.Data
+	if k == 1 {
+		// Single column: the scalar routine's hoisted pivot-row loads beat
+		// the block loops' per-row column reslicing (the length-1 runs of a
+		// per-group sigma_t ramp all land here).
+		return SolveGE(a, bs[:n], bs[:n])
+	}
+	bs = bs[: k*n : k*n]
+	for kk := 0; kk < n; kk++ {
+		// Partial pivot: find the largest |a[i][kk]| for i >= kk.
+		p := kk
+		pv := abs(ad[kk*n+kk])
+		for i := kk + 1; i < n; i++ {
+			if v := abs(ad[i*n+kk]); v > pv {
+				pv = v
+				p = i
+			}
+		}
+		if pv == 0 {
+			return ErrSingular
+		}
+		if p != kk {
+			rowK := ad[kk*n : kk*n+n]
+			rowP := ad[p*n : p*n+n]
+			for j := kk; j < n; j++ {
+				rowK[j], rowP[j] = rowP[j], rowK[j]
+			}
+			for r := 0; r < k; r++ {
+				b := bs[r*n : r*n+n]
+				b[kk], b[p] = b[p], b[kk]
+			}
+		}
+		// Eliminate below the pivot; the multiplier row operation streams
+		// the trailing row (contiguous) and then the k pivot-row entries.
+		// Trailing reslices are length-matched for bounds-check
+		// elimination, as in SolveFactoredMulti.
+		inv := 1 / ad[kk*n+kk]
+		kt := ad[kk*n+kk+1 : kk*n+n]
+		for i := kk + 1; i < n; i++ {
+			f := ad[i*n+kk] * inv
+			if f == 0 {
+				continue
+			}
+			rowI := ad[i*n : i*n+n]
+			rowI[kk] = 0
+			rt := rowI[kk+1:]
+			rt = rt[:len(kt)]
+			for j, v := range kt {
+				rt[j] -= f * v
+			}
+			for r := 0; r < k; r++ {
+				b := bs[r*n : r*n+n]
+				b[i] -= f * b[kk]
+			}
+		}
+	}
+	// Back substitution, in place (column r's solution lands in its own
+	// slot of bs; entries above i already hold solution values).
+	for i := n - 1; i >= 0; i-- {
+		row := ad[i*n : i*n+n]
+		inv := row[i]
+		tail := row[i+1:]
+		for r := 0; r < k; r++ {
+			b := bs[r*n : r*n+n]
+			bt := b[i+1:]
+			bt = bt[:len(tail)]
+			s := b[i]
+			for j, v := range tail {
+				s -= v * bt[j]
+			}
+			b[i] = s / inv
+		}
+	}
+	return nil
+}
+
+// abs is math.Abs without the import: the pivot searches above are the
+// only callers and the compiler intrinsifies this form identically.
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -24,10 +24,10 @@ go build ./...
 go build ./examples/...
 # Bench-tool smoke pass: every experiment path the perf trajectory
 # depends on (engine, comm protocols, cyclic meshes with both cycle
-# orders) executes end to end on tiny problems — seconds, not minutes —
-# so the bench plumbing cannot bit-rot between real BENCH_sweep.json
-# refreshes. -smoke never writes JSON.
-go run ./cmd/unsnap-bench -experiment engine,comm,cycles,setup -smoke
+# orders, build cache, task kernels) executes end to end on tiny
+# problems — seconds, not minutes — so the bench plumbing cannot bit-rot
+# between real BENCH_sweep.json refreshes. -smoke never writes JSON.
+go run ./cmd/unsnap-bench -experiment engine,comm,cycles,setup,kernel -smoke
 # Artifact-cache smoke: two solves of one problem through one cache must
 # hit on the second build and match bitwise. The binary prints a
 # machine-checkable verdict line; grep pins it so a silent cache miss

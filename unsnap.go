@@ -116,6 +116,22 @@ const (
 	OctantsFused
 )
 
+// KernelMode selects the engine's task body; see the core package's
+// KernelMode.
+type KernelMode int
+
+const (
+	// KernelBatched (the default) runs each (ordinate, element) task as
+	// one group-batched, allocation-free kernel: all right-hand sides
+	// assembled in one pass, one factorisation shared by every run of
+	// equal-sigma_t groups, multi-RHS solves. Bitwise identical to
+	// KernelScalar.
+	KernelBatched KernelMode = iota
+	// KernelScalar runs the pre-batching one-group-at-a-time task body,
+	// kept for A/B benchmarking and parity pins.
+	KernelScalar
+)
+
 // CycleOrder selects the within-SCC ordering strategy of the cycle
 // condensation that AllowCycles runs (which intra-SCC dependency edges
 // are demoted to lagged previous-iterate couplings). Both strategies are
@@ -286,6 +302,9 @@ type Options struct {
 	// all eight octants on vacuum problems, OctantsSequential forces the
 	// per-octant phases.
 	Octants OctantMode
+	// Kernel selects the engine task body: the group-batched
+	// KernelBatched (default) or the scalar per-group KernelScalar.
+	Kernel KernelMode
 
 	// Protocol selects the cross-rank communication scheme of
 	// NewDistributed (ignored by the single-domain solver): CommLagged is
@@ -560,7 +579,8 @@ func coreConfig(p Problem, o Options, m *mesh.Mesh, q *quadrature.Set, lib *xs.L
 		Mesh: m, Order: p.Order, Quad: q, Lib: lib,
 		Scheme: core.Scheme(o.Scheme), Threads: o.Threads,
 		Solver: core.SolverKind(o.Solver), Octants: core.OctantMode(o.Octants),
-		Epsi: o.Epsi, MaxInners: o.MaxInners, MaxOuters: o.MaxOuters,
+		Kernel: core.KernelMode(o.Kernel),
+		Epsi:   o.Epsi, MaxInners: o.MaxInners, MaxOuters: o.MaxOuters,
 		ForceIterations: o.ForceIterations,
 		AllowCycles:     o.AllowCycles,
 		CycleOrder:      sweep.CycleOrder(o.CycleOrder),
