@@ -12,7 +12,8 @@
 //	unsnap-bench -experiment all
 //
 // Experiments (comma-separable): table1, table2, fig3, fig4, tradeoffs,
-// jacobi, atomic, preassembled, engine, comm, cycles, setup, kernel, all.
+// jacobi, atomic, preassembled, engine, comm, cycles, setup, kernel,
+// accel, all.
 // The engine experiment compares the persistent worker-pool sweep engine
 // against a legacy bucket executor; the comm experiment compares the
 // lagged (block Jacobi) and pipelined (mid-sweep streaming) halo
@@ -24,7 +25,12 @@
 // protocol; the kernel experiment compares the engine's batched
 // (group-blocked, allocation-free) task body against the scalar
 // per-group body, reporting per-task nanoseconds and steady-state
-// allocations per task. With -json, all record their measurements for
+// allocations per task; the accel experiment iterates a
+// scattering-dominated problem to convergence with synthetic diffusion
+// acceleration off and on (single-domain, cyclic and 2-rank
+// lagged/pipelined configurations), reporting inner-iteration and
+// wall-clock speedups plus the converged-flux agreement. With -json, all
+// record their measurements for
 // the perf trajectory: sections merge by key, so refreshing one
 // experiment preserves the others' history (scripts/bench.sh runs them
 // and writes BENCH_sweep.json). -smoke shrinks the sweep experiments
@@ -74,7 +80,7 @@ func parseThreads(s string) ([]int, error) {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("unsnap-bench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "comma-separated list of table1|table2|fig3|fig4|tradeoffs|jacobi|atomic|preassembled|engine|comm|cycles|setup|kernel|all")
+	experiment := fs.String("experiment", "all", "comma-separated list of table1|table2|fig3|fig4|tradeoffs|jacobi|atomic|preassembled|engine|comm|cycles|setup|kernel|accel|all")
 	threadsFlag := fs.String("threads", "1,2", "comma-separated worker counts for scaling experiments")
 	jsonPath := fs.String("json", "", "write the engine experiment's comparison to this JSON file")
 	commit := fs.String("commit", "", "git revision to stamp into the engine JSON report")
@@ -386,6 +392,32 @@ func run(args []string) error {
 		harness.FprintKernel(os.Stdout, cfg, rows)
 		fmt.Println()
 		sections.Kernel = harness.KernelSectionOf(cfg, rows)
+	}
+	if want("accel") {
+		ran = true
+		cfg := harness.DefaultAccel()
+		if *smoke {
+			// Keep the domains optically thick (the experiment fails loudly
+			// when a run does not converge or DSA does not engage); shrink
+			// the ratio sweep and the angular resolution instead.
+			cfg.Problem.NX, cfg.Problem.NY, cfg.Problem.NZ = 6, 6, 6
+			cfg.Problem.LX, cfg.Problem.LY, cfg.Problem.LZ = 6, 6, 6
+			cfg.Cyclic.NX, cfg.Cyclic.NY, cfg.Cyclic.NZ = 4, 4, 4
+			cfg.Cyclic.LX, cfg.Cyclic.LY, cfg.Cyclic.LZ = 4, 4, 4
+			cfg.Ratios = []float64{0.9}
+			cfg.Epsi = 1e-5
+		}
+		override(&cfg.Problem)
+		cfg.Threads = threads[len(threads)-1]
+		fmt.Printf("== Synthetic diffusion acceleration: inners to convergence, DSA off vs on (%d^3 elements, %d ang/oct, %d groups) ==\n",
+			cfg.Problem.NX, cfg.Problem.AnglesPerOctant, cfg.Problem.Groups)
+		rows, err := harness.RunAccel(cfg)
+		if err != nil {
+			return err
+		}
+		harness.FprintAccel(os.Stdout, cfg, rows)
+		fmt.Println()
+		sections.Accel = harness.AccelSectionOf(cfg, rows)
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *experiment)

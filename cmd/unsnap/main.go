@@ -41,6 +41,8 @@ func run(args []string) error {
 	allowCycles := fs.Bool("allow-cycles", false, "accept cyclic upwind graphs (cycle-aware sweep topologies)")
 	cycleOrder := fs.String("cycle-order", "", "within-SCC cut rule for cyclic meshes: element-index or feedback-arc")
 	protocol := fs.String("protocol", "", "halo protocol for multi-rank runs: lagged or pipelined")
+	accelerate := fs.String("accelerate", "", "between-inner acceleration: none or dsa (synthetic diffusion)")
+	scatRatio := fs.Float64("scat-ratio", 0, "pin every group's scattering ratio sigs/sigt to this value (0 = library defaults)")
 	epsi := fs.Float64("epsi", 0, "convergence tolerance")
 	iitm := fs.Int("iitm", 0, "max inner iterations per outer")
 	oitm := fs.Int("oitm", 0, "max outer iterations")
@@ -60,7 +62,7 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if err := validateFlags(fs, *deadline, *retries, *backoff, *twist, *periods, *epsi); err != nil {
+	if err := validateFlags(fs, *deadline, *retries, *backoff, *twist, *periods, *epsi, *scatRatio); err != nil {
 		return err
 	}
 
@@ -124,6 +126,7 @@ func run(args []string) error {
 		Order: deck.Order, AnglesPerOctant: deck.NAng, Groups: deck.NG,
 		PGCPolar: deck.PGCPolar, PGCAzi: deck.PGCAzi,
 		ScatOrder: deck.ScatOrder,
+		ScatRatio: *scatRatio,
 	}
 	schemeVal, err := unsnap.ParseScheme(deck.Scheme)
 	if err != nil {
@@ -153,6 +156,13 @@ func run(args []string) error {
 		opts.Protocol = unsnap.CommPipelined
 	default:
 		return fmt.Errorf("unknown protocol %q (lagged|pipelined)", *protocol)
+	}
+	switch *accelerate {
+	case "", "none":
+	case "dsa":
+		opts.Accelerate = unsnap.AccelDSA
+	default:
+		return fmt.Errorf("unknown acceleration %q (none|dsa)", *accelerate)
 	}
 	if *deadline > 0 {
 		opts.Deadline = time.Duration(*deadline * float64(time.Second))
@@ -184,6 +194,13 @@ func run(args []string) error {
 	if opts.AllowCycles {
 		fmt.Printf("  cycles allowed  cycle-order %s\n", opts.CycleOrder)
 	}
+	if opts.Accelerate != unsnap.AccelNone || prob.ScatRatio != 0 {
+		ratioDesc := "library defaults"
+		if prob.ScatRatio != 0 {
+			ratioDesc = fmt.Sprintf("%g", prob.ScatRatio)
+		}
+		fmt.Printf("  acceleration %s  scattering ratio %s\n", opts.Accelerate, ratioDesc)
+	}
 
 	switch {
 	case *cacheStats:
@@ -203,7 +220,7 @@ func run(args []string) error {
 // validateFlags rejects malformed flag values with one-line structured
 // errors before anything downstream can choke on them. Only explicitly
 // set flags are checked (fs.Visit), so defaults that mean "unset" pass.
-func validateFlags(fs *flag.FlagSet, deadline float64, retries int, backoff time.Duration, twist, periods, epsi float64) error {
+func validateFlags(fs *flag.FlagSet, deadline float64, retries int, backoff time.Duration, twist, periods, epsi, scatRatio float64) error {
 	var err error
 	fs.Visit(func(f *flag.Flag) {
 		if err != nil {
@@ -231,6 +248,10 @@ func validateFlags(fs *flag.FlagSet, deadline float64, retries int, backoff time
 		case "epsi":
 			if math.IsNaN(epsi) || math.IsInf(epsi, 0) || epsi <= 0 {
 				err = fmt.Errorf("-epsi %v invalid (need a finite positive tolerance)", epsi)
+			}
+		case "scat-ratio":
+			if math.IsNaN(scatRatio) || !(scatRatio > 0 && scatRatio < 1) {
+				err = fmt.Errorf("-scat-ratio %v invalid (need 0 < ratio < 1)", scatRatio)
 			}
 		}
 	})

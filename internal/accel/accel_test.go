@@ -1,0 +1,142 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"unsnap/internal/fem"
+	"unsnap/internal/mesh"
+	"unsnap/internal/xs"
+)
+
+func buildGeo(t *testing.T, mc mesh.Config) (*mesh.Mesh, *Geometry) {
+	t.Helper()
+	m, err := mesh.New(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := fem.NewRefElement(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := make([]*fem.ElementMatrices, len(m.Elems))
+	for e := range m.Elems {
+		if em[e], err = re.ComputeMatrices(m.Elems[e].Geometry()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, BuildGeometry(m, em)
+}
+
+// TestDSAGeometryBox pins the geometric skeleton on a uniform box mesh,
+// where every quantity has a closed form.
+func TestDSAGeometryBox(t *testing.T) {
+	n := 3
+	m, geo := buildGeo(t, mesh.Config{NX: n, NY: n, NZ: n, LX: 1, LY: 1, LZ: 1,
+		MatOpt: xs.MatOptHomogeneous, SrcOpt: xs.SrcOptEverywhere})
+	h := 1.0 / float64(n)
+	wantVol := h * h * h
+	for e, v := range geo.Vol {
+		if math.Abs(v-wantVol) > 1e-14 {
+			t.Fatalf("Vol[%d] = %v, want %v", e, v, wantVol)
+		}
+	}
+	// Node weights of each cell must sum to its volume.
+	for e := 0; e < geo.NE; e++ {
+		s := 0.0
+		for _, w := range geo.W[e*geo.NN : (e+1)*geo.NN] {
+			s += w
+		}
+		if math.Abs(s-wantVol) > 1e-13 {
+			t.Fatalf("sum W[%d] = %v, want %v", e, s, wantVol)
+		}
+	}
+	wantInt := 3 * n * n * (n - 1) // interior faces per axis
+	if len(geo.Interior) != wantInt {
+		t.Fatalf("interior faces %d, want %d", len(geo.Interior), wantInt)
+	}
+	wantBnd := 6 * n * n
+	if len(geo.Boundary) != wantBnd {
+		t.Fatalf("boundary faces %d, want %d", len(geo.Boundary), wantBnd)
+	}
+	for _, fc := range geo.Interior {
+		if math.Abs(fc.Area-h*h) > 1e-14 || math.Abs(fc.DI-h/2) > 1e-14 || math.Abs(fc.DJ-h/2) > 1e-14 {
+			t.Fatalf("interior face %+v, want area %v dists %v", fc, h*h, h/2)
+		}
+	}
+	_ = m
+}
+
+// TestDSACyclicGeometryCount checks the face inventory survives the
+// oscillating-twist (cycle-producing) distortion: the topology is still
+// the structured box graph, only the areas and distances change.
+func TestDSACyclicGeometryCount(t *testing.T) {
+	n := 4
+	_, geo := buildGeo(t, mesh.Config{NX: n, NY: n, NZ: n, LX: 1, LY: 1, LZ: 1,
+		Twist: 0.8, TwistPeriods: 3,
+		MatOpt: xs.MatOptCentre, SrcOpt: xs.SrcOptEverywhere})
+	if want := 3 * n * n * (n - 1); len(geo.Interior) != want {
+		t.Fatalf("interior faces %d, want %d", len(geo.Interior), want)
+	}
+	if want := 6 * n * n; len(geo.Boundary) != want {
+		t.Fatalf("boundary faces %d, want %d", len(geo.Boundary), want)
+	}
+	for _, fc := range geo.Interior {
+		if !(fc.Area > 0 && fc.DI > 0 && fc.DJ > 0) {
+			t.Fatalf("degenerate interior face %+v", fc)
+		}
+	}
+}
+
+// TestDSACorrectConverges runs the accelerator end to end on a
+// scattering-dominated library: the operator must be SPD (CG converges)
+// and the correction must vanish for a vanishing residual.
+func TestDSACorrectConverges(t *testing.T) {
+	_, geo := buildGeo(t, mesh.Config{NX: 4, NY: 4, NZ: 4, LX: 1, LY: 1, LZ: 1,
+		MatOpt: xs.MatOptCentre, SrcOpt: xs.SrcOptEverywhere})
+	lib, err := xs.NewLibraryRatio(3, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	materials := make([]int, geo.NE)
+	for e := range materials {
+		materials[e] = e % xs.NumMaterials
+	}
+	d := New(geo, materials, lib)
+
+	dphi := make([]float64, geo.NE)
+	for e := range dphi {
+		dphi[e] = 1 + 0.1*float64(e%7)
+	}
+	corr := make([]float64, geo.NE)
+	for g := 0; g < lib.NumGroups; g++ {
+		iters, err := d.Correct(g, dphi, corr)
+		if err != nil {
+			t.Fatalf("group %d: %v", g, err)
+		}
+		if iters < 1 || iters > geo.NE {
+			t.Fatalf("group %d: %d CG iterations for %d cells", g, iters, geo.NE)
+		}
+		// A uniform positive residual in a scattering-dominated medium
+		// must produce a positive correction everywhere (M-matrix).
+		for e, c := range corr {
+			if c <= 0 {
+				t.Fatalf("group %d: corr[%d] = %v, want > 0", g, e, c)
+			}
+		}
+	}
+
+	// Zero residual: zero correction, zero iterations.
+	for e := range dphi {
+		dphi[e] = 0
+	}
+	iters, err := d.Correct(0, dphi, corr)
+	if err != nil || iters != 0 {
+		t.Fatalf("zero residual: iters=%d err=%v", iters, err)
+	}
+	for e, c := range corr {
+		if c != 0 {
+			t.Fatalf("zero residual: corr[%d] = %v", e, c)
+		}
+	}
+}

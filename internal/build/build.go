@@ -24,6 +24,7 @@ import (
 	"strings"
 	"sync"
 
+	"unsnap/internal/accel"
 	"unsnap/internal/fem"
 	"unsnap/internal/la"
 	"unsnap/internal/mesh"
@@ -125,6 +126,20 @@ type Artifact struct {
 	// their own per-octant slab, which is per-solve mutable state).
 	FusedFull []float64
 
+	// Accel is the geometric skeleton of the synthetic diffusion
+	// accelerator (face areas and distances, cell volumes, node
+	// quadrature weights) — cross-section-independent, so it lives here
+	// and warm solves get DSA setup for free.
+	Accel *accel.Geometry
+
+	// GeomClass assigns each element a geometry-equivalence class id:
+	// elements in one class have bitwise-identical element matrices
+	// (axis-aligned boxes of equal extents; every other element is a
+	// class of its own). GeomClasses is the class count. The batched
+	// kernel's factor cache keys on (class, material).
+	GeomClass   []int32
+	GeomClasses int
+
 	size int64
 }
 
@@ -222,6 +237,30 @@ func Build(spec Spec) (*Artifact, error) {
 	if spec.Cacheable() {
 		art.Key = spec.Key()
 	}
+
+	// DSA geometric operator and element geometry classes: both are pure
+	// functions of the mesh and element matrices already in hand, cheap
+	// next to classification, and free on every warm-cache solve.
+	accelGeoms.Add(1)
+	art.Accel = accel.BuildGeometry(spec.Mesh, em)
+	art.GeomClass = make([]int32, nE)
+	boxClasses := make(map[[3]float64]int32, 16)
+	next := int32(0)
+	for e := 0; e < nE; e++ {
+		if _, ext, ok := spec.Mesh.Elems[e].Geometry().IsAxisAlignedBox(); ok {
+			id, seen := boxClasses[ext]
+			if !seen {
+				id = next
+				next++
+				boxClasses[ext] = id
+			}
+			art.GeomClass[e] = id
+			continue
+		}
+		art.GeomClass[e] = next
+		next++
+	}
+	art.GeomClasses = int(next)
 
 	// Full-tier fused face matrices: at sizes where every angle fits the
 	// cache budget, pre-fuse om·Fx + om·Fy + om·Fz here so all sharing
@@ -430,6 +469,12 @@ func artifactSize(a *Artifact) int64 {
 		}
 	}
 	n += int64(len(a.FusedFull)) * 8
+	if g := a.Accel; g != nil {
+		n += int64(len(g.Vol)+len(g.W)) * 8
+		n += int64(len(g.Interior)) * 32
+		n += int64(len(g.Boundary)) * 24
+	}
+	n += int64(len(a.GeomClass)) * 4
 	return n
 }
 

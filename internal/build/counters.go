@@ -19,6 +19,7 @@ var (
 	builds          atomic.Int64
 	classifications atomic.Int64
 	condensations   atomic.Int64
+	accelGeoms      atomic.Int64
 )
 
 // Builds returns the process-wide count of Build calls that ran (cache
@@ -33,6 +34,11 @@ func Classifications() int64 { return classifications.Load() }
 // actually computed (including SCC condensations); deduplicated
 // ordinates and cache hits don't count.
 func Condensations() int64 { return condensations.Load() }
+
+// AccelGeoms returns the process-wide count of DSA geometric-operator
+// assemblies; warm-cache solves get theirs from the artifact and must not
+// move this counter.
+func AccelGeoms() int64 { return accelGeoms.Load() }
 
 // quadFingerprint hashes the quadrature set's content: octant layout and
 // every ordinate's direction and weight at exact float64 bits.

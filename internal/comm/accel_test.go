@@ -1,0 +1,68 @@
+package comm
+
+import (
+	"math"
+	"testing"
+
+	"unsnap/internal/core"
+	"unsnap/internal/mesh"
+	"unsnap/internal/quadrature"
+	"unsnap/internal/xs"
+)
+
+// TestAccelDSADistributed pins rank-local synthetic acceleration on both
+// protocols: a 2-rank scattering-dominated run with AccelDSA must converge
+// to the unaccelerated answer in fewer inners. The correction is
+// rank-local (vacuum Marshak closure at rank interfaces) and vanishes at
+// the fixed point, so the converged flux integral must match the
+// unaccelerated driver's to solver epsilon.
+func TestAccelDSADistributed(t *testing.T) {
+	build := func(protocol Protocol, mode core.AccelMode) *Driver {
+		m, err := mesh.New(mesh.Config{NX: 8, NY: 8, NZ: 8, LX: 8, LY: 8, LZ: 8,
+			MatOpt: xs.MatOptCentre, SrcOpt: xs.SrcOptEverywhere})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := quadrature.NewSNAP(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib, err := xs.NewLibraryRatio(1, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := New(Config{Mesh: m, PY: 2, PZ: 1, Protocol: protocol,
+			Rank: core.Config{Order: 1, Quad: q, Lib: lib,
+				Scheme: core.SchemeEngine, Epsi: 1e-6,
+				MaxInners: 400, MaxOuters: 1, Accelerate: mode}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	for _, protocol := range []Protocol{Lagged, Pipelined} {
+		t.Run(protocol.String(), func(t *testing.T) {
+			run := func(mode core.AccelMode) (int, float64) {
+				d := build(protocol, mode)
+				defer d.Close()
+				res, err := d.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.FinalDF >= 1e-6 {
+					t.Fatalf("%v: not converged in %d inners (df %g)", mode, res.Inners, res.FinalDF)
+				}
+				return res.Inners, d.FluxIntegral(0)
+			}
+			innersOff, fluxOff := run(core.AccelNone)
+			innersOn, fluxOn := run(core.AccelDSA)
+			t.Logf("inners: %d unaccelerated, %d with DSA", innersOff, innersOn)
+			if innersOn >= innersOff {
+				t.Fatalf("DSA did not reduce inners: %d -> %d", innersOff, innersOn)
+			}
+			if d := math.Abs(fluxOn-fluxOff) / math.Abs(fluxOff); d > 1e-4 {
+				t.Fatalf("flux integral: DSA %v vs plain %v (rel diff %g)", fluxOn, fluxOff, d)
+			}
+		})
+	}
+}

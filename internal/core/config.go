@@ -240,6 +240,35 @@ func (k KernelMode) String() string {
 	}
 }
 
+// AccelMode selects the between-inner iteration accelerator.
+type AccelMode int
+
+const (
+	// AccelNone runs plain source iteration (bitwise identical to the
+	// pre-acceleration solver).
+	AccelNone AccelMode = iota
+	// AccelDSA applies synthetic diffusion acceleration between inners:
+	// after each sweep a per-group SPD coarse diffusion solve
+	// (internal/accel) estimates the slowly converging diffusive
+	// component of the remaining error from the cell-averaged flux
+	// change and adds it to the scalar flux. The converged answer is
+	// unchanged — the correction vanishes at the fixed point — but
+	// scattering-dominated problems reach it in far fewer inners.
+	AccelDSA
+)
+
+// String names the acceleration mode.
+func (m AccelMode) String() string {
+	switch m {
+	case AccelNone:
+		return "none"
+	case AccelDSA:
+		return "dsa"
+	default:
+		return fmt.Sprintf("AccelMode(%d)", int(m))
+	}
+}
+
 // BoundaryFlux supplies incoming nodal angular flux on a subdomain
 // boundary face, enabling the block Jacobi coupling between ranks. It is
 // called for inflow boundary faces with a scratch buffer of face-node
@@ -354,6 +383,16 @@ type Config struct {
 	// gains the term 3 Omega . (sigma_s1 J).
 	ScatOrder int
 
+	// Accelerate selects the between-inner accelerator (see AccelMode).
+	// AccelDSA is steady-state, isotropic-scattering only: time-dependent
+	// solves and ScatOrder >= 1 are rejected at setup.
+	Accelerate AccelMode
+
+	// noFactorCache disables the batched kernel's shared per-(geometry
+	// class, material) factor cache; the A/B parity tests use it to pin
+	// the cached path bitwise against the private-assembly path.
+	noFactorCache bool
+
 	// Artifact injects a pre-built problem artifact (see unsnap.Build /
 	// BuildArtifact): New skips the whole build phase — matching, element
 	// integration, classification, condensation — and only allocates the
@@ -461,6 +500,15 @@ func (c Config) validate() error {
 		}
 	default:
 		return fmt.Errorf("core: scattering order %d not supported (0 or 1)", c.ScatOrder)
+	}
+	if c.Accelerate != AccelNone && c.Accelerate != AccelDSA {
+		return fmt.Errorf("core: unknown acceleration mode %d", int(c.Accelerate))
+	}
+	if c.Accelerate == AccelDSA && c.Time != nil {
+		return fmt.Errorf("core: AccelDSA does not support time-dependent mode")
+	}
+	if c.Accelerate == AccelDSA && c.ScatOrder >= 1 {
+		return fmt.Errorf("core: AccelDSA requires isotropic scattering (ScatOrder 0), got %d", c.ScatOrder)
 	}
 	if c.External != nil {
 		if err := c.validateExternal(); err != nil {

@@ -138,6 +138,9 @@ func (s *Solver) RunContext(ctx context.Context) (*Result, error) {
 				return nil, err
 			}
 			res.SweepTime += time.Since(t0)
+			if err := s.Accelerate(); err != nil {
+				return nil, err
+			}
 			df := s.MaxRelChange()
 			res.DFHistory = append(res.DFHistory, df)
 			res.FinalDF = df

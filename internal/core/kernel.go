@@ -29,6 +29,12 @@ import (
 //     one and only the RHS batching pays; on flat-sigma_t groups (and
 //     any within-material group structure with repeats) the whole task
 //     costs one factorisation.
+//   - Factor caching: the matrices themselves repeat across tasks — base
+//     + sigma_t,g M is a pure function of (ordinate, element-geometry
+//     class, outflow set, material) — so on meshes with repeated
+//     geometries a shared cache (faccache.go) factors each distinct
+//     matrix once, process-wide per solver, and matching tasks skip
+//     assembly and factorisation entirely.
 //   - Zero steady-state allocations: every buffer the body touches is
 //     pre-sized in workerState at pool creation from the artifact's
 //     KernelDims (pinned by TestSweepTaskAllocFree).
@@ -83,16 +89,39 @@ func (s *Solver) solveElemBatched(st *workerState, a, e int) error {
 	if instr {
 		t0 = time.Now()
 	}
-	s.assembleBase(a, e, st.base)
+	mat := s.cfg.Mesh.Elems[e].Material
+	// Shared factor cache: a ready entry for this task's (ordinate,
+	// geometry class, material) key replaces base assembly, per-run
+	// matrix formation and factorisation with pure triangular solves —
+	// bitwise identical output (see faccache.go).
+	var fent *facEntry
+	if s.fc != nil {
+		fent = s.fc.acquire(s, st, a, e, mat)
+	}
+	if fent == nil {
+		s.assembleBase(a, e, st.base)
+	}
 	rhs := s.psi[s.psiIdx(a, e, 0) : s.psiIdx(a, e, 0)+s.nG*s.nN]
 	s.assembleRHSAll(st, rhs, a, e)
 	if instr {
 		st.asmNS += time.Since(t0).Nanoseconds()
 	}
-	mass := s.em[e].Mass
-	mat := s.cfg.Mesh.Elems[e].Material
-	sigt := s.sigtEff[mat]
 	n := s.nN
+	if fent != nil {
+		if instr {
+			t0 = time.Now()
+		}
+		for r, run := range s.sigtRuns[mat] {
+			g0, k := int(run.g0), int(run.k)
+			la.SolveFactoredMulti(&fent.mats[r], fent.pivs[r], rhs[g0*n:(g0+k)*n], k)
+		}
+		if instr {
+			st.solveNS += time.Since(t0).Nanoseconds()
+		}
+		return nil
+	}
+	mass := s.em[e].Mass
+	sigt := s.sigtEff[mat]
 	ge := s.cfg.Solver == SolverGE
 	var firstErr error
 	for _, run := range s.sigtRuns[mat] {

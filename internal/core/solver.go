@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"unsnap/internal/accel"
 	"unsnap/internal/build"
 	"unsnap/internal/fem"
 	"unsnap/internal/la"
@@ -53,6 +54,19 @@ type Solver struct {
 	// the batched kernel factors once per run and multi-RHS-solves the
 	// run's group block (kernel.go).
 	sigtRuns [][]sigtRun
+
+	// DSA acceleration state (Config.Accelerate == AccelDSA): the
+	// per-group SPD coarse accelerator assembled over the artifact's
+	// geometric skeleton, plus the cell-sized scratch Accelerate reuses
+	// every inner. All nil when acceleration is off.
+	dsa     *accel.DSA
+	dsaGeo  *accel.Geometry
+	dsaDphi []float64
+	dsaCorr []float64
+
+	// fc is the batched kernel's shared (geometry class, material) factor
+	// cache; nil when disabled (see newFactorCache for the gates).
+	fc *factorCache
 
 	// P1 scattering state (ScatOrder 1): the current J per dimension and
 	// its source arrays, all in the scalar-flux layout; nil when
@@ -182,6 +196,20 @@ func New(cfg Config) (*Solver, error) {
 	}
 	s.sigtRuns = buildSigtRuns(s.sigtEff)
 
+	if cfg.Accelerate == AccelDSA {
+		if art.Accel == nil {
+			return nil, fmt.Errorf("core: AccelDSA requires an artifact with the DSA geometric operator (rebuild with this version)")
+		}
+		materials := make([]int, s.nE)
+		for e := range materials {
+			materials[e] = cfg.Mesh.Elems[e].Material
+		}
+		s.dsaGeo = art.Accel
+		s.dsa = accel.New(art.Accel, materials, cfg.Lib)
+		s.dsaDphi = make([]float64, s.nE)
+		s.dsaCorr = make([]float64, s.nE)
+	}
+
 	if cfg.ScatOrder >= 1 {
 		for d := 0; d < 3; d++ {
 			s.cur[d] = make([]float64, size)
@@ -194,6 +222,8 @@ func New(cfg Config) (*Solver, error) {
 	for w := range s.workers {
 		s.workers[w] = newWorkerState(art.KernelDims(), cfg.Scheme.engineBacked())
 	}
+
+	s.fc = newFactorCache(s)
 
 	if cfg.PreAssembled {
 		if err := s.preAssemble(); err != nil {

@@ -1,0 +1,199 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+	"time"
+
+	"unsnap"
+)
+
+// AccelConfig drives the synthetic-acceleration experiment: the same
+// scattering-dominated problem iterated to convergence with and without
+// the DSA correction, across scattering ratios and solver configurations
+// (single domain, cyclic mesh, and both 2-rank halo protocols).
+type AccelConfig struct {
+	// Problem is the plain (acyclic) shape; Cyclic the oscillating-twist
+	// variant. Both should be optically thick — on thin boxes leakage
+	// dominates and there is no diffusive mode for DSA to remove.
+	Problem unsnap.Problem
+	Cyclic  unsnap.Problem
+	Ratios  []float64 // scattering ratios to measure (0 < c < 1)
+	Epsi    float64
+	Threads int
+	// MaxInners bounds each convergence run (a failed convergence is an
+	// error, not a silent row).
+	MaxInners int
+}
+
+// DefaultAccel measures where the tentpole claims its win: c >= 0.9
+// problems about ten mean free paths across, where source iteration
+// grinds and the diffusion solve costs a negligible fraction of a sweep.
+func DefaultAccel() AccelConfig {
+	plain := unsnap.Problem{
+		NX: 8, NY: 8, NZ: 8, LX: 8, LY: 8, LZ: 8,
+		MatOpt: unsnap.MatCentre, SrcOpt: unsnap.SrcEverywhere,
+		Order: 1, AnglesPerOctant: 2, Groups: 1,
+	}
+	cyclic := plain
+	cyclic.NX, cyclic.NY, cyclic.NZ = 6, 6, 6
+	cyclic.LX, cyclic.LY, cyclic.LZ = 6, 6, 6
+	cyclic.Twist, cyclic.TwistPeriods = 0.8, 3
+	return AccelConfig{
+		Problem:   plain,
+		Cyclic:    cyclic,
+		Ratios:    []float64{0.9, 0.95},
+		Epsi:      1e-6,
+		Threads:   2,
+		MaxInners: 800,
+	}
+}
+
+// AccelRow is one measured (configuration, scattering ratio) point:
+// inners to convergence and wall seconds with the accelerator off and on,
+// and the relative flux-integral difference between the two converged
+// answers (which must sit at solver epsilon — DSA changes the path, not
+// the fixed point).
+type AccelRow struct {
+	Case         string  `json:"case"`
+	Ratio        float64 `json:"scattering_ratio"`
+	InnersOff    int     `json:"inners_unaccelerated"`
+	InnersOn     int     `json:"inners_dsa"`
+	InnerSpeedup float64 `json:"inner_speedup"`
+	WallOffSec   float64 `json:"wall_unaccelerated_s"`
+	WallOnSec    float64 `json:"wall_dsa_s"`
+	WallSpeedup  float64 `json:"wall_speedup"`
+	FluxRelDiff  float64 `json:"flux_rel_diff"`
+}
+
+// AccelSection is the serialised acceleration comparison of
+// BENCH_sweep.json.
+type AccelSection struct {
+	Commit  string       `json:"commit,omitempty"`
+	Machine *MachineInfo `json:"machine,omitempty"`
+	Problem ProblemShape `json:"problem"`
+	Epsi    float64      `json:"epsi"`
+	Rows    []AccelRow   `json:"rows"`
+}
+
+// accelCase is one solver configuration of the experiment.
+type accelCase struct {
+	name    string
+	problem unsnap.Problem
+	opts    unsnap.Options
+	grid    [2]int // rank grid; {1,1} runs the single-domain solver
+}
+
+// RunAccel measures every (case, ratio) point: one unaccelerated and one
+// DSA run each, both required to converge to Epsi.
+func RunAccel(cfg AccelConfig) ([]AccelRow, error) {
+	base := unsnap.Options{
+		Scheme: unsnap.Engine, Threads: cfg.Threads,
+		Epsi: cfg.Epsi, MaxInners: cfg.MaxInners, MaxOuters: 1,
+	}
+	cyclicOpts := base
+	cyclicOpts.AllowCycles = true
+	lagged := base
+	pipelined := base
+	pipelined.Protocol = unsnap.CommPipelined
+	cases := []accelCase{
+		{"single", cfg.Problem, base, [2]int{1, 1}},
+		{"cyclic", cfg.Cyclic, cyclicOpts, [2]int{1, 1}},
+		{"lagged-2rank", cfg.Problem, lagged, [2]int{2, 1}},
+		{"pipelined-2rank", cfg.Problem, pipelined, [2]int{2, 1}},
+	}
+
+	run := func(c accelCase, ratio float64, mode unsnap.AccelMode) (int, float64, float64, error) {
+		p := c.problem
+		p.ScatRatio = ratio
+		o := c.opts
+		o.Accelerate = mode
+		var (
+			res  *unsnap.Result
+			flux float64
+			err  error
+		)
+		t0 := time.Now()
+		if c.grid[0]*c.grid[1] > 1 {
+			var d *unsnap.Distributed
+			d, err = unsnap.NewDistributed(p, o, c.grid[0], c.grid[1])
+			if err == nil {
+				res, err = d.Run()
+				if err == nil {
+					flux = d.FluxIntegral(0)
+				}
+				d.Close()
+			}
+		} else {
+			var s *unsnap.Solver
+			s, err = unsnap.NewSolver(p, o)
+			if err == nil {
+				res, err = s.Run()
+				if err == nil {
+					flux = s.FluxIntegral(0)
+				}
+				s.Close()
+			}
+		}
+		wall := time.Since(t0).Seconds()
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("harness: accel experiment %s c=%g %v: %w", c.name, ratio, mode, err)
+		}
+		if res.FinalDF >= cfg.Epsi {
+			return 0, 0, 0, fmt.Errorf("harness: accel experiment %s c=%g %v: not converged in %d inners (df %g)",
+				c.name, ratio, mode, res.Inners, res.FinalDF)
+		}
+		return res.Inners, wall, flux, nil
+	}
+
+	var rows []AccelRow
+	for _, c := range cases {
+		for _, ratio := range cfg.Ratios {
+			innersOff, wallOff, fluxOff, err := run(c, ratio, unsnap.AccelNone)
+			if err != nil {
+				return nil, err
+			}
+			innersOn, wallOn, fluxOn, err := run(c, ratio, unsnap.AccelDSA)
+			if err != nil {
+				return nil, err
+			}
+			row := AccelRow{
+				Case: c.name, Ratio: ratio,
+				InnersOff: innersOff, InnersOn: innersOn,
+				WallOffSec: wallOff, WallOnSec: wallOn,
+				FluxRelDiff: math.Abs(fluxOn-fluxOff) / math.Abs(fluxOff),
+			}
+			if innersOn > 0 {
+				row.InnerSpeedup = float64(innersOff) / float64(innersOn)
+			}
+			if wallOn > 0 {
+				row.WallSpeedup = wallOff / wallOn
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// AccelSectionOf packages an accel run for WriteSweepJSON.
+func AccelSectionOf(cfg AccelConfig, rows []AccelRow) *AccelSection {
+	return &AccelSection{
+		Problem: shapeOf(cfg.Problem),
+		Epsi:    cfg.Epsi,
+		Rows:    rows,
+	}
+}
+
+// FprintAccel writes the comparison table.
+func FprintAccel(w io.Writer, cfg AccelConfig, rows []AccelRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Case\tc\tinners (plain)\tinners (DSA)\tspeedup\twall (plain)\twall (DSA)\twall speedup\tflux rel diff\n")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%g\t%d\t%d\t%.2fx\t%.3fs\t%.3fs\t%.2fx\t%.1e\n",
+			r.Case, r.Ratio, r.InnersOff, r.InnersOn, r.InnerSpeedup,
+			r.WallOffSec, r.WallOnSec, r.WallSpeedup, r.FluxRelDiff)
+	}
+	tw.Flush()
+}

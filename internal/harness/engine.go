@@ -124,6 +124,7 @@ type SweepReport struct {
 	Cycles *CyclesSection `json:"cycles,omitempty"`
 	Setup  *SetupSection  `json:"setup,omitempty"`
 	Kernel *KernelSection `json:"kernel,omitempty"`
+	Accel  *AccelSection  `json:"accel,omitempty"`
 }
 
 // Sections bundles the refreshed sections of one bench run for
@@ -134,6 +135,7 @@ type Sections struct {
 	Cycles *CyclesSection
 	Setup  *SetupSection
 	Kernel *KernelSection
+	Accel  *AccelSection
 }
 
 // RunEngine measures all three executors at every thread count: the
@@ -239,6 +241,11 @@ func WriteSweepJSON(path, commit string, s Sections) error {
 		sec := *s.Kernel
 		sec.Commit, sec.Machine = commit, mi
 		rep.Kernel = &sec
+	}
+	if s.Accel != nil {
+		sec := *s.Accel
+		sec.Commit, sec.Machine = commit, mi
+		rep.Accel = &sec
 	}
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

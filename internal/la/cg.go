@@ -1,0 +1,110 @@
+package la
+
+import (
+	"errors"
+	"math"
+)
+
+// Preconditioned conjugate gradients: the SPD-shaped sibling of
+// SolveGE/Factor. The synthetic diffusion accelerator's coarse operator is
+// a symmetric positive-definite M-matrix over mesh cells — far too large
+// and too sparse for the dense LU kernels — so it is solved iteratively
+// through the Operator interface below, matrix-free, with a Jacobi
+// (diagonal) preconditioner supplied as an inverse-diagonal vector.
+//
+// Like the dense routines, SolvePCG is allocation-free given a
+// CGWorkspace: it runs between sweep inners on the iteration hot path and
+// must not regress the engine's steady-state zero-allocation contract.
+
+// ErrNotSPD is returned when CG encounters a search direction with
+// non-positive curvature (p' A p <= 0): the operator is indefinite or
+// singular, outside the method's contract.
+var ErrNotSPD = errors.New("la: operator is not symmetric positive definite")
+
+// ErrNoConvergence is returned when CG exhausts its iteration budget
+// without reaching the requested residual reduction.
+var ErrNoConvergence = errors.New("la: CG failed to converge")
+
+// Operator applies a linear map y = A x. Implementations must be
+// symmetric positive definite for use with SolvePCG.
+type Operator interface {
+	Apply(x, y []float64)
+}
+
+// Apply implements Operator for a dense Matrix via MatVec, so the dense
+// test problems and the matrix-free production operators share one solver.
+func (m *Matrix) Apply(x, y []float64) { MatVec(m, x, y) }
+
+// CGWorkspace bundles the four length-n vectors SolvePCG needs so repeated
+// solves allocate nothing.
+type CGWorkspace struct {
+	R, Z, P, Q []float64
+}
+
+// NewCGWorkspace allocates scratch for n-dimensional PCG solves.
+func NewCGWorkspace(n int) *CGWorkspace {
+	return &CGWorkspace{
+		R: make([]float64, n),
+		Z: make([]float64, n),
+		P: make([]float64, n),
+		Q: make([]float64, n),
+	}
+}
+
+// SolvePCG solves A x = b for the SPD operator op by preconditioned
+// conjugate gradients with the Jacobi preconditioner given as invDiag
+// (entrywise inverse of the operator diagonal). x is overwritten with the
+// solution starting from the zero guess; b is left untouched. Iteration
+// stops when ||r||_2 <= tol*||b||_2, returning the number of iterations
+// performed. A zero right-hand side returns the zero solution immediately.
+func SolvePCG(op Operator, invDiag, b, x []float64, tol float64, maxIter int, ws *CGWorkspace) (int, error) {
+	n := len(b)
+	r, z, p, q := ws.R[:n], ws.Z[:n], ws.P[:n], ws.Q[:n]
+	bnorm2 := 0.0
+	for i := range x {
+		x[i] = 0
+		r[i] = b[i]
+		bnorm2 += b[i] * b[i]
+	}
+	if bnorm2 == 0 {
+		return 0, nil
+	}
+	stop2 := tol * tol * bnorm2
+	rz := 0.0
+	for i := range r {
+		z[i] = invDiag[i] * r[i]
+		p[i] = z[i]
+		rz += r[i] * z[i]
+	}
+	for iter := 1; iter <= maxIter; iter++ {
+		op.Apply(p, q)
+		pq := 0.0
+		for i := range p {
+			pq += p[i] * q[i]
+		}
+		if pq <= 0 || math.IsNaN(pq) {
+			return iter, ErrNotSPD
+		}
+		alpha := rz / pq
+		rnorm2 := 0.0
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * q[i]
+			rnorm2 += r[i] * r[i]
+		}
+		if rnorm2 <= stop2 {
+			return iter, nil
+		}
+		rzNew := 0.0
+		for i := range r {
+			z[i] = invDiag[i] * r[i]
+			rzNew += r[i] * z[i]
+		}
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return maxIter, ErrNoConvergence
+}

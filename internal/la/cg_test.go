@@ -1,0 +1,133 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// spdSystem builds a well-conditioned random SPD matrix A = B'B + n*I and
+// a random right-hand side, deterministically seeded.
+func spdSystem(n int, seed int64) (*Matrix, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewMatrix(n)
+	for i := range b.Data {
+		b.Data[i] = rng.Float64()*2 - 1
+	}
+	a := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += b.Data[k*n+i] * b.Data[k*n+j]
+			}
+			a.Data[i*n+j] = s
+		}
+		a.Data[i*n+i] += float64(n)
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = rng.Float64()*2 - 1
+	}
+	return a, rhs
+}
+
+// TestSolvePCGMatchesSolveGE checks PCG against the direct solver on
+// random SPD systems of several sizes.
+func TestSolvePCGMatchesSolveGE(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 17, 40} {
+		a, rhs := spdSystem(n, int64(n))
+
+		ref := make([]float64, n)
+		ac := NewMatrix(n)
+		ac.CopyFrom(a)
+		bc := append([]float64(nil), rhs...)
+		if err := SolveGE(ac, bc, ref); err != nil {
+			t.Fatalf("n=%d: SolveGE: %v", n, err)
+		}
+
+		invDiag := make([]float64, n)
+		for i := range invDiag {
+			invDiag[i] = 1 / a.At(i, i)
+		}
+		x := make([]float64, n)
+		iters, err := SolvePCG(a, invDiag, rhs, x, 1e-12, 10*n+10, NewCGWorkspace(n))
+		if err != nil {
+			t.Fatalf("n=%d: SolvePCG: %v", n, err)
+		}
+		if iters < 1 || iters > n+1 {
+			t.Fatalf("n=%d: PCG took %d iterations, want within [1, n+1]", n, iters)
+		}
+		for i := range x {
+			if d := math.Abs(x[i] - ref[i]); d > 1e-8*(1+math.Abs(ref[i])) {
+				t.Fatalf("n=%d: x[%d] = %v, SolveGE %v (diff %g)", n, i, x[i], ref[i], d)
+			}
+		}
+	}
+}
+
+// TestSolvePCGRejectsNonSPD pins the indefinite/singular rejection: any
+// search direction with non-positive curvature must surface ErrNotSPD
+// rather than silently diverging.
+func TestSolvePCGRejectsNonSPD(t *testing.T) {
+	cases := []struct {
+		name    string
+		diag    []float64
+		invDiag []float64
+		rhs     []float64
+	}{
+		{"indefinite", []float64{1, -1}, []float64{1, -1}, []float64{1, 1}},
+		{"singular", []float64{1, 0}, []float64{1, 1}, []float64{0, 1}},
+	}
+	for _, tc := range cases {
+		n := len(tc.diag)
+		a := NewMatrix(n)
+		for i, d := range tc.diag {
+			a.Set(i, i, d)
+		}
+		x := make([]float64, n)
+		if _, err := SolvePCG(a, tc.invDiag, tc.rhs, x, 1e-10, 50, NewCGWorkspace(n)); err != ErrNotSPD {
+			t.Fatalf("%s: err = %v, want ErrNotSPD", tc.name, err)
+		}
+	}
+}
+
+// TestSolvePCGZeroRHS pins the trivial-solve short-circuit: a zero
+// right-hand side returns the zero solution in zero iterations.
+func TestSolvePCGZeroRHS(t *testing.T) {
+	a, _ := spdSystem(4, 7)
+	invDiag := []float64{1, 1, 1, 1}
+	x := []float64{3, 3, 3, 3} // stale guess must be cleared
+	iters, err := SolvePCG(a, invDiag, make([]float64, 4), x, 1e-12, 10, NewCGWorkspace(4))
+	if err != nil || iters != 0 {
+		t.Fatalf("zero rhs: iters=%d err=%v, want 0, nil", iters, err)
+	}
+	for i, v := range x {
+		if v != 0 {
+			t.Fatalf("x[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+// TestSolvePCGAllocFree pins the between-inner hot path's allocation
+// contract: a steady-state PCG solve with a prebuilt workspace must not
+// allocate.
+func TestSolvePCGAllocFree(t *testing.T) {
+	n := 24
+	a, rhs := spdSystem(n, 3)
+	invDiag := make([]float64, n)
+	for i := range invDiag {
+		invDiag[i] = 1 / a.At(i, i)
+	}
+	x := make([]float64, n)
+	ws := NewCGWorkspace(n)
+	var op Operator = a
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := SolvePCG(op, invDiag, rhs, x, 1e-10, 10*n, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("SolvePCG allocates %.1f objects per solve, want 0", avg)
+	}
+}

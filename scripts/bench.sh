@@ -5,13 +5,15 @@
 # comparison (legacy lagged vs cycle-aware engine vs engine+pipelined on
 # a genuinely cyclic twisted mesh), the problem-build comparison (cold
 # artifact build vs warm cache fetch) and the task-kernel comparison
-# (batched vs scalar task bodies, with the steady-state allocation rate),
-# and records ns/op per sweep into BENCH_sweep.json at the repo root,
-# stamped with the git commit and machine so successive PRs can attribute
-# the hot-path trajectory.
+# (batched vs scalar task bodies, with the steady-state allocation rate)
+# and the synthetic-diffusion-acceleration comparison (inners to
+# convergence with DSA off vs on across scattering ratios and solver
+# configurations), and records ns/op per sweep into BENCH_sweep.json at
+# the repo root, stamped with the git commit and machine so successive
+# PRs can attribute the hot-path trajectory.
 # Extra flags are passed through to cmd/unsnap-bench (e.g. -inners 10).
 set -e
 cd "$(dirname "$0")/.."
 COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
-exec go run ./cmd/unsnap-bench -experiment engine,comm,cycles,setup,kernel -threads 1,2,4 \
+exec go run ./cmd/unsnap-bench -experiment engine,comm,cycles,setup,kernel,accel -threads 1,2,4 \
 	-json BENCH_sweep.json -commit "$COMMIT" "$@"

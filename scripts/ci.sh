@@ -24,10 +24,11 @@ go build ./...
 go build ./examples/...
 # Bench-tool smoke pass: every experiment path the perf trajectory
 # depends on (engine, comm protocols, cyclic meshes with both cycle
-# orders, build cache, task kernels) executes end to end on tiny
-# problems — seconds, not minutes — so the bench plumbing cannot bit-rot
-# between real BENCH_sweep.json refreshes. -smoke never writes JSON.
-go run ./cmd/unsnap-bench -experiment engine,comm,cycles,setup,kernel -smoke
+# orders, build cache, task kernels, diffusion acceleration) executes end
+# to end on tiny problems — seconds, not minutes — so the bench plumbing
+# cannot bit-rot between real BENCH_sweep.json refreshes. -smoke never
+# writes JSON.
+go run ./cmd/unsnap-bench -experiment engine,comm,cycles,setup,kernel,accel -smoke
 # Artifact-cache smoke: two solves of one problem through one cache must
 # hit on the second build and match bitwise. The binary prints a
 # machine-checkable verdict line; grep pins it so a silent cache miss
@@ -40,6 +41,12 @@ go run ./cmd/unsnap -nx 4 -nang 2 -ng 2 -iitm 4 -oitm 1 -force-iterations -cache
 # lagged snapshot reads and the shifted cross-rank channel are exactly
 # the kind of concurrency the detector exists for.
 go test -race -run 'Cyclic|CycleOrder|FeedbackArc' ./internal/core ./internal/comm .
+# Acceleration suite under the race detector: the factor cache's
+# lock-free entry states (first-builder CAS, release-store publish) and
+# the rank-local DSA hooks in both halo protocols are concurrent by
+# construction; the suite also pins the cached kernel's bitwise parity
+# and DSA's fewer-inners/same-answer contract.
+go test -race -run 'Accel|DSA|SolvePCG' ./internal/core ./internal/comm ./internal/accel ./internal/la .
 # Chaos smoke pass: the seeded fault-injection suite (delay/reorder
 # parity, drop+retry recovery, stall-within-deadline, degrade-to-lagged,
 # Close-mid-fault, goroutine-leak checks) under the race detector — the

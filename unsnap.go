@@ -176,6 +176,30 @@ func AllCycleOrders() []CycleOrder {
 	return out
 }
 
+// AccelMode selects the between-inner acceleration of the source
+// iteration; see Options.Accelerate.
+type AccelMode int
+
+const (
+	// AccelNone runs plain source iteration (the paper's scheme).
+	// Unaccelerated runs are bitwise identical to solvers built before
+	// acceleration existed.
+	AccelNone AccelMode = iota
+	// AccelDSA applies a synthetic diffusion correction between inner
+	// iterations: the sweep's cell-averaged flux change drives one SPD
+	// cell-centred diffusion solve per group (preconditioned conjugate
+	// gradients on a TPFA operator assembled from the build artifact's
+	// geometric data), whose solution is added to the scalar flux. The
+	// correction vanishes at the fixed point, so the converged flux is
+	// the unaccelerated answer — reached in fewer inner iterations on
+	// scattering-dominated problems. Steady-state, isotropic scattering
+	// and vacuum boundaries only.
+	AccelDSA
+)
+
+// String names the mode (the spelling the -accelerate flags accept).
+func (m AccelMode) String() string { return core.AccelMode(m).String() }
+
 // CommProtocol selects how NewDistributed couples its ranks; see the
 // internal/comm package comment for the full protocol descriptions.
 type CommProtocol int
@@ -248,6 +272,14 @@ type Problem struct {
 	// paper's setting) or 1 for linearly anisotropic P1 scattering with
 	// SNAP-style synthetic first-moment data.
 	ScatOrder int
+
+	// ScatRatio, when nonzero, pins every group's scattering ratio
+	// sigs/sigt to this value (0 < ScatRatio < 1) instead of the default
+	// library's 0.5/0.6, preserving each material's total cross section.
+	// High ratios make the problem scattering-dominated — the regime
+	// where source iteration slows down and Options.Accelerate pays off.
+	// Isotropic only (incompatible with ScatOrder >= 1).
+	ScatRatio float64
 }
 
 // DefaultProblem returns the paper's Figure 3 configuration scaled down to
@@ -311,6 +343,14 @@ type Options struct {
 	// the paper's BSP block Jacobi, CommPipelined streams angular flux
 	// across ranks mid-sweep.
 	Protocol CommProtocol
+
+	// Accelerate selects the between-inner acceleration: AccelNone
+	// (default) or AccelDSA, the synthetic diffusion correction. DSA is
+	// steady-state, isotropic, vacuum-boundary only — NewSolver and
+	// NewDistributed reject it combined with TimeSteps, ScatOrder >= 1 or
+	// Reflect. Distributed drivers apply the correction rank-locally on
+	// both protocols.
+	Accelerate AccelMode
 
 	Epsi      float64
 	MaxInners int
@@ -491,6 +531,18 @@ func validateOptions(o Options, distributed bool) error {
 	if o.Deadline < 0 {
 		return fmt.Errorf("unsnap: negative deadline %v", o.Deadline)
 	}
+	switch o.Accelerate {
+	case AccelNone:
+	case AccelDSA:
+		if o.TimeSteps > 0 {
+			return fmt.Errorf("unsnap: AccelDSA does not support time-dependent runs")
+		}
+		if o.Reflect != [3]bool{} {
+			return fmt.Errorf("unsnap: AccelDSA requires vacuum boundaries (no Reflect)")
+		}
+	default:
+		return fmt.Errorf("unsnap: unknown acceleration mode %d", int(o.Accelerate))
+	}
 	if !distributed {
 		if o.Fault != nil {
 			return fmt.Errorf("unsnap: fault injection requires NewDistributed with CommPipelined")
@@ -563,9 +615,14 @@ func buildParts(p Problem) (*mesh.Mesh, *quadrature.Set, *xs.Library, error) {
 		return nil, nil, nil, err
 	}
 	var lib *xs.Library
-	if p.ScatOrder >= 1 {
+	switch {
+	case p.ScatRatio != 0 && p.ScatOrder >= 1:
+		err = fmt.Errorf("unsnap: ScatRatio requires isotropic scattering (ScatOrder 0), got %d", p.ScatOrder)
+	case p.ScatRatio != 0:
+		lib, err = xs.NewLibraryRatio(p.Groups, p.ScatRatio)
+	case p.ScatOrder >= 1:
 		lib, err = xs.NewLibraryP1(p.Groups)
-	} else {
+	default:
 		lib, err = xs.NewLibrary(p.Groups)
 	}
 	if err != nil {
@@ -587,6 +644,7 @@ func coreConfig(p Problem, o Options, m *mesh.Mesh, q *quadrature.Set, lib *xs.L
 		PreAssembled:    o.PreAssembled,
 		Instrument:      o.Instrument,
 		ScatOrder:       p.ScatOrder,
+		Accelerate:      core.AccelMode(o.Accelerate),
 		HealthChecks:    o.HealthChecks,
 		Artifact:        o.Artifact,
 		Cache:           o.Cache,
@@ -749,6 +807,9 @@ func (p Problem) Validate() error {
 	}
 	if p.AnglesPerOctant < 1 || p.Groups < 1 {
 		return fmt.Errorf("unsnap: need at least one angle and one group")
+	}
+	if p.ScatRatio != 0 && !(p.ScatRatio > 0 && p.ScatRatio < 1) {
+		return fmt.Errorf("unsnap: scattering ratio %v invalid (need 0 < ratio < 1)", p.ScatRatio)
 	}
 	return xs.ValidateOptions(p.MatOpt, p.SrcOpt)
 }

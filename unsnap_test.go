@@ -592,3 +592,102 @@ func TestNewSolverErrors(t *testing.T) {
 		t.Fatal("expected library error")
 	}
 }
+
+// TestAccelerateValidation is the facade rejection table for the
+// acceleration knobs: every unsupported combination fails fast with a
+// structured one-line error, before any solver is built.
+func TestAccelerateValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		prob func() Problem
+		opts Options
+	}{
+		{"unknown mode", smallProblem, Options{Accelerate: AccelMode(9)}},
+		{"time-dependent", smallProblem, Options{Accelerate: AccelDSA, TimeSteps: 2, TimeDt: 0.5}},
+		{"reflective", smallProblem, Options{Accelerate: AccelDSA, Reflect: [3]bool{true, false, false}}},
+		{"P1 scattering", func() Problem {
+			p := smallProblem()
+			p.ScatOrder = 1
+			return p
+		}, Options{Accelerate: AccelDSA}},
+		{"ratio with P1", func() Problem {
+			p := smallProblem()
+			p.ScatOrder = 1
+			p.ScatRatio = 0.9
+			return p
+		}, Options{}},
+		{"ratio too high", func() Problem {
+			p := smallProblem()
+			p.ScatRatio = 1.5
+			return p
+		}, Options{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewSolver(tc.prob(), tc.opts); err == nil {
+				t.Fatalf("%s: accepted, want rejection", tc.name)
+			} else {
+				t.Logf("rejected: %v", err)
+			}
+		})
+	}
+	if err := (Problem{}).Validate(); err == nil {
+		t.Fatal("zero problem accepted")
+	}
+	p := smallProblem()
+	p.ScatRatio = -0.5
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative scattering ratio accepted")
+	}
+}
+
+// TestAccelerateFacade runs DSA end to end through the public API: a
+// scattering-dominated problem converges to the unaccelerated flux in
+// fewer inner iterations, single-domain and 2-rank distributed alike.
+func TestAccelerateFacade(t *testing.T) {
+	prob := Problem{
+		NX: 6, NY: 6, NZ: 6, LX: 6, LY: 6, LZ: 6,
+		MatOpt: MatCentre, SrcOpt: SrcEverywhere,
+		Order: 1, AnglesPerOctant: 2, Groups: 1,
+		ScatRatio: 0.95,
+	}
+	opts := Options{Epsi: 1e-6, MaxInners: 400, MaxOuters: 1}
+
+	run := func(mode AccelMode, ranks int) (int, float64) {
+		o := opts
+		o.Accelerate = mode
+		if ranks > 1 {
+			d, err := NewDistributed(prob, o, ranks, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			res, err := d.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Inners, d.FluxIntegral(0)
+		}
+		s, err := NewSolver(prob, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Inners, s.FluxIntegral(0)
+	}
+	for _, ranks := range []int{1, 2} {
+		innersOff, fluxOff := run(AccelNone, ranks)
+		innersOn, fluxOn := run(AccelDSA, ranks)
+		t.Logf("ranks=%d inners: %d unaccelerated, %d with DSA", ranks, innersOff, innersOn)
+		if innersOn >= innersOff {
+			t.Errorf("ranks=%d: DSA did not reduce inners: %d -> %d", ranks, innersOff, innersOn)
+		}
+		if d := math.Abs(fluxOn-fluxOff) / math.Abs(fluxOff); d > 1e-4 {
+			t.Errorf("ranks=%d: flux integral %v vs %v (rel diff %g)", ranks, fluxOn, fluxOff, d)
+		}
+	}
+}
