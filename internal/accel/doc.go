@@ -1,0 +1,51 @@
+// Package accel implements synthetic diffusion acceleration (DSA) for the
+// UnSNAP source iteration. A transport sweep attenuates high-frequency
+// error components quickly but leaves the diffusive (flat, scattering-
+// dominated) modes to decay like the scattering ratio c per inner; at
+// c >= 0.9 that is the whole iteration cost. DSA closes the gap by
+// solving, between sweeps, a cheap SPD diffusion problem for the slowly
+// converging component of the scalar-flux update and adding the result
+// back as a correction:
+//
+//	-div(D grad dphi) + sigma_r dphi = sigma_s,gg (phibar' - phibar)
+//
+// per group, where phibar' - phibar is the cell-averaged change the sweep
+// just produced. The correction vanishes at the fixed point, so the
+// converged flux is the transport answer, not a diffusion answer — only
+// the path to it is shortened.
+//
+// The operator is a cell-centered two-point-flux (TPFA) discretisation
+// over the mesh's element faces: one unknown per cell, face
+// transmissibilities from vector face areas and centroid distances, and
+// Marshak vacuum conditions on boundary faces. On the twisted meshes the
+// scheme is an inconsistent ("partially consistent" in DSA terms)
+// discretisation of the transport diffusion limit; with the optically thin
+// cells UnSNAP runs (sigma_t h well below 1) it is stable and effective.
+// The purely geometric part — face areas, distances, cell volumes, node
+// quadrature weights — is independent of cross sections, so it is built
+// once per mesh topology (Geometry) and cached in the build artifact;
+// the per-group operators (DSA) are assembled from it per solver.
+//
+// # Contract
+//
+// Acceleration buys iterations, never a different answer: an accelerated
+// run and an unaccelerated run of the same problem converge to the same
+// flux within the solve tolerance, with the accelerated run spending
+// fewer inners (both pinned by the core package's DSA tests). The
+// correction is applied between inners of one group's source iteration
+// and never crosses the group or rank structure — distributed drivers
+// apply DSA rank-locally to the subdomain the rank owns.
+//
+// # Determinism
+//
+// Everything here is deterministic given the mesh and the cross sections.
+// The PCG solve runs a fixed dot-product order (no reduction tree depends
+// on thread count), so a given operator and right-hand side produce the
+// identical correction on every run. The per-material factor cache is
+// lock-free on the hot path (first-builder CAS, release-store publish)
+// but its values are pure functions of material data: whichever solver
+// wins the race builds the same factorisation any other would have, so
+// concurrency affects who pays, never what is computed — the cached and
+// uncached diffusion solves match bitwise (pinned by the factor-cache
+// parity tests).
+package accel

@@ -1,21 +1,3 @@
-// Package build is the problem-build layer: everything a solver derives
-// from the mesh topology and the angular quadrature alone — the
-// face-node matching, the per-element basis-pair matrices, the
-// per-ordinate inflow classification with its deduplicated sweep
-// schedules, cycle condensations and counter graphs, and the pre-fused
-// per-angle face matrices — is computed here, once, into an immutable
-// Artifact keyed by a canonical content fingerprint.
-//
-// Splitting the build from the solve makes the expensive setup phase
-// independently cacheable: a Cache (size-bounded, LRU by bytes) hands
-// the same Artifact to every solver — and every rank of a distributed
-// driver — asking for the same topology, so a hot mesh amortises its
-// classification and condensation cost across solves instead of
-// re-deriving it per solver instance. Mutable solve state (angular and
-// scalar flux, sources, counters, the streamed-inflow slots) stays in
-// core.Solver; nothing in an Artifact is ever written after Build
-// returns, which is what makes sharing it across solvers and goroutines
-// safe.
 package build
 
 import (

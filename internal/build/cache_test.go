@@ -21,7 +21,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	c := NewCache(100)
 	get := func(key string, size int64) {
 		t.Helper()
-		if _, err := c.getOrBuild(key, func() (sized, error) { return fakeSized(size), nil }); err != nil {
+		if _, err := c.getOrBuild(key, "", 0, func() (sized, error) { return fakeSized(size), nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -49,7 +49,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	c = NewCache(10)
 	get = func(key string, size int64) {
 		t.Helper()
-		if _, err := c.getOrBuild(key, func() (sized, error) { return fakeSized(size), nil }); err != nil {
+		if _, err := c.getOrBuild(key, "", 0, func() (sized, error) { return fakeSized(size), nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -73,7 +73,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := c.getOrBuild("k", func() (sized, error) {
+			v, err := c.getOrBuild("k", "", 0, func() (sized, error) {
 				builds.Add(1)
 				<-release // hold the build open so the others must join it
 				return fakeSized(7), nil
@@ -111,15 +111,80 @@ func TestCacheFailedBuildRetries(t *testing.T) {
 		}
 		return fakeSized(1), nil
 	}
-	if _, err := c.getOrBuild("k", build); err == nil {
+	if _, err := c.getOrBuild("k", "", 0, build); err == nil {
 		t.Fatal("first build should have failed")
 	}
 	fail = false
-	if _, err := c.getOrBuild("k", build); err != nil {
+	if _, err := c.getOrBuild("k", "", 0, build); err != nil {
 		t.Fatalf("retry after failed build: %v", err)
 	}
 	if st := c.Stats(); st.Entries != 1 {
 		t.Fatalf("stats %+v, want the retried value cached", st)
+	}
+}
+
+// TestCacheTenantBudget pins the multi-tenant isolation contract: a
+// tenant's byte budget evicts only that tenant's own LRU entries, other
+// tenants' residency is untouched, and the per-tenant counters attribute
+// hits, misses, bytes and evictions to the right identity.
+func TestCacheTenantBudget(t *testing.T) {
+	c := NewCache(0) // no global budget: only tenant budgets act
+	get := func(tenant string, limit int64, key string, size int64) {
+		t.Helper()
+		if _, err := c.getOrBuild(key, tenant, limit, func() (sized, error) { return fakeSized(size), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("acme", 100, "a1", 40)
+	get("acme", 100, "a2", 40)
+	get("zeta", 100, "z1", 40)
+	// Pushing acme over budget must drop acme's LRU entry (a1), never z1.
+	get("acme", 100, "a3", 40)
+	ts := c.TenantStatsSnapshot()
+	if got := ts["acme"]; got.Evictions != 1 || got.Entries != 2 || got.Bytes != 80 || got.Misses != 3 {
+		t.Fatalf("acme stats %+v, want 1 eviction, 2 entries, 80 bytes, 3 misses", got)
+	}
+	if got := ts["zeta"]; got.Evictions != 0 || got.Entries != 1 || got.Bytes != 40 {
+		t.Fatalf("zeta stats %+v, want untouched residency", got)
+	}
+	hits := c.Stats().Hits
+	get("zeta", 100, "z1", 40) // still resident
+	if c.Stats().Hits != hits+1 {
+		t.Fatal("zeta's entry was evicted by acme's budget")
+	}
+	get("acme", 100, "a1", 40) // evicted: rebuilds (and re-evicts acme's LRU, a2)
+	if got := c.TenantStatsSnapshot()["acme"]; got.Misses != 4 || got.Evictions != 2 {
+		t.Fatalf("acme after a1 rebuild: %+v, want 4 misses, 2 evictions", got)
+	}
+
+	// Cross-tenant sharing: a hit on another tenant's entry counts for
+	// the reader but leaves the charge with the builder.
+	get("zeta", 100, "a3", 40)
+	ts = c.TenantStatsSnapshot()
+	if got := ts["zeta"]; got.Hits != 2 || got.Bytes != 40 {
+		t.Fatalf("zeta after shared hit: %+v, want 2 hits and unchanged bytes", got)
+	}
+
+	// A single entry over the tenant budget stays resident (the global
+	// oversized rule, per tenant).
+	get("big", 10, "huge", 1000)
+	if got := c.TenantStatsSnapshot()["big"]; got.Entries != 1 || got.Evictions != 0 {
+		t.Fatalf("oversized tenant entry: %+v, want it resident", got)
+	}
+
+	// The global budget still unwinds tenant accounting when it evicts.
+	c2 := NewCache(50)
+	gc := func(tenant, key string, size int64) {
+		t.Helper()
+		if _, err := c2.getOrBuild(key, tenant, 0, func() (sized, error) { return fakeSized(size), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gc("acme", "g1", 40)
+	gc("zeta", "g2", 40) // global eviction drops acme's g1
+	ts = c2.TenantStatsSnapshot()
+	if got := ts["acme"]; got.Entries != 0 || got.Bytes != 0 || got.Evictions != 1 {
+		t.Fatalf("acme after global eviction: %+v, want zero residency and 1 eviction", got)
 	}
 }
 

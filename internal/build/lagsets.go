@@ -130,7 +130,7 @@ func CachedGlobalLagSets(c *Cache, m *mesh.Mesh, re *fem.RefElement, q *quadratu
 	if c == nil {
 		return GlobalLagSets(m, re, q, cycleOrder, allowCycles)
 	}
-	v, err := c.getOrBuild(LagSetsKey(m, re.P, q, cycleOrder, allowCycles), func() (sized, error) {
+	v, err := c.getOrBuild(LagSetsKey(m, re.P, q, cycleOrder, allowCycles), "", 0, func() (sized, error) {
 		return GlobalLagSets(m, re, q, cycleOrder, allowCycles)
 	})
 	if err != nil {

@@ -1,40 +1,3 @@
-// Package comm implements the global (cross-rank) layer of the solver:
-// the mesh is split over a KBA-style 2D rank grid and each rank — a
-// goroutine standing in for one of the paper's MPI processes — owns a
-// core.Solver for its subdomain. Two communication protocols couple the
-// ranks:
-//
-//   - Lagged (the paper's scheme): parallel block Jacobi driven in BSP
-//     super-steps — every rank sweeps its whole subdomain using the halo
-//     fluxes of the previous inner iteration, a barrier, a bulk halo
-//     exchange, another barrier. Every rank starts sweeping immediately,
-//     but the lagged coupling costs extra inner iterations as the rank
-//     count grows, and the halo boundary callback pins each rank's engine
-//     to sequential octant phases.
-//
-//   - Pipelined: the sweep itself spans the ranks. Remote upwind faces
-//     are latent dependencies of each rank's counter-driven task graph
-//     (core.Config.External); the engine publishes boundary outflow the
-//     moment the owning task completes, per-edge channels stream it to
-//     the downstream rank, and the receiver resolves the waiting tasks
-//     mid-sweep — so the whole partitioned mesh executes one cross-rank
-//     task graph per sweep in wavefront order, with no halo barrier and
-//     the fused eight-octant phase intact on vacuum problems. Cyclic
-//     meshes ride the same path (AllowCycles): a single global SCC
-//     condensation decides, identically to the single-domain solver,
-//     which couplings are lagged to the previous iterate — intra-rank
-//     ones read the rank's psi snapshot, cross-rank ones are consumed one
-//     sweep late on a dedicated channel — while everything off-cycle
-//     still streams mid-sweep. Iteration counts and fluxes match the
-//     single-domain solver exactly. Convergence-gated runs exchange one
-//     scalar (the flux change) per inner iteration to agree on
-//     termination; forced-iteration runs need no synchronisation at all,
-//     so ranks pipeline freely across inner (and outer) boundaries under
-//     channel backpressure.
-//
-// Lagged remains the default and the paper-faithful A/B baseline; the
-// protocols share the partition metadata (mesh.RemoteFaces), the
-// deterministic per-rank flux reduction, and the balance accounting.
 package comm
 
 import (

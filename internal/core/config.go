@@ -1,16 +1,3 @@
-// Package core implements the UnSNAP solver: the discontinuous Galerkin
-// discrete-ordinates transport sweep on unstructured hexahedral meshes,
-// with SNAP's iteration structure (Jacobi outers over the group-to-group
-// scattering source, source-iteration inners within each group) layered on
-// top. The per-ordinate wavefront schedules come from internal/sweep, the
-// per-element basis-pair integrals from internal/fem, and the small dense
-// solves from internal/la.
-//
-// The package exposes the paper's experimental knobs directly: the six
-// on-node concurrency schemes of Figures 3/4 (which loops are threaded and
-// the matching array layouts), the choice of local solver (hand-written
-// Gaussian elimination vs. the blocked-LU dgesv stand-in) of Table II, and
-// the pre-assembled-matrix mode discussed as future work in section IV-B1.
 package core
 
 import (
@@ -346,6 +333,14 @@ type Config struct {
 	// Table II (small overhead per local solve, as the paper notes).
 	Instrument bool
 
+	// Progress, when non-nil, is called after every completed inner
+	// iteration of RunContext with the iteration indices and the flux
+	// change (see Progress). It runs synchronously on the iteration
+	// goroutine between inners — the hook for per-inner streaming in
+	// long-running services. Only the single-domain Run path calls it;
+	// the distributed drivers own their iteration loops.
+	Progress func(Progress)
+
 	// HealthChecks enables the numerical-health guards: a NaN/Inf scan of
 	// the scalar flux after every inner iteration and a divergence monitor
 	// over the inner flux-change sequence, both surfaced as a typed
@@ -406,6 +401,16 @@ type Config struct {
 	// artifact per distinct topology. Nil builds privately, preserving
 	// the old behaviour.
 	Cache *build.Cache
+
+	// CacheTenant attributes this configuration's cache traffic (hits,
+	// misses, resident bytes) to a named tenant, and CacheTenantBytes
+	// bounds that tenant's total resident bytes: when an insert pushes
+	// the tenant over its budget, the tenant's own least-recently-used
+	// entries are evicted first, so one tenant's mesh churn cannot evict
+	// another tenant's hot artifacts. Zero values mean unattributed and
+	// unbounded; both are meaningless without Cache.
+	CacheTenant      string
+	CacheTenantBytes int64
 
 	// CycleLagKey names the decision content of CycleLag canonically (the
 	// distributed driver derives it from its global lag-set key and the

@@ -1,0 +1,37 @@
+// Package core implements the UnSNAP solver: the discontinuous Galerkin
+// discrete-ordinates transport sweep on unstructured hexahedral meshes,
+// with SNAP's iteration structure (Jacobi outers over the group-to-group
+// scattering source, source-iteration inners within each group) layered on
+// top. The per-ordinate wavefront schedules come from internal/sweep, the
+// per-element basis-pair integrals from internal/fem, and the small dense
+// solves from internal/la.
+//
+// The package exposes the paper's experimental knobs directly: the six
+// on-node concurrency schemes of Figures 3/4 (which loops are threaded and
+// the matching array layouts), the choice of local solver (hand-written
+// Gaussian elimination vs. the blocked-LU dgesv stand-in) of Table II, and
+// the pre-assembled-matrix mode discussed as future work in section IV-B1.
+//
+// # Determinism and parity contract
+//
+// Every knob trades time, never the answer. The scheme executors, the
+// persistent counter-driven engine, the fused and sequential octant
+// modes and the batched and scalar task kernels all update disjoint
+// per-element angular-flux storage and reduce into the scalar flux at
+// fixed points of the iteration, so for a given (problem, options) the
+// flux trajectory is bitwise reproducible across runs and thread counts,
+// and the equivalence suites pin the executors against each other (and
+// against the legacy bucket path on cyclic meshes) at 1e-12 or bitwise.
+// A solver built from a cached artifact (internal/build) is
+// indistinguishable from one built cold.
+//
+// Run and RunContext are the iteration drivers: inners within a group
+// until the pointwise flux change clears Epsi (or MaxInners), Jacobi
+// outers over the scattering source until global convergence (or
+// MaxOuters), an optional DSA correction between inners, and an optional
+// Progress hook invoked synchronously after every inner — the hook's
+// cost is the caller's, and it must not call back into the solver.
+// RunContext observes cancellation and deadlines between inners, so a
+// cancelled solve returns a structured error promptly with the solver
+// still safe to Close.
+package core

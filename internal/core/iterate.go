@@ -7,6 +7,19 @@ import (
 	"time"
 )
 
+// Progress reports one completed inner iteration of a Run to the
+// Config.Progress hook: which outer/inner the iteration was, the running
+// total of inners this Run, and the flux change the iteration achieved.
+// The hook runs synchronously between inners on the iteration goroutine,
+// so a slow hook slows the solve — implementations should hand the event
+// off (a buffered channel, an append under a short lock) and return.
+type Progress struct {
+	Outer  int     // 1-based outer iteration index
+	Inner  int     // 1-based inner index within the outer
+	Inners int     // total inners completed so far in this Run
+	DF     float64 // pointwise max relative flux change of this inner
+}
+
 // Result summarises a Run.
 type Result struct {
 	Outers    int  // outer iterations performed
@@ -145,6 +158,12 @@ func (s *Solver) RunContext(ctx context.Context) (*Result, error) {
 			res.DFHistory = append(res.DFHistory, df)
 			res.FinalDF = df
 			res.Inners++
+			if s.cfg.Progress != nil {
+				s.cfg.Progress(Progress{
+					Outer: outer + 1, Inner: inner + 1,
+					Inners: res.Inners, DF: df,
+				})
+			}
 			if s.cfg.HealthChecks {
 				if err := s.ScanFluxHealth(); err != nil {
 					return nil, err

@@ -325,6 +325,9 @@ func BuildArtifact(cfg Config) (*build.Artifact, error) {
 		return cfg.Artifact, nil
 	}
 	if cfg.Cache != nil {
+		if cfg.CacheTenant != "" || cfg.CacheTenantBytes > 0 {
+			return cfg.Cache.GetOrBuildTenant(cfg.CacheTenant, cfg.CacheTenantBytes, spec)
+		}
 		return cfg.Cache.GetOrBuild(spec)
 	}
 	return build.Build(spec)

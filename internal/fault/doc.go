@@ -1,0 +1,30 @@
+// Package fault is a deterministic, seeded fault injector for the
+// pipelined halo protocol's transport layer. A Schedule describes what to
+// break — per-edge delivery latency, message loss, reordering within one
+// sweep's quota window, or a rank that stalls or crashes from sweep K —
+// and an Injector compiled against the run's directed edges turns each
+// outgoing message into an Action the transport applies.
+//
+// # Determinism contract
+//
+// Every decision is a pure function of (logical edge, per-edge message
+// index, attempt number, seed). The transport serialises sends per
+// logical edge and feeds the injector consecutive message indices, so the
+// per-edge decision stream is reproducible across runs, thread counts and
+// schedulers; only the interleaving *between* edges varies, which the
+// protocol's per-edge quota accounting already tolerates. BeginAttempt
+// reseeds the per-edge streams, keyed by the attempt number, so a retried
+// run replays faults (or escapes them, when a rule limits itself to the
+// first Attempts tries) reproducibly too.
+//
+// # Parity contract
+//
+// Faults the protocol absorbs must be invisible in the answer: delayed
+// and reordered delivery changes arrival timing, never the resolved
+// values, so a faulted run converges to bitwise the same flux in the
+// same number of iterations as a clean run (pinned by the chaos suite's
+// delay/reorder parity tests). Faults the protocol cannot absorb — loss
+// past the retry budget, a crashed rank — surface as structured errors
+// or as an explicit FailDegrade demotion to the lagged protocol, never
+// as silently wrong numbers.
+package fault

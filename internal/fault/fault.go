@@ -1,19 +1,3 @@
-// Package fault is a deterministic, seeded fault injector for the
-// pipelined halo protocol's transport layer. A Schedule describes what to
-// break — per-edge delivery latency, message loss, reordering within one
-// sweep's quota window, or a rank that stalls or crashes from sweep K —
-// and an Injector compiled against the run's directed edges turns each
-// outgoing message into an Action the transport applies.
-//
-// Determinism contract: every decision is a pure function of (logical
-// edge, per-edge message index, attempt number, seed). The transport
-// serialises sends per logical edge and feeds the injector consecutive
-// message indices, so the per-edge decision stream is reproducible across
-// runs, thread counts and schedulers; only the interleaving *between*
-// edges varies, which the protocol's per-edge quota accounting already
-// tolerates. BeginAttempt reseeds the per-edge streams, keyed by the
-// attempt number, so a retried run replays faults (or escapes them, when
-// a rule limits itself to the first Attempts tries) reproducibly too.
 package fault
 
 import (

@@ -1,38 +1,3 @@
-// Package sweep builds the scheduling structures that order the element
-// updates of a transport sweep. For every discrete ordinate the upwind
-// dependency between elements forms a directed graph, and the package
-// offers two executable views of it:
-//
-//   - Schedule (Build/BuildWithLagging) groups elements into "buckets" by
-//     their tlevel (Pautz's term): bucket k holds every element whose
-//     longest upwind chain has length k. Buckets must be processed in
-//     order — a barrier per bucket — but all elements inside a bucket are
-//     mutually independent. This is the paper's unit of on-node
-//     parallelism, used by the legacy scheme executors.
-//   - Graph (BuildGraph) is the counter-driven task-graph view behind the
-//     core package's persistent sweep engine: per-element remaining-upwind
-//     counters plus downwind adjacency, so an executor can fire an element
-//     the moment its last dependency resolves instead of waiting for a
-//     bucket barrier. On meshes with shallow, narrow buckets the counter
-//     view exposes strictly more concurrency; the bucket view remains the
-//     right tool for reproducing the paper's scheme ablations and for
-//     reasoning about tlevel statistics.
-//
-// The paper's first UnSNAP version assumes the graph is acyclic (true for
-// mildly twisted structured meshes) and defers cycle handling to future
-// work. Build enforces that assumption by returning ErrCycle. Cycle
-// handling is implemented as an up-front topology transform (condense.go):
-// Condense computes the Tarjan SCC condensation of the graph and demotes
-// the intra-SCC back edges — under a pluggable within-SCC ordering
-// strategy (CycleOrder) — to a deterministic lagged set: couplings the
-// solver reads from the previous iteration's flux instead of scheduling.
-// BuildWithLagging derives its schedule from that condensation (via
-// BuildCut), and BuildGraph consumes the same lag set, cutting the lagged
-// edges out of the counter view so an executor never waits on them (see
-// Graph). Because every lag rule depends only on SCC membership and
-// element ids, every layer — bucket schedules, counter graphs, the
-// cross-rank pipelined protocol — reproduces the identical cycle-breaking
-// decision as long as all of them run the same CycleOrder.
 package sweep
 
 import (

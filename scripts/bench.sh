@@ -10,7 +10,9 @@
 # convergence with DSA off vs on across scattering ratios and solver
 # configurations), and records ns/op per sweep into BENCH_sweep.json at
 # the repo root, stamped with the git commit and machine so successive
-# PRs can attribute the hot-path trajectory.
+# PRs can attribute the hot-path trajectory. docs/BENCH.md documents the
+# JSON schema: section shapes, per-section commit/machine stamps, and the
+# merge-by-key semantics that make partial refreshes safe.
 # Extra flags are passed through to cmd/unsnap-bench (e.g. -inners 10).
 set -e
 cd "$(dirname "$0")/.."

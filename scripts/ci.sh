@@ -35,6 +35,12 @@ go run ./cmd/unsnap-bench -experiment engine,comm,cycles,setup,kernel,accel -smo
 # (or a flux divergence between cached and uncached builds) fails CI.
 go run ./cmd/unsnap -nx 4 -nang 2 -ng 2 -iitm 4 -oitm 1 -force-iterations -cache-stats \
 	| grep -q 'cache-stats: warm hit true, flux bitwise match true'
+# Solve-service smoke: boot the HTTP service on loopback, submit one tiny
+# solve twice, and require both to converge with the second paying zero
+# topology builds (the shared-cache promise over the wire) before a clean
+# drain. The verdict line is machine-checkable; grep pins it.
+go run ./cmd/unsnap-serve -smoke \
+	| grep -q 'serve-smoke: converged true, warm builds 0, shutdown clean true'
 # Cyclic-mesh equivalence first (engine vs legacy bucket path, pipelined
 # vs single domain, 1e-12 — including the per-cycle-order strategy
 # equivalence tests) under the race detector: the cycle-aware engine's
@@ -53,4 +59,9 @@ go test -race -run 'Accel|DSA|SolvePCG' ./internal/core ./internal/comm ./intern
 # failure-domain layer's whole contract is concurrency-shaped, so it
 # only counts when the detector watches it.
 go test -race -run 'Fault|Chaos|Deadline' ./internal/fault ./internal/comm .
+# Solve-service suite under the race detector: the worker pool, the
+# close-and-replace event broadcast, cancel-vs-dequeue and the
+# shutdown drain are all cross-goroutine by design, and the cancel test's
+# goroutine-leak accounting only means something with the detector on.
+go test -race ./internal/serve
 go test -race -short ./...

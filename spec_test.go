@@ -1,0 +1,131 @@
+package unsnap
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestSpecResolveRoundTrip pins the wire format: a spec serialises to the
+// documented JSON names, survives a JSON round trip, and resolves to the
+// Options the same knobs would configure directly.
+func TestSpecResolveRoundTrip(t *testing.T) {
+	p := DefaultProblem()
+	p.TwistPeriods = 2
+	p.Twist = 0.35
+	want := Options{
+		Scheme: Engine, Threads: 2, Solver: DGESV,
+		Octants: OctantsSequential, Kernel: KernelScalar,
+		Accelerate: AccelDSA,
+		Epsi:       1e-5, MaxInners: 7, MaxOuters: 3,
+		AllowCycles: true, CycleOrder: OrderFeedbackArc,
+		Deadline:     30 * time.Second,
+		HealthChecks: true,
+	}
+	sp := SpecOf(p, want)
+	data, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(data)
+	if err != nil {
+		t.Fatalf("round-tripped spec rejected: %v\n%s", err, data)
+	}
+	gotP, gotO, err := back.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotP != p {
+		t.Fatalf("problem round trip: got %+v, want %+v", gotP, p)
+	}
+	if gotO.Scheme != want.Scheme || gotO.Solver != want.Solver ||
+		gotO.Octants != want.Octants || gotO.Kernel != want.Kernel ||
+		gotO.Accelerate != want.Accelerate || gotO.CycleOrder != want.CycleOrder ||
+		gotO.Epsi != want.Epsi || gotO.MaxInners != want.MaxInners ||
+		gotO.MaxOuters != want.MaxOuters || gotO.AllowCycles != want.AllowCycles ||
+		gotO.Deadline != want.Deadline || gotO.HealthChecks != want.HealthChecks {
+		t.Fatalf("options round trip: got %+v, want %+v", gotO, want)
+	}
+}
+
+// TestSpecMinimal pins that a problem-only spec resolves to the library
+// defaults.
+func TestSpecMinimal(t *testing.T) {
+	sp, err := ParseSpec([]byte(`{"problem":{"nx":4,"ny":4,"nz":4,
+		"lx":1,"ly":1,"lz":1,"order":1,"angles_per_octant":2,"groups":2}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, o, err := sp.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Scheme != Engine || o.Kernel != KernelBatched || o.Accelerate != AccelNone {
+		t.Fatalf("minimal spec did not resolve to defaults: %+v", o)
+	}
+}
+
+// TestSpecRejections pins the validation surface: unknown knob
+// spellings, unknown JSON fields and dimensional nonsense all fail with
+// a structured error instead of resolving to something unintended.
+func TestSpecRejections(t *testing.T) {
+	valid := `"problem":{"nx":4,"ny":4,"nz":4,"lx":1,"ly":1,"lz":1,
+		"order":1,"angles_per_octant":2,"groups":2}`
+	cases := map[string]string{
+		"unknown field":      `{` + valid + `, "optoins":{}}`,
+		"unknown scheme":     `{` + valid + `, "options":{"scheme":"warp"}}`,
+		"unknown solver":     `{` + valid + `, "options":{"solver":"MKL"}}`,
+		"unknown octants":    `{` + valid + `, "options":{"octants":"diagonal"}}`,
+		"unknown kernel":     `{` + valid + `, "options":{"kernel":"simd"}}`,
+		"unknown accel":      `{` + valid + `, "options":{"accelerate":"p-air"}}`,
+		"unknown cycle rule": `{` + valid + `, "options":{"cycle_order":"random"}}`,
+		"negative deadline":  `{` + valid + `, "options":{"deadline_seconds":-1}}`,
+		"zero grid":          `{"problem":{"nx":0,"ny":4,"nz":4,"lx":1,"ly":1,"lz":1,"order":1,"angles_per_octant":2,"groups":2}}`,
+		"bad scat ratio":     `{"problem":{"nx":4,"ny":4,"nz":4,"lx":1,"ly":1,"lz":1,"order":1,"angles_per_octant":2,"groups":2,"scat_ratio":1.5}}`,
+		"dsa with reflect":   `{` + valid + `, "options":{"accelerate":"dsa","reflect":[true,false,false]}}`,
+		"not json":           `{"problem":`,
+	}
+	for name, body := range cases {
+		if _, err := ParseSpec([]byte(body)); err == nil {
+			t.Errorf("%s: spec %s was accepted", name, body)
+		}
+	}
+}
+
+// TestSpecSolves pins that a resolved spec actually drives a solve: the
+// service-facing path (ParseSpec -> Resolve -> NewSolver -> RunContext)
+// produces a converged result with a progress event per inner.
+func TestSpecSolves(t *testing.T) {
+	sp, err := ParseSpec([]byte(`{"problem":{"nx":4,"ny":4,"nz":4,
+		"lx":1,"ly":1,"lz":1,"order":1,"angles_per_octant":2,"groups":2},
+		"options":{"epsi":1e-4,"max_inners":10,"max_outers":4}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, o, err := sp.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Progress
+	o.Progress = func(pr Progress) { events = append(events, pr) }
+	s, err := NewSolver(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("spec solve did not converge: %+v", res)
+	}
+	if len(events) != res.Inners {
+		t.Fatalf("progress events %d, want one per inner (%d)", len(events), res.Inners)
+	}
+	last := events[len(events)-1]
+	if last.Inners != res.Inners || last.DF != res.FinalDF {
+		t.Fatalf("final progress event %+v does not match result (inners %d, df %v)",
+			last, res.Inners, res.FinalDF)
+	}
+}

@@ -242,23 +242,34 @@ func (k SolverKind) String() string { return core.SolverKind(k).String() }
 // Problem describes the physical and discretisation setup: the SNAP-style
 // structured box stored as an unstructured twisted mesh, the element
 // order, the angular quadrature size and the multigroup data options.
+// The JSON field names are the wire format of Spec (the solve service's
+// job submission payload); zero-valued fields are omitted.
 type Problem struct {
-	NX, NY, NZ int
-	LX, LY, LZ float64
+	NX int `json:"nx"`
+	NY int `json:"ny"`
+	NZ int `json:"nz"`
+
+	LX float64 `json:"lx"`
+	LY float64 `json:"ly"`
+	LZ float64 `json:"lz"`
+
 	// Twist is the maximum rotation in radians of the top z-layer about
 	// the domain axis (the paper uses up to 0.001).
-	Twist float64
+	Twist float64 `json:"twist,omitempty"`
 	// TwistPeriods switches the twist profile to an oscillation,
 	// theta(z) = Twist*sin(2 pi TwistPeriods z/LZ), whose alternating
 	// inter-layer shear produces genuinely cyclic upwind dependency
 	// graphs at modest distortion (e.g. 0.35 rad over 2 periods on a 6^3
 	// grid). Cyclic problems require Options.AllowCycles. Zero keeps the
 	// paper's monotone ramp.
-	TwistPeriods    float64
-	MatOpt, SrcOpt  int
-	Order           int // finite element order >= 1
-	AnglesPerOctant int
-	Groups          int
+	TwistPeriods float64 `json:"twist_periods,omitempty"`
+
+	MatOpt int `json:"mat_opt,omitempty"`
+	SrcOpt int `json:"src_opt,omitempty"`
+
+	Order           int `json:"order"` // finite element order >= 1
+	AnglesPerOctant int `json:"angles_per_octant"`
+	Groups          int `json:"groups"`
 
 	// PGCPolar/PGCAzi, when both positive, replace the SNAP proxy
 	// quadrature with the product Gauss-Chebyshev set of
@@ -266,12 +277,13 @@ type Problem struct {
 	// ignored). The product set integrates low-order angular moments
 	// exactly, which matters for solution-quality studies; the proxy set
 	// matches SNAP's performance-representative data.
-	PGCPolar, PGCAzi int
+	PGCPolar int `json:"pgc_polar,omitempty"`
+	PGCAzi   int `json:"pgc_azi,omitempty"`
 
 	// ScatOrder selects the scattering anisotropy: 0 for isotropic (the
 	// paper's setting) or 1 for linearly anisotropic P1 scattering with
 	// SNAP-style synthetic first-moment data.
-	ScatOrder int
+	ScatOrder int `json:"scat_order,omitempty"`
 
 	// ScatRatio, when nonzero, pins every group's scattering ratio
 	// sigs/sigt to this value (0 < ScatRatio < 1) instead of the default
@@ -279,7 +291,7 @@ type Problem struct {
 	// High ratios make the problem scattering-dominated — the regime
 	// where source iteration slows down and Options.Accelerate pays off.
 	// Isotropic only (incompatible with ScatOrder >= 1).
-	ScatRatio float64
+	ScatRatio float64 `json:"scat_ratio,omitempty"`
 }
 
 // DefaultProblem returns the paper's Figure 3 configuration scaled down to
@@ -435,7 +447,31 @@ type Options struct {
 	// ranks likewise share one entry per distinct rank topology plus the
 	// global cycle lag sets. Ignored when Artifact is set.
 	Cache *ArtifactCache
+
+	// CacheTenant attributes this solver's Cache traffic to a named
+	// tenant, and CacheTenantBytes bounds the bytes resident on that
+	// tenant's behalf: going over budget evicts the tenant's own
+	// least-recently-used entries, never another tenant's — the isolation
+	// mechanism behind the solve service's per-tenant cache budgets
+	// (cache.TenantStatsSnapshot reports per-tenant usage). Zero values
+	// mean unattributed and unbounded; both are meaningless without
+	// Cache.
+	CacheTenant      string
+	CacheTenantBytes int64
+
+	// Progress, when non-nil, is called after every completed inner
+	// iteration with the iteration indices and the flux change — the hook
+	// the solve service's per-job event streams are fed from. It runs
+	// synchronously on the iteration goroutine, so implementations must
+	// hand the event off and return quickly. Single-domain solvers only
+	// (the distributed drivers own their iteration loops); NewDistributed
+	// rejects it.
+	Progress func(Progress)
 }
+
+// Progress reports one completed inner iteration to Options.Progress;
+// see core.Progress for field semantics.
+type Progress = core.Progress
 
 // Build artifacts, re-exported so callers manage the problem-build /
 // solve split without importing internal packages.
@@ -550,8 +586,19 @@ func validateOptions(o Options, distributed bool) error {
 		if o.FailurePolicy != (FailurePolicy{}) {
 			return fmt.Errorf("unsnap: failure policies apply only to NewDistributed drivers")
 		}
-	} else if o.Artifact != nil {
-		return fmt.Errorf("unsnap: Artifact injection is single-domain only; ranks share builds through Options.Cache")
+	} else {
+		if o.Artifact != nil {
+			return fmt.Errorf("unsnap: Artifact injection is single-domain only; ranks share builds through Options.Cache")
+		}
+		if o.Progress != nil {
+			return fmt.Errorf("unsnap: Progress hooks are single-domain only; distributed drivers own their iteration loops")
+		}
+	}
+	if (o.CacheTenant != "" || o.CacheTenantBytes > 0) && o.Cache == nil {
+		return fmt.Errorf("unsnap: CacheTenant/CacheTenantBytes are meaningless without Options.Cache")
+	}
+	if o.CacheTenantBytes < 0 {
+		return fmt.Errorf("unsnap: negative tenant cache budget %d", o.CacheTenantBytes)
 	}
 	return nil
 }
@@ -638,16 +685,19 @@ func coreConfig(p Problem, o Options, m *mesh.Mesh, q *quadrature.Set, lib *xs.L
 		Solver: core.SolverKind(o.Solver), Octants: core.OctantMode(o.Octants),
 		Kernel: core.KernelMode(o.Kernel),
 		Epsi:   o.Epsi, MaxInners: o.MaxInners, MaxOuters: o.MaxOuters,
-		ForceIterations: o.ForceIterations,
-		AllowCycles:     o.AllowCycles,
-		CycleOrder:      sweep.CycleOrder(o.CycleOrder),
-		PreAssembled:    o.PreAssembled,
-		Instrument:      o.Instrument,
-		ScatOrder:       p.ScatOrder,
-		Accelerate:      core.AccelMode(o.Accelerate),
-		HealthChecks:    o.HealthChecks,
-		Artifact:        o.Artifact,
-		Cache:           o.Cache,
+		ForceIterations:  o.ForceIterations,
+		AllowCycles:      o.AllowCycles,
+		CycleOrder:       sweep.CycleOrder(o.CycleOrder),
+		PreAssembled:     o.PreAssembled,
+		Instrument:       o.Instrument,
+		ScatOrder:        p.ScatOrder,
+		Accelerate:       core.AccelMode(o.Accelerate),
+		HealthChecks:     o.HealthChecks,
+		Artifact:         o.Artifact,
+		Cache:            o.Cache,
+		CacheTenant:      o.CacheTenant,
+		CacheTenantBytes: o.CacheTenantBytes,
+		Progress:         o.Progress,
 	}
 	if o.TimeSteps > 0 {
 		cfg.Time = &core.TimeConfig{
